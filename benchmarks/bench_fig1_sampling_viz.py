@@ -1,0 +1,62 @@
+"""Fig 1 / Fig 3-bottom: OF2D sampling visualisation at 10% rate.
+
+The paper shows full/random/uips/maxent samples of the cylinder wake
+(cluster variable wz, timestep 97) and reads off that "MaxEnt more
+effectively captures the wake flow features".  We quantify that with the
+wake-capture enrichment score (sampled share of high-|wz| cells over their
+population share) and render ASCII sample masks.
+"""
+
+import numpy as np
+
+from repro.metrics import wake_capture_score
+from repro.sampling import get_sampler
+from repro.viz import ascii_field, format_table
+
+from conftest import emit
+
+METHODS = ["random", "uips", "maxent"]
+RATE = 0.10
+
+
+def test_fig1_wake_capture(benchmark, of2d_dataset):
+    snap = of2d_dataset.snapshots[-1]  # developed wake (paper: ts 97)
+    wz = snap["wz"]
+    features = np.abs(wz).reshape(-1, 1)
+    n = int(RATE * features.shape[0])
+
+    def run():
+        scores = {}
+        masks = {}
+        for method in METHODS:
+            per_seed = []
+            idx = None
+            for seed in range(3):
+                idx = get_sampler(method).sample(features, n, rng=seed)
+                per_seed.append(wake_capture_score(wz, idx))
+            scores[method] = (float(np.mean(per_seed)), float(np.std(per_seed)))
+            mask = np.zeros(features.shape[0])
+            mask[idx] = 1.0
+            masks[method] = mask.reshape(wz.shape)
+        return scores, masks
+
+    scores, masks = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        {"method": "full", "wake_capture": 1.0, "std": 0.0, "n_samples": features.shape[0]}
+    ] + [
+        {"method": m, "wake_capture": scores[m][0], "std": scores[m][1], "n_samples": n}
+        for m in METHODS
+    ]
+    parts = [format_table(rows, title="Fig 1 — wake-capture enrichment (10% sampling, |wz|)")]
+    parts.append("\nVorticity field |wz|:")
+    parts.append(ascii_field(np.abs(masks["maxent"] * 0 + np.abs(wz)), width=70, height=18))
+    for m in METHODS:
+        parts.append(f"\n{m} sample mask:")
+        parts.append(ascii_field(masks[m], width=70, height=18))
+    emit("fig1_sampling_viz", "\n".join(parts))
+
+    # Paper's qualitative claim: MaxEnt concentrates on the wake more than
+    # random; random matches the population share (~1.0).
+    assert scores["maxent"][0] > scores["random"][0]
+    assert 0.5 < scores["random"][0] < 2.0

@@ -1,0 +1,111 @@
+"""Fig 7: MaxEnt subsampling parallel scalability, 1 → 512 MPI ranks.
+
+Paper: "SST-P1F100 shows quasilinear speedup up to 64 MPI processes, after
+which it falls ... achieving 171x speedup at 512 MPI processes.  SST-P1F4
+shows sublinear scaling, reaching max speedup of 9 at 32 MPI processes."
+The vertical line marks the knee where the dataset becomes too thinly
+distributed to keep ranks utilized.
+
+We run the real SPMD pipeline at every rank count on thread ranks; *virtual*
+time from the LogGP model (calibrated to a Slingshot-class fabric with
+Python-level collective overheads) provides the timing, so the measured
+curves reflect the decomposition, not the host's core count.
+"""
+
+import numpy as np
+
+from repro.metrics import find_knee, speedup_series
+from repro.parallel.perfmodel import PerfModel
+from repro.sampling import subsample
+from repro.utils.config import CaseConfig, SharedConfig, SubsampleConfig, TrainConfig
+from repro.viz import ascii_line, format_table
+
+from conftest import emit
+
+RANKS = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+# Calibration: compute_rate reflects the paper's admitted bottleneck
+# ("non-optimized raw data ingestion" — Lustre reads + Python clustering,
+# ~25k points/s/rank effective), alpha a Python/mpi4py collective latency
+# (~0.25 ms incl. pickling), with modest per-round imbalance (OS noise).
+MODEL = PerfModel(alpha=2.5e-4, beta=1.0 / 25.0e9, compute_rate=2.5e4, imbalance=0.10)
+
+
+def _case(num_hypercubes: int, num_samples: int, cube: int) -> CaseConfig:
+    return CaseConfig(
+        shared=SharedConfig(dims=3),
+        subsample=SubsampleConfig(
+            hypercubes="maxent", method="maxent", num_hypercubes=num_hypercubes,
+            num_samples=num_samples, num_clusters=4, nxsl=cube, nysl=cube, nzsl=cube,
+        ),
+        train=TrainConfig(arch="mlp_transformer"),
+    )
+
+
+def _scan(dataset, case) -> list[float]:
+    times = []
+    for p in RANKS:
+        res = subsample(dataset, case, nranks=p, seed=0, model=MODEL)
+        times.append(res.virtual_time)
+    return times
+
+
+def test_fig7_scalability(benchmark, sst_p1f4_dataset, sst_p1f100_dataset):
+    # P1F100: 8 snapshots x (8x2x8)=128 cubes of 4^3 -> 1024 fine-grained
+    # cubes; select 256 (work spreads across hundreds of ranks).
+    case_f100 = _case(num_hypercubes=256, num_samples=7, cube=4)
+    # P1F4: 6 snapshots x 4 cubes of 16^3 -> 24 coarse cubes; select 8.
+    # Phase-2 granularity (one 4096-point cube is indivisible) caps speedup.
+    case_f4 = _case(num_hypercubes=8, num_samples=410, cube=16)
+
+    def run():
+        return (
+            _scan(sst_p1f100_dataset, case_f100),
+            _scan(sst_p1f4_dataset, case_f4),
+        )
+
+    times_f100, times_f4 = benchmark.pedantic(run, rounds=1, iterations=1)
+    s100 = speedup_series(RANKS, times_f100)
+    s4 = speedup_series(RANKS, times_f4)
+    knee100 = find_knee(s100, efficiency_threshold=0.5)
+    knee4 = find_knee(s4, efficiency_threshold=0.5)
+
+    rows = []
+    for i, p in enumerate(RANKS):
+        rows.append({
+            "ranks": p,
+            "P1F100_time_s": times_f100[i],
+            "P1F100_speedup": s100.speedup[i],
+            "P1F100_eff": s100.efficiency[i],
+            "P1F4_time_s": times_f4[i],
+            "P1F4_speedup": s4.speedup[i],
+            "P1F4_eff": s4.efficiency[i],
+        })
+    table = format_table(rows, title="Fig 7 — MaxEnt subsampling scalability (virtual time)")
+    plot = ascii_line(
+        {
+            "P1F100": (np.array(RANKS, float), s100.speedup),
+            "P1F4": (np.array(RANKS, float), s4.speedup),
+            "ideal": (np.array(RANKS, float), np.array(RANKS, float)),
+        },
+        logx=True, logy=True, title="speedup vs ranks (log-log)",
+    )
+    summary = (
+        f"\nknee (efficiency >= 0.5): P1F100 at {knee100} ranks, P1F4 at {knee4} ranks"
+        f"\nmax speedup: P1F100 {s100.speedup.max():.1f}x @ {RANKS[int(np.argmax(s100.speedup))]}"
+        f", P1F4 {s4.speedup.max():.1f}x @ {RANKS[int(np.argmax(s4.speedup))]}"
+        "\npaper: P1F100 quasilinear to 64 (171x @ 512); P1F4 max ~9x @ 32"
+    )
+    emit("fig7_scalability", table + "\n\n" + plot + summary)
+
+    # Shape assertions mirroring the paper's reading:
+    # the large dataset scales much further than the small one...
+    assert knee100 >= 32
+    assert knee100 > knee4
+    # ...P1F100 keeps accelerating to hundreds of ranks,
+    assert 50 <= s100.speedup.max() <= 512
+    assert s100.speedup[-1] > 0.5 * s100.speedup.max()
+    # ...while P1F4 saturates at a single-digit-to-low-teens speedup.
+    assert s4.speedup.max() <= 20
+    # Efficiency declines monotonically-ish past the knee for P1F100.
+    assert s100.efficiency[-1] < 0.6

@@ -1,0 +1,149 @@
+"""Fig 9: MATEY foundation-model training on SST-P1F4 at a 10%-style rate.
+
+The paper's preliminary foundation-model study: MATEY trained with three
+data-selection strategies — random attained the best validation loss (0.252)
+at the least energy (486 kJ), MaxEnt close behind (0.262 / 514 kJ), and
+uniform considerably worse (0.295 / 495 kJ).  Reproduction targets: uniform
+clearly worst; random and MaxEnt close; MaxEnt paying a small
+sampling-energy premium.
+
+Setup: a strongly *transient* SST-P1F4 run (Taylor-Green breakdown and
+buoyancy decay over t = 1.5 ... 9) whose final snapshot is the fixed held-out
+validation set.  Each strategy keeps a fixed budget of (snapshot, origin)
+training cubes.  'uniform' strides the origin-major cube archive at a fixed
+cadence — which aliases onto a single timestep, §4.3's failure mode of naive
+cadence-based selection on evolving data; 'random' and 'maxent' spread over
+the transient.
+"""
+
+import numpy as np
+
+from repro.data import TurbulenceDataset
+from repro.data.hypercubes import extract_hypercube, hypercube_origins
+from repro.nn import MATEY
+from repro.sampling import subsample
+from repro.sim import generate_stratified
+from repro.train import Trainer, build_reconstruction_data
+from repro.utils.config import CaseConfig, SharedConfig, SubsampleConfig, TrainConfig
+from repro.viz import format_table
+
+from conftest import emit
+
+CUBE = 16
+EPOCHS = 25
+VARS = ("u", "v", "w", "p")
+
+
+def _transient_sst() -> TurbulenceDataset:
+    snaps = generate_stratified(
+        shape=(32, 32, 16), n_snapshots=6, steps_per_snapshot=150,
+        nu=4e-3, n_buoyancy=1.0, perturbation=0.2, dt=0.01, rng=0,
+    )
+    return TurbulenceDataset(
+        label="SST-P1F4", snapshots=snaps, input_vars=["u", "v", "w"],
+        output_vars=["p"], cluster_var="pv", gravity="z",
+    )
+
+
+def _case(hypercubes: str, num_hypercubes: int) -> CaseConfig:
+    return CaseConfig(
+        shared=SharedConfig(dims=3),
+        subsample=SubsampleConfig(
+            hypercubes=hypercubes, method="full", num_hypercubes=num_hypercubes,
+            num_clusters=4, nxsl=CUBE, nysl=CUBE, nzsl=CUBE,
+        ),
+        train=TrainConfig(arch="matey"),
+    )
+
+
+def _cubes(ds, pairs):
+    out = []
+    for s, o in pairs:
+        cube = extract_hypercube(ds.snapshots[s], o, (CUBE, CUBE, CUBE), list(VARS))
+        cube.meta["snapshot"] = s
+        out.append(cube)
+    return out
+
+
+def _data(ds, pairs):
+    holder = type("R", (), {})()
+    holder.cubes = _cubes(ds, pairs)
+    holder.points = None
+    return build_reconstruction_data(ds, holder, window=1, horizon=1)
+
+
+def test_fig9_matey_foundation(benchmark):
+    ds = _transient_sst()
+    origins = hypercube_origins(ds.grid_shape, (CUBE, CUBE, CUBE))
+    n_train_snaps = ds.n_snapshots - 1
+    # Origin-major cube archive (how brick archives are typically laid out).
+    index = [(s, o) for o in origins for s in range(n_train_snaps)]
+    keep = len(origins)  # one cube's budget per region: a ~20% rate
+    val = _data(ds, [(ds.n_snapshots - 1, o) for o in origins])
+
+    def run():
+        rows = []
+        for strategy in ("uniform", "random", "maxent"):
+            if strategy == "uniform":
+                ids = (np.arange(keep) * len(index)) // keep
+                sample_energy = 1.0  # striding costs ~nothing
+            elif strategy == "random":
+                ids = np.random.default_rng(1).choice(len(index), keep, replace=False)
+                sample_energy = 2.0
+            else:
+                # Ask for extra cubes so the budget survives dropping any
+                # selection that landed in the held-out snapshot.
+                res = subsample(ds, _case("maxent", 2 * keep), seed=0)
+                # The pipeline's index is snapshot-major over all snapshots;
+                # map back to (snapshot, origin) and drop held-out cubes.
+                pipe_index = [(s, o) for s in range(ds.n_snapshots) for o in origins]
+                pairs = [pipe_index[int(i)] for i in res.selected_cube_ids]
+                pairs = [p for p in pairs if p[0] < n_train_snaps] or [index[0]]
+                if len(pairs) > keep:
+                    # Down-select without ordering bias (ids are sorted, and
+                    # truncation would skew toward early snapshots).
+                    pick = np.random.default_rng(2).choice(len(pairs), keep, replace=False)
+                    pairs = [pairs[int(i)] for i in sorted(pick)]
+                sample_energy = res.energy.total_energy
+                ids = np.array([index.index(p) for p in pairs])
+            pairs = [index[int(i)] for i in ids]
+            data = _data(ds, pairs)
+            model = MATEY(
+                in_channels=3, out_channels=1, grid=(CUBE, CUBE, CUBE), patch=8,
+                window=1, horizon=1, d_model=16, depth=1, n_heads=2, rng=0,
+            )
+            trainer = Trainer(model, epochs=EPOCHS, batch=4, patience=8,
+                              test_frac=0.2, seed=0, gpu_flops_rate=2.0e9)
+            result = trainer.fit(data.x, data.y)
+            val_loss = trainer.evaluate(val.x, val.y)
+            rows.append({
+                "strategy": strategy,
+                "val_loss": val_loss,
+                "train_cubes": len(pairs),
+                "distinct_snapshots": len({p[0] for p in pairs}),
+                "energy_J": sample_energy + result.energy.total_energy,
+                "sample_J": sample_energy,
+                "train_J": result.energy.total_energy,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig9_matey", format_table(
+        rows,
+        title=(
+            "Fig 9 — MATEY on transient SST-P1F4, fixed held-out final "
+            "snapshot (paper: random 0.252/486kJ, maxent 0.262/514kJ, "
+            "uniform 0.295/495kJ)"
+        ),
+    ))
+
+    by = {r["strategy"]: r for r in rows}
+    # Paper's ordering: uniform clearly worst; random and MaxEnt close.
+    best_other = max(by["random"]["val_loss"], by["maxent"]["val_loss"])
+    assert by["uniform"]["val_loss"] > best_other
+    assert abs(by["random"]["val_loss"] - by["maxent"]["val_loss"]) < 0.5 * by["uniform"]["val_loss"]
+    # The aliasing mechanism: uniform's stride collapses to one timestep.
+    assert by["uniform"]["distinct_snapshots"] == 1
+    assert by["random"]["distinct_snapshots"] > 1
+    # MaxEnt pays a sampling-energy premium over random/uniform.
+    assert by["maxent"]["sample_J"] > by["random"]["sample_J"]

@@ -1,0 +1,56 @@
+"""Shared fixtures and reporting helpers for the per-figure benchmarks.
+
+Each bench regenerates one table/figure of the paper at reduced scale,
+prints the rows/series, and writes them to ``benchmarks/results/<name>.txt``
+so the output survives pytest's capture.  Timing goes through
+pytest-benchmark (``--benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data import build_dataset
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> str:
+    """Print a bench report and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n[written to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def of2d_dataset():
+    """OF2D at reduced resolution: 60 snapshots (3 shedding periods)."""
+    return build_dataset("OF2D", scale=0.6, rng=0, n_snapshots=60)
+
+
+@pytest.fixture(scope="session")
+def tc2d_dataset():
+    return build_dataset("TC2D", scale=0.75, rng=0)
+
+
+@pytest.fixture(scope="session")
+def sst_p1f4_dataset():
+    """SST-P1F4 at 32x32x16, 6 snapshots of the TG transition."""
+    return build_dataset("SST-P1F4", scale=1.0, rng=0, n_snapshots=6)
+
+
+@pytest.fixture(scope="session")
+def sst_p1f100_dataset():
+    """SST-P1F100 (forced, gravity y) at 32x8x32, 8 snapshots."""
+    return build_dataset("SST-P1F100", scale=1.0, rng=0, n_snapshots=8)
+
+
+@pytest.fixture(scope="session")
+def gests_dataset():
+    """GESTS-2048 scaled to one 32^3 brick."""
+    return build_dataset("GESTS-2048", scale=1.0, rng=0, spinup_steps=30)

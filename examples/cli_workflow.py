@@ -1,0 +1,60 @@
+"""Drive the paper's YAML-cased CLI workflow end to end.
+
+Writes a SICKLE-style case file (the appendix's SST-P1F4 schema), then runs
+the ``subsample.py`` and ``train.py`` equivalents against it — the exact
+T1 -> T2 task chain of the paper's artifact description.
+
+Run:  python examples/cli_workflow.py
+"""
+
+import os
+import tempfile
+
+from repro.cli import subsample_main, train_main
+
+CASE_YAML = """
+shared:
+  dims: 3
+  dtype: sst-binary
+  input_vars: [u, v, w]
+  output_vars: p
+  cluster_var: pv
+  nx: 32
+  ny: 32
+  nz: 16
+  gravity: z
+  fileprefix: "SST-P1-Hmaxent-Xmaxent-demo"
+subsample:
+  hypercubes: maxent
+  num_hypercubes: 4
+  method: maxent
+  num_samples: 410
+  num_clusters: 8
+  nxsl: 16
+  nysl: 16
+  nzsl: 16
+train:
+  epochs: 8
+  batch: 4
+  target: p_full
+  window: 1
+  arch: MLP_transformer
+  sequence: false
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        case_path = os.path.join(tmp, "case.yaml")
+        with open(case_path, "w", encoding="utf-8") as fh:
+            fh.write(CASE_YAML)
+
+        print("== T1: srun -n 2 python subsample.py case.yaml ==")
+        subsample_main([case_path, "--ranks", "2", "--output_dir", os.path.join(tmp, "snapshots")])
+
+        print("\n== T2: python train.py case.yaml ==")
+        train_main([case_path, "--epochs", "8"])
+
+
+if __name__ == "__main__":
+    main()

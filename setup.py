@@ -1,0 +1,5 @@
+"""Setup shim so legacy editable installs work offline (no `wheel` package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""repro — a from-scratch reproduction of SICKLE (Brewer et al., SC 2025).
+
+SICKLE is a Sparse Intelligent Curation frameworK for Learning Efficiently:
+two-phase maximum-entropy subsampling of extreme-scale turbulence datasets,
+with surrogate training, distributed scalability, and energy benchmarking.
+
+Subpackages:
+
+- :mod:`repro.sampling` — the paper's contribution (MaxEnt, UIPS, random, ...)
+- :mod:`repro.sim` — synthetic DNS dataset generators (OF2D/TC2D/SST/GESTS)
+- :mod:`repro.data` — datasets, hypercube extraction, stores
+- :mod:`repro.nn` — numpy autograd NN framework + the paper's architectures
+- :mod:`repro.train` — training pipeline with energy metering
+- :mod:`repro.parallel` — simulated MPI runtime + performance model
+- :mod:`repro.energy` — energy accounting
+- :mod:`repro.cluster` — K-means / histogram / KDE substrates
+- :mod:`repro.metrics`, :mod:`repro.viz` — evaluation and reporting
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

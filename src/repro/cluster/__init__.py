@@ -1,0 +1,29 @@
+"""Clustering and density-estimation substrate.
+
+The paper clusters each dataset on a K-means cluster variable (Table 1's KCV
+column) with scikit-learn's ``MiniBatchKMeans`` before computing entropies.
+scikit-learn is unavailable offline, so this package implements:
+
+* :class:`~repro.cluster.kmeans.KMeans` — Lloyd's algorithm with k-means++
+  initialization and empty-cluster reseeding,
+* :class:`~repro.cluster.kmeans.MiniBatchKMeans` — the streaming variant the
+  paper uses at scale (per-center learning rates, Sculley 2010),
+* :mod:`~repro.cluster.histogram` — d-dimensional binned PDFs (the paper's
+  UIPS binning path and Fig 5's fixed-100-bin comparisons),
+* :mod:`~repro.cluster.kde` — Gaussian KDE for the §7 convergence-rate
+  discussion.
+"""
+
+from repro.cluster.kmeans import KMeans, MiniBatchKMeans, kmeans_plus_plus
+from repro.cluster.histogram import HistogramPDF, histogram_pdf, joint_histogram
+from repro.cluster.kde import GaussianKDE
+
+__all__ = [
+    "KMeans",
+    "MiniBatchKMeans",
+    "kmeans_plus_plus",
+    "HistogramPDF",
+    "histogram_pdf",
+    "joint_histogram",
+    "GaussianKDE",
+]

@@ -1,0 +1,62 @@
+"""Gaussian kernel density estimation.
+
+Used for the paper's §7 discussion: random sampling converges to the true PDF
+at the nonparametric O(n^{-4/5}) MISE rate, which our convergence bench
+verifies empirically.  Implementation is a plain product-Gaussian KDE with
+Scott's rule bandwidth, evaluated in blocks to bound memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import resolve_rng
+
+__all__ = ["GaussianKDE"]
+
+_BLOCK = 4096
+
+
+class GaussianKDE:
+    """Product-kernel Gaussian KDE with Scott's-rule bandwidth."""
+
+    def __init__(self, data: np.ndarray, bandwidth: float | None = None) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim == 1:
+            data = data[:, None]
+        if data.ndim != 2 or data.shape[0] < 2:
+            raise ValueError("KDE needs (n>=2, d) data")
+        self.data = data
+        n, d = data.shape
+        std = data.std(axis=0, ddof=1)
+        std = np.where(std > 0, std, 1.0)
+        scott = n ** (-1.0 / (d + 4))
+        self.bandwidth = np.asarray(bandwidth if bandwidth is not None else scott * std)
+        if np.any(self.bandwidth <= 0):
+            raise ValueError("bandwidth must be positive")
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        """Density at query points (m, d) -> (m,)."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim == 1:
+            pts = pts[:, None]
+        if pts.shape[1] != self.data.shape[1]:
+            raise ValueError("query dimensionality mismatch")
+        n, d = self.data.shape
+        h = np.broadcast_to(self.bandwidth, (d,))
+        norm = n * np.prod(h) * (2.0 * np.pi) ** (d / 2.0)
+        out = np.empty(pts.shape[0], dtype=np.float64)
+        for lo in range(0, pts.shape[0], _BLOCK):
+            hi = min(lo + _BLOCK, pts.shape[0])
+            z = (pts[lo:hi, None, :] - self.data[None, :, :]) / h
+            out[lo:hi] = np.exp(-0.5 * np.einsum("mnd,mnd->mn", z, z)).sum(axis=1) / norm
+        return out
+
+    __call__ = evaluate
+
+    def sample(self, n: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Draw n points from the KDE (data point + Gaussian noise)."""
+        rng = resolve_rng(rng)
+        idx = rng.integers(self.data.shape[0], size=n)
+        noise = rng.standard_normal((n, self.data.shape[1])) * self.bandwidth
+        return self.data[idx] + noise

@@ -1,0 +1,254 @@
+"""K-means clustering: Lloyd's algorithm and the mini-batch variant.
+
+API mirrors scikit-learn (``fit`` / ``predict`` / ``cluster_centers_`` /
+``labels_`` / ``inertia_``) so the sampling code reads like the paper's.
+Distances are computed with the ||x||^2 - 2x.c + ||c||^2 expansion in blocks,
+keeping memory bounded for multi-million-point inputs; the FLOPs are charged
+to the active :class:`~repro.energy.meter.EnergyMeter`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.energy.meter import account
+from repro.utils.rng import resolve_rng
+
+__all__ = ["KMeans", "MiniBatchKMeans", "kmeans_plus_plus"]
+
+_BLOCK = 1 << 18  # points per distance block: bounds temp memory to ~k * 256k floats
+
+
+def _as_2d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim == 1:
+        x = x[:, None]
+    if x.ndim != 2:
+        raise ValueError(f"expected (n, d) data, got shape {x.shape}")
+    if x.shape[0] == 0:
+        raise ValueError("cannot cluster empty data")
+    if not np.all(np.isfinite(x)):
+        raise ValueError("data contains non-finite values")
+    return x
+
+
+def _pairwise_sq(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances (n, k); negative round-off clipped."""
+    x_sq = np.einsum("ij,ij->i", x, x)
+    c_sq = np.einsum("ij,ij->i", centers, centers)
+    d = x_sq[:, None] - 2.0 * (x @ centers.T) + c_sq[None, :]
+    np.maximum(d, 0.0, out=d)
+    account(flops=2.0 * x.shape[0] * centers.shape[0] * x.shape[1], nbytes=8.0 * x.size, device="cpu")
+    return d
+
+
+def _assign(x: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest-center labels and squared distances, blocked over points."""
+    n = x.shape[0]
+    labels = np.empty(n, dtype=np.int64)
+    dist = np.empty(n, dtype=np.float64)
+    for lo in range(0, n, _BLOCK):
+        hi = min(lo + _BLOCK, n)
+        d = _pairwise_sq(x[lo:hi], centers)
+        labels[lo:hi] = np.argmin(d, axis=1)
+        dist[lo:hi] = d[np.arange(hi - lo), labels[lo:hi]]
+    return labels, dist
+
+
+def kmeans_plus_plus(
+    x: np.ndarray, k: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii 2007)."""
+    x = _as_2d(x)
+    rng = resolve_rng(rng)
+    n = x.shape[0]
+    if not (1 <= k <= n):
+        raise ValueError(f"k must be in [1, n={n}], got {k}")
+    centers = np.empty((k, x.shape[1]), dtype=np.float64)
+    centers[0] = x[rng.integers(n)]
+    closest = _pairwise_sq(x, centers[:1])[:, 0]
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0.0:
+            # All points coincide with chosen centers; fill remaining uniformly.
+            centers[i:] = x[rng.integers(n, size=k - i)]
+            break
+        probs = closest / total
+        idx = rng.choice(n, p=probs)
+        centers[i] = x[idx]
+        np.minimum(closest, _pairwise_sq(x, centers[i : i + 1])[:, 0], out=closest)
+    return centers
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ init and empty-cluster reseeding."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        n_init: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_init = n_init
+        self._rng = resolve_rng(rng)
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = np.inf
+        self.n_iter_: int = 0
+
+    def _single_run(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, float, int]:
+        k = min(self.n_clusters, x.shape[0])
+        centers = kmeans_plus_plus(x, k, self._rng)
+        labels = np.zeros(x.shape[0], dtype=np.int64)
+        inertia = np.inf
+        it = 0
+        for it in range(1, self.max_iter + 1):
+            labels, dist = _assign(x, centers)
+            new_inertia = float(dist.sum())
+            counts = np.bincount(labels, minlength=k).astype(np.float64)
+            sums = np.zeros_like(centers)
+            np.add.at(sums, labels, x)
+            empty = counts == 0
+            if np.any(empty):
+                # Reseed empty clusters at the points farthest from their center.
+                far = np.argsort(dist)[::-1][: int(empty.sum())]
+                sums[empty] = x[far]
+                counts[empty] = 1.0
+            new_centers = sums / counts[:, None]
+            shift = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            if inertia - new_inertia <= self.tol * max(inertia, 1.0) and shift <= self.tol:
+                inertia = new_inertia
+                break
+            inertia = new_inertia
+        labels, dist = _assign(x, centers)
+        return centers, labels, float(dist.sum()), it
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        x = _as_2d(x)
+        best: tuple[np.ndarray, np.ndarray, float, int] | None = None
+        for _ in range(max(1, self.n_init)):
+            run = self._single_run(x)
+            if best is None or run[2] < best[2]:
+                best = run
+        assert best is not None
+        self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise RuntimeError("fit must be called before predict")
+        labels, _ = _assign(_as_2d(x), self.cluster_centers_)
+        return labels
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).labels_  # type: ignore[return-value]
+
+
+class MiniBatchKMeans:
+    """Mini-batch K-means (Sculley 2010) — the paper's at-scale clusterer.
+
+    Each iteration draws a batch, assigns points to the nearest center, and
+    moves centers with a per-center learning rate ``1 / count``.  Converges to
+    within a few percent of Lloyd's inertia at a fraction of the passes —
+    exactly why the paper uses it for terabyte inputs.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        batch_size: int = 1024,
+        max_iter: int = 100,
+        tol: float = 1e-4,
+        reassignment_ratio: float = 0.01,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.n_clusters = n_clusters
+        self.batch_size = batch_size
+        self.max_iter = max_iter
+        self.tol = tol
+        self.reassignment_ratio = reassignment_ratio
+        self._rng = resolve_rng(rng)
+        self.cluster_centers_: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = np.inf
+        self.n_iter_: int = 0
+
+    def partial_fit(self, batch: np.ndarray) -> "MiniBatchKMeans":
+        """Update centers from one batch (streaming / out-of-core entry point)."""
+        batch = _as_2d(batch)
+        k = min(self.n_clusters, batch.shape[0]) if self.cluster_centers_ is None else self.n_clusters
+        if self.cluster_centers_ is None:
+            self.cluster_centers_ = kmeans_plus_plus(batch, k, self._rng)
+            self._counts = np.zeros(k, dtype=np.float64)
+        assert self._counts is not None
+        labels, _ = _assign(batch, self.cluster_centers_)
+        for j in np.unique(labels):
+            members = batch[labels == j]
+            self._counts[j] += members.shape[0]
+            eta = members.shape[0] / self._counts[j]
+            self.cluster_centers_[j] += eta * (members.mean(axis=0) - self.cluster_centers_[j])
+        return self
+
+    def fit(self, x: np.ndarray) -> "MiniBatchKMeans":
+        x = _as_2d(x)
+        n = x.shape[0]
+        self.cluster_centers_ = None
+        self._counts = None
+        prev_inertia = np.inf
+        batch = min(self.batch_size, n)
+        stall = 0
+        for it in range(1, self.max_iter + 1):
+            self.n_iter_ = it
+            idx = self._rng.choice(n, size=batch, replace=n < batch)
+            self.partial_fit(x[idx])
+            assert self.cluster_centers_ is not None
+            _, dist = _assign(x[idx], self.cluster_centers_)
+            inertia = float(dist.mean())
+            if abs(prev_inertia - inertia) <= self.tol * max(inertia, 1e-30):
+                stall += 1
+                if stall >= 3:
+                    break
+            else:
+                stall = 0
+            prev_inertia = inertia
+        self._maybe_reassign(x)
+        self.labels_, dist = _assign(x, self.cluster_centers_)
+        self.inertia_ = float(dist.sum())
+        return self
+
+    def _maybe_reassign(self, x: np.ndarray) -> None:
+        """Reseed centers that captured almost no mass (sklearn-style)."""
+        assert self.cluster_centers_ is not None and self._counts is not None
+        total = self._counts.sum()
+        if total == 0:
+            return
+        starved = self._counts < self.reassignment_ratio * total / self.n_clusters
+        n_starved = int(starved.sum())
+        if n_starved:
+            idx = self._rng.choice(x.shape[0], size=n_starved, replace=x.shape[0] < n_starved)
+            self.cluster_centers_[starved] = x[idx]
+            self._counts[starved] = 1.0
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise RuntimeError("fit must be called before predict")
+        labels, _ = _assign(_as_2d(x), self.cluster_centers_)
+        return labels
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).labels_  # type: ignore[return-value]

@@ -1,0 +1,83 @@
+"""TurbulenceDataset: snapshots plus Table 1's variable roles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.fields import FlowField
+
+__all__ = ["TurbulenceDataset"]
+
+
+@dataclass
+class TurbulenceDataset:
+    """A labeled sequence of snapshots with sampling/training roles.
+
+    Mirrors one row of the paper's Table 1: the K-means cluster variable
+    (``cluster_var``) drives phase-1/2 entropy computations; ``input_vars``
+    and ``output_vars`` define the surrogate learning problem; ``target``
+    optionally names a per-snapshot global quantity (OF2D's drag).
+    """
+
+    label: str
+    snapshots: list[FlowField]
+    input_vars: list[str]
+    output_vars: list[str]
+    cluster_var: str
+    description: str = ""
+    target: np.ndarray | None = None  # (n_snapshots,) global target, e.g. drag
+    gravity: str = "none"
+    paper_row: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.snapshots:
+            raise ValueError("dataset needs at least one snapshot")
+        shapes = {s.grid_shape for s in self.snapshots}
+        if len(shapes) != 1:
+            raise ValueError(f"snapshots must share a grid, got {shapes}")
+        if self.target is not None:
+            self.target = np.asarray(self.target, dtype=np.float64)
+            if self.target.shape != (len(self.snapshots),):
+                raise ValueError("target must have one value per snapshot")
+        for name in [*self.input_vars, *self.output_vars, self.cluster_var]:
+            if name and name not in self.snapshots[0]:
+                raise ValueError(f"variable {name!r} not available in snapshots")
+
+    @property
+    def n_snapshots(self) -> int:
+        return len(self.snapshots)
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        return self.snapshots[0].grid_shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self.grid_shape)
+
+    @property
+    def n_points_per_snapshot(self) -> int:
+        return self.snapshots[0].n_points
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.array([s.time for s in self.snapshots])
+
+    def nbytes(self) -> int:
+        """Raw storage footprint of the stored variables across snapshots."""
+        return sum(s.nbytes() for s in self.snapshots)
+
+    def summary_row(self) -> dict:
+        """A Table 1-style row for this dataset instance."""
+        return {
+            "label": self.label,
+            "description": self.description,
+            "space": "x".join(str(n) for n in self.grid_shape),
+            "time": self.n_snapshots,
+            "size_bytes": self.nbytes(),
+            "kcv": self.cluster_var,
+            "input": ", ".join(self.input_vars),
+            "output": ", ".join(self.output_vars) if self.output_vars else "-",
+        }

@@ -1,0 +1,91 @@
+"""dtype-keyed dataset loaders, mirroring the paper's ``--dtype`` flags.
+
+The paper ships "a custom dataloader ... to read the dataset, under the
+'dataloaders' directory" for each dtype (``openfoam``, ``sst-binary``,
+``gests``, ``interpolated``).  Here each dtype maps to a catalog label; when
+``path`` points at a directory previously written by :func:`save_dataset`
+the snapshots are read back from disk (exercising the I/O path), otherwise
+the dataset is generated on the fly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.data.catalog import build_dataset
+from repro.data.dataset import TurbulenceDataset
+from repro.data.store import load_field, save_field
+
+__all__ = ["DTYPE_TO_LABEL", "load_dataset", "save_dataset"]
+
+#: --dtype flag -> default catalog label
+DTYPE_TO_LABEL = {
+    "openfoam": "OF2D",
+    "interpolated": "OF2D",
+    "tc2d": "TC2D",
+    "sst-binary": "SST-P1F4",
+    "sst-binary-f100": "SST-P1F100",
+    "gests": "GESTS-2048",
+    "gests-8192": "GESTS-8192",
+}
+
+_MANIFEST = "manifest.json"
+
+
+def save_dataset(dataset: TurbulenceDataset, path: str) -> None:
+    """Write a dataset as one npz per snapshot plus a manifest."""
+    os.makedirs(path, exist_ok=True)
+    for i, snap in enumerate(dataset.snapshots):
+        save_field(os.path.join(path, f"snapshot_{i:05d}.npz"), snap)
+    manifest = {
+        "label": dataset.label,
+        "description": dataset.description,
+        "input_vars": dataset.input_vars,
+        "output_vars": dataset.output_vars,
+        "cluster_var": dataset.cluster_var,
+        "gravity": dataset.gravity,
+        "n_snapshots": dataset.n_snapshots,
+        "target": dataset.target.tolist() if dataset.target is not None else None,
+    }
+    with open(os.path.join(path, _MANIFEST), "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2)
+
+
+def _load_saved(path: str) -> TurbulenceDataset:
+    with open(os.path.join(path, _MANIFEST), "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    snaps = [
+        load_field(os.path.join(path, f"snapshot_{i:05d}.npz"))
+        for i in range(manifest["n_snapshots"])
+    ]
+    target = manifest.get("target")
+    return TurbulenceDataset(
+        label=manifest["label"],
+        snapshots=snaps,
+        input_vars=manifest["input_vars"],
+        output_vars=manifest["output_vars"],
+        cluster_var=manifest["cluster_var"],
+        gravity=manifest.get("gravity", "none"),
+        description=manifest.get("description", ""),
+        target=np.asarray(target) if target is not None else None,
+    )
+
+
+def load_dataset(
+    dtype: str,
+    path: str | None = None,
+    scale: float = 1.0,
+    rng=None,
+    **overrides,
+) -> TurbulenceDataset:
+    """Load (from `path`) or generate (from the catalog) a dataset by dtype."""
+    if path is not None and os.path.isfile(os.path.join(path, _MANIFEST)):
+        return _load_saved(path)
+    try:
+        label = DTYPE_TO_LABEL[dtype]
+    except KeyError:
+        raise KeyError(f"unknown dtype {dtype!r}; available: {sorted(DTYPE_TO_LABEL)}") from None
+    return build_dataset(label, scale=scale, rng=rng, **overrides)

@@ -1,0 +1,103 @@
+"""Unstructured point sets: the product of phase-2 subsampling.
+
+A :class:`PointSet` stores, for n selected points, their grid coordinates,
+snapshot time, and any number of named per-point variables.  This is the
+"feature-rich subsampled dataset" the paper stores in place of full fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PointSet"]
+
+
+@dataclass
+class PointSet:
+    """n sampled points with coordinates and named values.
+
+    Attributes
+    ----------
+    coords:
+        (n, d) grid coordinates (d = 2 or 3).
+    values:
+        name -> (n,) array of per-point variable values.
+    time:
+        Snapshot time(s): scalar, or (n,) array for mixed-time sets.
+    meta:
+        Provenance (sampling method, source dataset, rate, ...).
+    """
+
+    coords: np.ndarray
+    values: dict[str, np.ndarray]
+    time: float | np.ndarray = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.coords = np.atleast_2d(np.asarray(self.coords, dtype=np.float64))
+        n = self.coords.shape[0]
+        for name, v in self.values.items():
+            v = np.asarray(v)
+            if v.shape != (n,):
+                raise ValueError(f"variable {name!r} has shape {v.shape}, expected ({n},)")
+            self.values[name] = v
+        if isinstance(self.time, np.ndarray) and self.time.shape not in ((), (n,)):
+            raise ValueError(f"time array must be scalar or ({n},)")
+
+    def __len__(self) -> int:
+        return self.coords.shape[0]
+
+    @property
+    def ndim(self) -> int:
+        return self.coords.shape[1]
+
+    @property
+    def variable_names(self) -> list[str]:
+        return sorted(self.values)
+
+    def feature_table(self, names: list[str]) -> np.ndarray:
+        """Stack named variables as an (n, len(names)) array."""
+        missing = [n for n in names if n not in self.values]
+        if missing:
+            raise KeyError(f"missing variables {missing}; available: {self.variable_names}")
+        return np.column_stack([self.values[n] for n in names])
+
+    def select(self, idx: np.ndarray) -> "PointSet":
+        """Subset by integer indices (or boolean mask)."""
+        idx = np.asarray(idx)
+        time = self.time[idx] if isinstance(self.time, np.ndarray) and self.time.ndim else self.time
+        return PointSet(
+            coords=self.coords[idx],
+            values={k: v[idx] for k, v in self.values.items()},
+            time=time,
+            meta=dict(self.meta),
+        )
+
+    @staticmethod
+    def concatenate(sets: list["PointSet"]) -> "PointSet":
+        """Concatenate point sets sharing the same variables and ndim."""
+        if not sets:
+            raise ValueError("need at least one PointSet")
+        names = set(sets[0].values)
+        for s in sets[1:]:
+            if set(s.values) != names:
+                raise ValueError("point sets have mismatched variables")
+            if s.ndim != sets[0].ndim:
+                raise ValueError("point sets have mismatched coordinate dims")
+        times = [
+            np.broadcast_to(np.asarray(s.time, dtype=np.float64), (len(s),)) for s in sets
+        ]
+        return PointSet(
+            coords=np.concatenate([s.coords for s in sets]),
+            values={k: np.concatenate([s.values[k] for s in sets]) for k in names},
+            time=np.concatenate(times),
+            meta=dict(sets[0].meta),
+        )
+
+    def nbytes(self) -> int:
+        total = self.coords.nbytes + sum(v.nbytes for v in self.values.values())
+        if isinstance(self.time, np.ndarray):
+            total += self.time.nbytes
+        return int(total)

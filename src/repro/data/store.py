@@ -1,0 +1,88 @@
+"""Persistence for fields, datasets, and subsampled point sets.
+
+The paper highlights that SICKLE "provides a convenient way to significantly
+reduce file storage requirements, by storing feature-rich subsampled
+datasets"; :class:`SubsampleStore` implements that: compressed npz files of
+PointSets plus the bookkeeping to report the storage-reduction factor
+against the raw fields they came from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.data.points import PointSet
+from repro.sim.fields import FlowField
+
+__all__ = ["SubsampleStore", "save_field", "load_field"]
+
+_META_KEYS = "__meta_json__"
+
+
+def save_field(path: str, field: FlowField) -> None:
+    """Save one snapshot as a compressed npz."""
+    payload: dict[str, np.ndarray] = {f"var_{k}": v for k, v in field.variables.items()}
+    payload["time"] = np.array(field.time)
+    payload[_META_KEYS] = np.array(json.dumps(field.meta))
+    np.savez_compressed(path, **payload)
+
+
+def load_field(path: str) -> FlowField:
+    """Load a snapshot saved by :func:`save_field`."""
+    with np.load(path, allow_pickle=False) as data:
+        variables = {k[4:]: data[k] for k in data.files if k.startswith("var_")}
+        time = float(data["time"])
+        meta = json.loads(str(data[_META_KEYS])) if _META_KEYS in data.files else {}
+    return FlowField(variables=variables, time=time, meta=meta)
+
+
+class SubsampleStore:
+    """Directory of compressed subsampled PointSets with size accounting."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        if os.sep in name or name.startswith("."):
+            raise ValueError(f"invalid store entry name {name!r}")
+        return os.path.join(self.root, f"{name}.npz")
+
+    def save(self, name: str, points: PointSet) -> str:
+        """Persist one PointSet; returns the file path."""
+        payload: dict[str, np.ndarray] = {f"val_{k}": v for k, v in points.values.items()}
+        payload["coords"] = points.coords
+        payload["time"] = np.asarray(points.time)
+        payload[_META_KEYS] = np.array(json.dumps(points.meta))
+        path = self._path(name)
+        np.savez_compressed(path, **payload)
+        return path
+
+    def load(self, name: str) -> PointSet:
+        path = self._path(name)
+        with np.load(path, allow_pickle=False) as data:
+            values = {k[4:]: data[k] for k in data.files if k.startswith("val_")}
+            coords = data["coords"]
+            time = data["time"]
+            time = float(time) if time.ndim == 0 else time
+            meta = json.loads(str(data[_META_KEYS])) if _META_KEYS in data.files else {}
+        return PointSet(coords=coords, values=values, time=time, meta=meta)
+
+    def entries(self) -> list[str]:
+        return sorted(
+            os.path.splitext(f)[0] for f in os.listdir(self.root) if f.endswith(".npz")
+        )
+
+    def stored_bytes(self, name: str) -> int:
+        """On-disk (compressed) size of one entry."""
+        return os.path.getsize(self._path(name))
+
+    def reduction_factor(self, name: str, raw_bytes: int) -> float:
+        """Raw-field bytes divided by stored subsample bytes."""
+        stored = self.stored_bytes(name)
+        if stored <= 0:
+            raise ValueError("stored entry is empty")
+        return raw_bytes / stored

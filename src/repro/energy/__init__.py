@@ -1,0 +1,29 @@
+"""Energy accounting substrate.
+
+The paper measures energy with Frontier's Cray Power Management counters and
+reports lines like ``CPU Energy`` / ``Total Energy Consumed`` that the analysis
+greps out of run logs.  Offline we substitute an op-count energy model:
+
+    E = P_idle * t  +  e_flop * FLOPs  +  e_byte * bytes_moved
+
+Instrumented kernels (the nn framework's ops, the sampling kernels) call
+:func:`account`, which charges the innermost active :class:`EnergyMeter`.
+The constants default to Frontier-class hardware and encode the paper's
+motivating fact that moving a double across the system costs ~100x more energy
+than computing on it (Kogge & Shalf).  Because subsampling cuts both FLOPs and
+bytes roughly in proportion to data volume, the model preserves the paper's
+headline proportionality (e.g. the 38x MaxEnt-vs-full reduction on SST-P1).
+"""
+
+from repro.energy.model import EnergyModel, FRONTIER_NODE
+from repro.energy.meter import EnergyMeter, account, active_meter
+from repro.energy.cost import cost_to_train
+
+__all__ = [
+    "EnergyModel",
+    "FRONTIER_NODE",
+    "EnergyMeter",
+    "account",
+    "active_meter",
+    "cost_to_train",
+]

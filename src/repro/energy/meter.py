@@ -1,0 +1,131 @@
+"""Energy meters with a Cray-PM-counter-style reporting API.
+
+Meters nest (a training-epoch meter inside a whole-run meter); instrumented
+kernels call :func:`account` once and every active meter on the stack is
+charged.  The stack is thread-local so SPMD thread ranks meter independently.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.energy.model import EnergyModel, FRONTIER_NODE
+
+__all__ = ["EnergyMeter", "account", "active_meter"]
+
+_local = threading.local()
+
+
+def _stack() -> list["EnergyMeter"]:
+    if not hasattr(_local, "stack"):
+        _local.stack = []
+    return _local.stack
+
+
+def active_meter() -> "EnergyMeter | None":
+    """The innermost active meter on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def account(flops: float = 0.0, nbytes: float = 0.0, device: str = "gpu") -> None:
+    """Charge an operation to every active meter on this thread.
+
+    No-op when no meter is active, so instrumentation is free outside
+    measured regions.
+    """
+    for meter in _stack():
+        meter.record(flops=flops, nbytes=nbytes, device=device)
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates FLOPs/bytes and converts them to joules.
+
+    Use as a context manager around a measured region::
+
+        with EnergyMeter() as meter:
+            trainer.fit(...)
+        print(meter.report())
+
+    ``elapsed`` (for idle power) can be wall-clock (default: measured while
+    the context is open via the virtual clock hook) or supplied explicitly by
+    callers that track virtual time.
+    """
+
+    model: EnergyModel = field(default_factory=lambda: FRONTIER_NODE)
+    gpus: int = 1
+    flops_cpu: float = 0.0
+    flops_gpu: float = 0.0
+    bytes_cpu: float = 0.0
+    bytes_gpu: float = 0.0
+    elapsed: float = 0.0
+
+    def record(self, flops: float = 0.0, nbytes: float = 0.0, device: str = "gpu") -> None:
+        if flops < 0 or nbytes < 0:
+            raise ValueError("flops and nbytes must be non-negative")
+        if device == "gpu":
+            self.flops_gpu += flops
+            self.bytes_gpu += nbytes
+        elif device == "cpu":
+            self.flops_cpu += flops
+            self.bytes_cpu += nbytes
+        else:
+            raise ValueError(f"device must be 'cpu' or 'gpu', got {device!r}")
+
+    def add_elapsed(self, seconds: float) -> None:
+        """Add (virtual or wall) seconds for idle-power accounting."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.elapsed += seconds
+
+    # Cray-PM-style readouts --------------------------------------------------
+
+    @property
+    def cpu_energy(self) -> float:
+        """Joules attributed to the CPU (dynamic + its idle share)."""
+        return (
+            self.model.dynamic_energy(self.flops_cpu, self.bytes_cpu)
+            + self.model.p_idle_cpu * self.elapsed
+        )
+
+    @property
+    def gpu_energy(self) -> float:
+        """Joules attributed to the GPUs (dynamic + their idle share)."""
+        return (
+            self.model.dynamic_energy(self.flops_gpu, self.bytes_gpu)
+            + self.model.p_idle_gpu * self.gpus * self.elapsed
+        )
+
+    @property
+    def total_energy(self) -> float:
+        """Total joules — the paper's 'Total Energy Consumed' line."""
+        return self.cpu_energy + self.gpu_energy
+
+    def report(self) -> str:
+        """Greppable report matching the paper's log contract."""
+        return (
+            f"CPU Energy: {self.cpu_energy:.3f} J\n"
+            f"GPU Energy: {self.gpu_energy:.3f} J\n"
+            f"Total Energy Consumed: {self.total_energy:.3f} J\n"
+            f"Elapsed Time: {self.elapsed:.3f} s"
+        )
+
+    def merge(self, other: "EnergyMeter") -> None:
+        """Fold another meter's counters into this one (e.g. across ranks)."""
+        self.flops_cpu += other.flops_cpu
+        self.flops_gpu += other.flops_gpu
+        self.bytes_cpu += other.bytes_cpu
+        self.bytes_gpu += other.bytes_gpu
+        self.elapsed = max(self.elapsed, other.elapsed)
+
+    def __enter__(self) -> "EnergyMeter":
+        _stack().append(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        stack = _stack()
+        if not stack or stack[-1] is not self:
+            raise RuntimeError("EnergyMeter context exited out of order")
+        stack.pop()

@@ -1,0 +1,51 @@
+"""Parametric node energy model.
+
+Constants are order-of-magnitude figures for a Frontier node (1x EPYC 7713 +
+4x MI250X): FP32 compute lands near 10 pJ/FLOP effective (device TDP over
+sustained throughput), while off-chip data movement costs ~1 nJ per double —
+the >100x compute:movement gap the paper cites from Kogge & Shalf.  Absolute
+joules are not the reproduction target (our substrate is a simulator); the
+*ratios* between sampling strategies are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyModel", "FRONTIER_NODE"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy coefficients for one node.
+
+    Parameters
+    ----------
+    e_flop:
+        Joules per floating-point operation (effective, incl. cache traffic).
+    e_byte:
+        Joules per byte moved through main memory / interconnect.
+    p_idle_cpu, p_idle_gpu:
+        Idle (base) power in watts, charged against elapsed time.
+    """
+
+    e_flop: float = 1.0e-11
+    e_byte: float = 1.25e-10
+    p_idle_cpu: float = 90.0
+    p_idle_gpu: float = 400.0
+
+    def dynamic_energy(self, flops: float, nbytes: float) -> float:
+        """Joules attributable to computation and data movement."""
+        if flops < 0 or nbytes < 0:
+            raise ValueError("flops and nbytes must be non-negative")
+        return self.e_flop * flops + self.e_byte * nbytes
+
+    def idle_energy(self, seconds: float, gpus: int = 1) -> float:
+        """Joules of base power burned over `seconds` with `gpus` active GPUs."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return seconds * (self.p_idle_cpu + self.p_idle_gpu * gpus)
+
+
+#: Default coefficients used throughout the benches.
+FRONTIER_NODE = EnergyModel()

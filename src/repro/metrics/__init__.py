@@ -1,0 +1,31 @@
+"""Evaluation metrics for the paper's figures.
+
+* :mod:`repro.metrics.pdf` — PDF-match metrics for Fig 5 (tail coverage,
+  JS distance between sample and population histograms) and the Fig 4
+  phase-space uniformity score,
+* :mod:`repro.metrics.accuracy` — error metrics for surrogate predictions,
+* :mod:`repro.metrics.scaling` — speedup/efficiency series and knee
+  detection for Fig 7.
+"""
+
+from repro.metrics.pdf import (
+    pdf_match_js,
+    tail_coverage,
+    phase_space_uniformity,
+    wake_capture_score,
+)
+from repro.metrics.accuracy import rmse, nrmse, relative_l2
+from repro.metrics.scaling import ScalingSeries, speedup_series, find_knee
+
+__all__ = [
+    "pdf_match_js",
+    "tail_coverage",
+    "phase_space_uniformity",
+    "wake_capture_score",
+    "rmse",
+    "nrmse",
+    "relative_l2",
+    "ScalingSeries",
+    "speedup_series",
+    "find_knee",
+]

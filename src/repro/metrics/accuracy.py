@@ -1,0 +1,36 @@
+"""Prediction-error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse", "nrmse", "relative_l2"]
+
+
+def _pair(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    if pred.size == 0:
+        raise ValueError("empty arrays")
+    return pred, target
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    pred, target = _pair(pred, target)
+    return float(np.sqrt(np.mean((pred - target) ** 2)))
+
+
+def nrmse(pred: np.ndarray, target: np.ndarray) -> float:
+    """RMSE normalized by the target's standard deviation."""
+    pred, target = _pair(pred, target)
+    scale = target.std()
+    return rmse(pred, target) / (scale if scale > 0 else 1.0)
+
+
+def relative_l2(pred: np.ndarray, target: np.ndarray) -> float:
+    """||pred - target|| / ||target||."""
+    pred, target = _pair(pred, target)
+    denom = np.linalg.norm(target)
+    return float(np.linalg.norm(pred - target) / (denom if denom > 0 else 1.0))

@@ -1,0 +1,67 @@
+"""Parallel-scaling metrics for Fig 7: speedup, efficiency, knee detection.
+
+The paper reads Fig 7 as "quasilinear speedup up to 64 MPI processes, after
+which efficiency drops sharply" and marks the knee with a vertical line;
+:func:`find_knee` automates that call as the largest rank count whose
+parallel efficiency stays above a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ScalingSeries", "speedup_series", "find_knee"]
+
+
+@dataclass
+class ScalingSeries:
+    """Speedup/efficiency as functions of rank count."""
+
+    ranks: np.ndarray
+    times: np.ndarray
+    speedup: np.ndarray
+    efficiency: np.ndarray
+
+    def row(self, i: int) -> dict:
+        return {
+            "ranks": int(self.ranks[i]),
+            "time": float(self.times[i]),
+            "speedup": float(self.speedup[i]),
+            "efficiency": float(self.efficiency[i]),
+        }
+
+
+def speedup_series(ranks: list[int], times: list[float]) -> ScalingSeries:
+    """Speedup = T(1)/T(p); efficiency = speedup / p.
+
+    ``ranks`` must start at 1 (the serial baseline) and be increasing.
+    """
+    ranks_arr = np.asarray(ranks, dtype=np.int64)
+    times_arr = np.asarray(times, dtype=np.float64)
+    if ranks_arr.shape != times_arr.shape or ranks_arr.size == 0:
+        raise ValueError("ranks and times must be equal-length, non-empty")
+    if ranks_arr[0] != 1:
+        raise ValueError("series must include the 1-rank baseline first")
+    if np.any(np.diff(ranks_arr) <= 0):
+        raise ValueError("ranks must be strictly increasing")
+    if np.any(times_arr <= 0):
+        raise ValueError("times must be positive")
+    speedup = times_arr[0] / times_arr
+    efficiency = speedup / ranks_arr
+    return ScalingSeries(ranks=ranks_arr, times=times_arr, speedup=speedup, efficiency=efficiency)
+
+
+def find_knee(series: ScalingSeries, efficiency_threshold: float = 0.5) -> int:
+    """Largest rank count with efficiency >= threshold (the Fig 7 knee).
+
+    Returns the first rank if even the baseline misses the threshold (cannot
+    happen for threshold <= 1 since efficiency(1) = 1).
+    """
+    if not (0.0 < efficiency_threshold <= 1.0):
+        raise ValueError("efficiency_threshold must lie in (0, 1]")
+    ok = series.efficiency >= efficiency_threshold
+    if not ok.any():
+        return int(series.ranks[0])
+    return int(series.ranks[np.where(ok)[0].max()])

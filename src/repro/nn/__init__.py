@@ -1,0 +1,42 @@
+"""Numpy autograd deep-learning framework (the PyTorch substitute).
+
+Implements everything SICKLE's training side uses from torch:
+
+* :mod:`repro.nn.tensor` — reverse-mode autograd :class:`Tensor` with FLOP
+  accounting into the active energy meter,
+* :mod:`repro.nn.module` — :class:`Module`/:class:`Parameter` with state
+  dicts,
+* layers — :class:`Linear`, :class:`LayerNorm`, :class:`Dropout`,
+  :class:`Conv3d`, :class:`ConvTranspose3d`, :class:`LSTM`,
+  :class:`MultiHeadAttention`, :class:`TransformerEncoder`,
+* :mod:`repro.nn.optim` — SGD/Adam, gradient clipping, ReduceLROnPlateau,
+* :mod:`repro.nn.amp` — fp16/bf16/int8 numeric emulation (``--precision``),
+* :mod:`repro.nn.ddp` — DistributedDataParallel over the simulated MPI,
+* :mod:`repro.nn.models` — the paper's Table 2 architectures + MATEY.
+"""
+
+from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import Linear, LayerNorm, Dropout, ReLU, Tanh, GELU
+from repro.nn.conv import Conv3d, ConvTranspose3d
+from repro.nn.rnn import LSTM, LSTMCell
+from repro.nn.attention import MultiHeadAttention, TransformerEncoder, TransformerEncoderLayer
+from repro.nn.optim import SGD, Adam, ReduceLROnPlateau, clip_grad_norm
+from repro.nn.loss import mse_loss, mae_loss
+from repro.nn.amp import autocast, current_precision, quantize
+from repro.nn.ddp import DistributedDataParallel, shard_indices
+from repro.nn.models import LSTMRegressor, MLPTransformer, CNNTransformer, MATEY, build_model
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled",
+    "Module", "Parameter", "Sequential",
+    "Linear", "LayerNorm", "Dropout", "ReLU", "Tanh", "GELU",
+    "Conv3d", "ConvTranspose3d",
+    "LSTM", "LSTMCell",
+    "MultiHeadAttention", "TransformerEncoder", "TransformerEncoderLayer",
+    "SGD", "Adam", "ReduceLROnPlateau", "clip_grad_norm",
+    "mse_loss", "mae_loss",
+    "autocast", "current_precision", "quantize",
+    "DistributedDataParallel", "shard_indices",
+    "LSTMRegressor", "MLPTransformer", "CNNTransformer", "MATEY", "build_model",
+]

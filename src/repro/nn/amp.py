@@ -1,0 +1,72 @@
+"""Mixed-precision emulation (the paper's ``--precision fp16|bf16|int8``).
+
+No reduced-precision hardware is available, so :func:`autocast` emulates the
+numeric effect: inside the context, Linear/Conv kernels quantize their inputs
+and weights to the requested format before computing (fp16 via numpy's native
+half; bf16 by truncating the float32 mantissa to 8 bits; int8 by symmetric
+per-tensor quantization), then continue in float.  Training loss curves under
+emulated precision reproduce the *numerical* consequences of AMP — which is
+what the paper's flag exists to study — without the speedup.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["autocast", "current_precision", "quantize"]
+
+_local = threading.local()
+
+
+def current_precision() -> str:
+    return getattr(_local, "precision", "fp32")
+
+
+class autocast:
+    """Context manager setting the emulated compute precision."""
+
+    def __init__(self, precision: str = "fp16") -> None:
+        if precision not in ("fp32", "fp16", "bf16", "int8"):
+            raise ValueError(f"unsupported precision {precision!r}")
+        self.precision = precision
+
+    def __enter__(self) -> "autocast":
+        self._prev = current_precision()
+        _local.precision = self.precision
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        _local.precision = self._prev
+
+
+def _to_bf16(x: np.ndarray) -> np.ndarray:
+    """Truncate float32 mantissa to bfloat16's 8 bits (round-to-nearest-even
+    is skipped; truncation is the conservative emulation)."""
+    as32 = x.astype(np.float32)
+    bits = as32.view(np.uint32)
+    return (bits & np.uint32(0xFFFF0000)).view(np.float32).astype(x.dtype)
+
+
+def _to_int8(x: np.ndarray) -> np.ndarray:
+    """Symmetric per-tensor int8 quantize-dequantize."""
+    scale = np.abs(x).max()
+    if scale == 0:
+        return x.copy()
+    q = np.clip(np.round(x / scale * 127.0), -127, 127)
+    return (q * (scale / 127.0)).astype(x.dtype)
+
+
+def quantize(x: np.ndarray, precision: str | None = None) -> np.ndarray:
+    """Quantize-dequantize an array to the (current) emulated precision."""
+    p = precision if precision is not None else current_precision()
+    if p == "fp32":
+        return x
+    if p == "fp16":
+        return x.astype(np.float16).astype(x.dtype)
+    if p == "bf16":
+        return _to_bf16(x)
+    if p == "int8":
+        return _to_int8(x)
+    raise ValueError(f"unsupported precision {p!r}")

@@ -1,0 +1,106 @@
+"""Multi-head self-attention and the transformer encoder (Table 2's middle).
+
+Attention cost is quadratic in sequence length — the reason the paper caps
+hypercubes at 32^3 (§5.2) — and the FLOP accounting here makes that cost
+visible to the energy meter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dropout, GELU, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["MultiHeadAttention", "TransformerEncoderLayer", "TransformerEncoder"]
+
+
+class MultiHeadAttention(Module):
+    """Standard scaled dot-product self-attention over (B, T, D)."""
+
+    def __init__(self, dim: int, n_heads: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+
+    def _split(self, x: Tensor, batch: int, steps: int) -> Tensor:
+        # (B, T, D) -> (B, H, T, Dh)
+        return x.reshape(batch, steps, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.as_tensor(x)
+        if x.ndim != 3 or x.shape[-1] != self.dim:
+            raise ValueError(f"expected (B, T, {self.dim}), got {x.shape}")
+        batch, steps, _ = x.shape
+        q = self._split(self.q_proj(x), batch, steps)
+        k = self._split(self.k_proj(x), batch, steps)
+        v = self._split(self.v_proj(x), batch, steps)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        attn = scores.softmax(axis=-1)
+        ctx = attn @ v  # (B, H, T, Dh)
+        merged = ctx.transpose(0, 2, 1, 3).reshape(batch, steps, self.dim)
+        return self.out_proj(merged)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm encoder block: LN → MHA → residual → LN → MLP → residual."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        mlp_ratio: float = 4.0,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        hidden = max(1, int(dim * mlp_ratio))
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, n_heads, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.fc1 = Linear(dim, hidden, rng=rng)
+        self.act = GELU()
+        self.fc2 = Linear(hidden, dim, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.drop(self.attn(self.norm1(x)))
+        return x + self.drop(self.fc2(self.act(self.fc1(self.norm2(x)))))
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder layers with a final norm."""
+
+    def __init__(
+        self,
+        dim: int,
+        depth: int,
+        n_heads: int,
+        mlp_ratio: float = 4.0,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.layers = [
+            TransformerEncoderLayer(dim, n_heads, mlp_ratio, dropout, rng=rng)
+            for _ in range(depth)
+        ]
+        self.norm = LayerNorm(dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return self.norm(x)

@@ -1,0 +1,77 @@
+"""Distributed Data Parallel over the simulated communicator.
+
+Mirrors ``torch.nn.parallel.DistributedDataParallel``: every rank holds a
+model replica; at construction rank 0's parameters are broadcast so replicas
+start identical; after each backward pass :meth:`DistributedDataParallel.
+sync_gradients` all-reduces (averages) gradients so optimizer steps stay in
+lock-step.  With a :class:`~repro.parallel.comm.SerialComm` it degrades to a
+no-op wrapper, matching single-GPU behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.parallel.comm import Communicator
+
+__all__ = ["DistributedDataParallel", "shard_indices"]
+
+
+def shard_indices(n: int, comm: Communicator, seed: int = 0) -> np.ndarray:
+    """This rank's shard of sample indices (DistributedSampler equivalent).
+
+    All ranks deterministically shuffle the same permutation, then take a
+    contiguous block; every sample is assigned to exactly one rank.
+    """
+    perm = np.random.default_rng(seed).permutation(n)
+    from repro.parallel.partition import block_bounds
+
+    lo, hi = block_bounds(n, comm.size, comm.rank)
+    return perm[lo:hi]
+
+
+class DistributedDataParallel(Module):
+    """Wrap a module for synchronous data-parallel training."""
+
+    def __init__(self, module: Module, comm: Communicator) -> None:
+        super().__init__()
+        self.module = module
+        self.comm = comm
+        # Replicas start from rank 0's weights, like torch DDP.
+        state = module.state_dict() if comm.rank == 0 else None
+        state = comm.bcast(state, root=0)
+        if comm.rank != 0:
+            module.load_state_dict(state)
+
+    def forward(self, *args, **kwargs):
+        return self.module(*args, **kwargs)
+
+    def sync_gradients(self) -> None:
+        """Average gradients across ranks (call between backward and step)."""
+        if self.comm.size == 1:
+            return
+        params = self.module.parameters()
+        # Flatten to one buffer: a single allreduce, like bucketed DDP.
+        chunks = [
+            p.grad if p.grad is not None else np.zeros_like(p.data) for p in params
+        ]
+        flat = np.concatenate([c.ravel() for c in chunks])
+        flat = self.comm.allreduce(flat, op="sum") / self.comm.size
+        offset = 0
+        for p in params:
+            n = p.size
+            p.grad = flat[offset : offset + n].reshape(p.shape).astype(p.data.dtype)
+            offset += n
+
+    def parameters(self):
+        return self.module.parameters()
+
+    def named_parameters(self, prefix: str = ""):
+        return self.module.named_parameters(prefix)
+
+    def state_dict(self):
+        return self.module.state_dict()
+
+    def load_state_dict(self, state):
+        self.module.load_state_dict(state)

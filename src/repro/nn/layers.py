@@ -1,0 +1,116 @@
+"""Core layers: Linear, LayerNorm, Dropout, activations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.amp import current_precision, quantize
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["Linear", "LayerNorm", "Dropout", "ReLU", "Tanh", "GELU", "xavier_uniform", "he_uniform"]
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(±gain * sqrt(6 / (fan_in + fan_out)))."""
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    fan_out = shape[0]
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform for ReLU fan-in."""
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+class Linear(Module):
+    """y = x W^T + b over the last axis; respects emulated autocast."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature counts must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform((out_features, in_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.as_tensor(x)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(f"expected last dim {self.in_features}, got {x.shape[-1]}")
+        w: Tensor = self.weight
+        if current_precision() != "fp32":
+            # Quantize activations and weights entering the matmul; the
+            # backward pass sees the quantized values (straight-through).
+            x = Tensor(quantize(x.data), requires_grad=False) + (x - x.detach())
+            w = Tensor(quantize(w.data), requires_grad=False) + (w - w.detach())
+        out = x @ w.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Normalize over the last axis with learned scale/shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.as_tensor(x)
+        if x.shape[-1] != self.dim:
+            raise ValueError(f"expected last dim {self.dim}, got {x.shape[-1]}")
+        mu = x.mean(axis=-1, keepdims=True)
+        centred = x - mu
+        var = (centred * centred).mean(axis=-1, keepdims=True)
+        inv = (var + self.eps) ** -0.5
+        return centred * inv * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not (0.0 <= p < 1.0):
+            raise ValueError("p must lie in [0, 1)")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.as_tensor(x)
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self.rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return Tensor.as_tensor(x).relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return Tensor.as_tensor(x).tanh()
+
+
+class GELU(Module):
+    """tanh-approximation GELU."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.as_tensor(x)
+        inner = (x + x * x * x * 0.044715) * np.sqrt(2.0 / np.pi)
+        return x * 0.5 * (inner.tanh() + 1.0)

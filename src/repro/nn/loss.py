@@ -1,0 +1,26 @@
+"""Regression losses."""
+
+from __future__ import annotations
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["mse_loss", "mae_loss"]
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error (the paper's training and evaluation loss)."""
+    pred = Tensor.as_tensor(pred)
+    target = Tensor.as_tensor(target)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    diff = pred - target.detach()
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error."""
+    pred = Tensor.as_tensor(pred)
+    target = Tensor.as_tensor(target)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    return (pred - target.detach()).abs().mean()

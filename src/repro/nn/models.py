@@ -1,0 +1,383 @@
+"""The paper's neural architectures (Table 2) plus a simplified MATEY.
+
+=================  ==========================  ===========================
+architecture       input shape                 output shape
+=================  ==========================  ===========================
+LSTM               [B, T, C]                   [B, T', C']
+MLP-Transformer    [B, T, C, N]                [B, T', C', H, W, D]
+CNN-Transformer    [B, T, C, H, W, D]          [B, T', C', H, W, D]
+MATEY (simplified) [B, T, C, H, W, D]          [B, T', C', H, W, D]
+=================  ==========================  ===========================
+
+All reconstruction models map a (short) input window of T steps to a horizon
+of T' steps via a learned linear mix over the time axis, a transformer
+encoder over time tokens, and a Conv3D-transpose decoder (MLP-T) or Conv3D
+encoder/decoder pair (CNN-T).
+
+MATEY here is a two-scale adaptive patch transformer: each forward pass
+embeds the field with either coarse or fine patches depending on measured
+field variance (the "adaptive tokenization" idea of Zhang et al. 2024,
+reduced to its sampling-relevant core).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import TransformerEncoder
+from repro.nn.conv import Conv3d, ConvTranspose3d
+from repro.nn.layers import Linear, ReLU, Tanh
+from repro.nn.module import Module, Sequential
+from repro.nn.rnn import LSTM
+from repro.nn.tensor import Tensor
+from repro.utils.rng import resolve_rng
+
+__all__ = ["LSTMRegressor", "MLPTransformer", "CNNTransformer", "MATEY", "build_model"]
+
+
+def _check_grid(grid: tuple[int, int, int]) -> None:
+    if len(grid) != 3:
+        raise ValueError("reconstruction models need a 3-D output grid")
+    if any(g % 4 != 0 for g in grid):
+        raise ValueError(f"grid dims must be divisible by 4 (two stride-2 stages), got {grid}")
+
+
+class _TimeMix(Module):
+    """Learned linear map from T input tokens to T' output tokens."""
+
+    def __init__(self, t_in: int, t_out: int, rng) -> None:
+        super().__init__()
+        self.proj = Linear(t_in, t_out, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:  # (B, T, D) -> (B, T', D)
+        return self.proj(x.transpose(0, 2, 1)).transpose(0, 2, 1)
+
+
+class LSTMRegressor(Module):
+    """Table 2's LSTM: two LSTM layers + three dense layers (sample-single).
+
+    Input [B, T, C]; output [B, horizon, out_dim] — e.g. drag over the
+    prediction horizon from subsampled flowfield probes.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        out_dim: int = 1,
+        horizon: int = 1,
+        hidden: int = 64,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        rng = resolve_rng(rng)
+        self.horizon = horizon
+        self.out_dim = out_dim
+        self.lstm = LSTM(input_dim, hidden, num_layers=2, rng=rng)
+        self.head = Sequential(
+            Linear(hidden, hidden, rng=rng),
+            Tanh(),
+            Linear(hidden, hidden // 2, rng=rng),
+            Tanh(),
+            Linear(hidden // 2, horizon * out_dim, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.as_tensor(x)
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, T, C), got {x.shape}")
+        seq = self.lstm(x)
+        last = seq[:, -1, :]
+        out = self.head(last)
+        return out.reshape(x.shape[0], self.horizon, self.out_dim)
+
+
+class _Conv3dDecoder(Module):
+    """Token set -> (C', H, W, D) via linear seed + two stride-2 transposes.
+
+    Accepts (B, T', K, D) token grids: each output timestep's K tokens are
+    linearly projected onto the seed voxel grid, then upsampled.
+    """
+
+    def __init__(
+        self, d_model: int, n_tokens: int, out_channels: int, grid: tuple[int, int, int], rng
+    ) -> None:
+        super().__init__()
+        _check_grid(grid)
+        self.grid = grid
+        self.seed_grid = tuple(g // 4 for g in grid)
+        self.seed_channels = max(8, d_model // 4)
+        self.n_tokens = n_tokens
+        self.expand = Linear(
+            n_tokens * d_model, self.seed_channels * int(np.prod(self.seed_grid)), rng=rng
+        )
+        self.up1 = ConvTranspose3d(self.seed_channels, self.seed_channels // 2,
+                                   kernel_size=4, stride=2, padding=1, rng=rng)
+        self.act = ReLU()
+        self.up2 = ConvTranspose3d(self.seed_channels // 2, out_channels,
+                                   kernel_size=4, stride=2, padding=1, rng=rng)
+
+    def forward(self, tokens: Tensor) -> Tensor:  # (B, T', K, D) -> (B, T', C', H, W, D)
+        b, t_out, k, d = tokens.shape
+        if k != self.n_tokens:
+            raise ValueError(f"expected {self.n_tokens} tokens, got {k}")
+        x = self.expand(tokens.reshape(b, t_out, k * d))
+        x = x.reshape(b * t_out, self.seed_channels, *self.seed_grid)
+        x = self.act(self.up1(x))
+        x = self.up2(x)
+        c_out = x.shape[1]
+        return x.reshape(b, t_out, c_out, *self.grid)
+
+
+class _SpatioTemporalTrunk(Module):
+    """Shared middle: attention over all (time x space) tokens + time mixing.
+
+    Tokens arrive as (B, T, K, D); attention runs over the flattened T*K
+    sequence — this is where the paper's quadratic cost in cube volume lives
+    ("training becomes prohibitively slow when using larger than 32x32x32
+    hypercubes") — then a learned linear map mixes T input steps into T'
+    output steps independently per token position.
+    """
+
+    def __init__(self, d_model: int, depth: int, n_heads: int, window: int, horizon: int, rng) -> None:
+        super().__init__()
+        self.transformer = TransformerEncoder(d_model, depth, n_heads, rng=rng)
+        self.time_mix = _TimeMix(window, horizon, rng=rng)
+
+    def forward(self, tokens: Tensor) -> Tensor:  # (B, T, K, D) -> (B, T', K, D)
+        b, t, k, d = tokens.shape
+        mixed = self.transformer(tokens.reshape(b, t * k, d))
+        mixed = mixed.reshape(b, t, k, d).transpose(0, 2, 1, 3).reshape(b * k, t, d)
+        mixed = self.time_mix(mixed)
+        t_out = mixed.shape[1]
+        return mixed.reshape(b, k, t_out, d).transpose(0, 2, 1, 3)
+
+
+class MLPTransformer(Module):
+    """Table 2's MLP-Transformer (sample-full).
+
+    Input [B, T, C, N]: N unstructured subsampled points per step.  A
+    point-wise MLP embeds each point, points are pooled into ``n_tokens``
+    groups (a compact token set — sparse inputs need few tokens, which is
+    exactly why sampled training is cheap), the transformer mixes space-time,
+    and a ConvTranspose3D decoder emits the dense field.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        n_points: int,
+        out_channels: int,
+        grid: tuple[int, int, int],
+        window: int = 1,
+        horizon: int = 1,
+        d_model: int = 64,
+        depth: int = 2,
+        n_heads: int = 4,
+        n_tokens: int = 8,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        rng = resolve_rng(rng)
+        self.in_channels = in_channels
+        self.n_points = n_points
+        self.n_tokens = min(n_tokens, n_points)
+        self.point_mlp = Sequential(
+            Linear(in_channels, d_model, rng=rng),
+            ReLU(),
+            Linear(d_model, d_model, rng=rng),
+        )
+        self.trunk = _SpatioTemporalTrunk(d_model, depth, n_heads, window, horizon, rng)
+        self.decoder = _Conv3dDecoder(d_model, self.n_tokens, out_channels, grid, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.as_tensor(x)
+        if x.ndim != 4:
+            raise ValueError(f"expected (B, T, C, N), got {x.shape}")
+        b, t, c, n = x.shape
+        if c != self.in_channels or n != self.n_points:
+            raise ValueError(
+                f"expected (*, *, {self.in_channels}, {self.n_points}), got {x.shape}"
+            )
+        k = self.n_tokens
+        per_group = n // k
+        # (B, T, C, N) -> point features (B, T, N, C) -> embed -> group-pool.
+        feats = self.point_mlp(x.transpose(0, 1, 3, 2))  # (B, T, N, D)
+        pooled = feats[:, :, : k * per_group, :].reshape(b, t, k, per_group, -1).mean(axis=3)
+        tokens = self.trunk(pooled)  # (B, T', K, D)
+        return self.decoder(tokens)
+
+
+class CNNTransformer(Module):
+    """Table 2's CNN-Transformer (full-full).
+
+    Input [B, T, C, H, W, D] structured hypercubes; the Conv3D encoder
+    downsamples each step to a *voxel grid of tokens* (one per seed-grid
+    cell), so the transformer's attention cost grows with cube volume — the
+    paper's reason for capping hypercubes at 32^3.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        grid: tuple[int, int, int],
+        window: int = 1,
+        horizon: int = 1,
+        d_model: int = 64,
+        depth: int = 2,
+        n_heads: int = 4,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        rng = resolve_rng(rng)
+        _check_grid(grid)
+        self.in_channels = in_channels
+        self.grid = grid
+        c1 = max(8, d_model // 8)
+        c2 = max(16, d_model // 4)
+        self.conv1 = Conv3d(in_channels, c1, kernel_size=4, stride=2, padding=1, rng=rng)
+        self.conv2 = Conv3d(c1, c2, kernel_size=4, stride=2, padding=1, rng=rng)
+        self.act = ReLU()
+        self.seed_grid = tuple(g // 4 for g in grid)
+        self.n_tokens = int(np.prod(self.seed_grid))
+        self.to_token = Linear(c2, d_model, rng=rng)
+        self.trunk = _SpatioTemporalTrunk(d_model, depth, n_heads, window, horizon, rng)
+        self.decoder = _Conv3dDecoder(d_model, self.n_tokens, out_channels, grid, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.as_tensor(x)
+        if x.ndim != 6:
+            raise ValueError(f"expected (B, T, C, H, W, D), got {x.shape}")
+        b, t, c = x.shape[:3]
+        if c != self.in_channels or x.shape[3:] != self.grid:
+            raise ValueError(
+                f"expected (*, *, {self.in_channels}, {self.grid}), got {x.shape}"
+            )
+        flat = x.reshape(b * t, c, *self.grid)
+        enc = self.act(self.conv1(flat))
+        enc = self.act(self.conv2(enc))  # (B*T, c2, seed)
+        c2 = enc.shape[1]
+        # Voxels become tokens: (B, T, K, c2) -> project to d_model.
+        tokens = enc.reshape(b, t, c2, self.n_tokens).transpose(0, 1, 3, 2)
+        tokens = self.to_token(tokens)
+        tokens = self.trunk(tokens)
+        return self.decoder(tokens)
+
+
+class MATEY(Module):
+    """Simplified MATEY: adaptive two-scale patch transformer.
+
+    Each forward pass tokenizes the input field with coarse patches by
+    default; if the mean per-patch variance exceeds ``adapt_threshold`` times
+    the global variance, the fine scale (half the patch edge) is used — more
+    tokens where the field carries fine-grained structure.  Both scales share
+    the transformer trunk but own their patch embed/unembed projections.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        grid: tuple[int, int, int],
+        window: int = 1,
+        horizon: int = 1,
+        patch: int = 8,
+        d_model: int = 64,
+        depth: int = 2,
+        n_heads: int = 4,
+        adapt_threshold: float = 1.5,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        rng = resolve_rng(rng)
+        if any(g % patch != 0 for g in grid):
+            raise ValueError(f"grid {grid} not divisible by patch {patch}")
+        if patch % 2 != 0 or any(g % (patch // 2) != 0 for g in grid):
+            raise ValueError("fine scale (patch/2) must also tile the grid")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.grid = grid
+        self.window = window
+        self.horizon = horizon
+        self.patch_sizes = (patch, patch // 2)
+        self.adapt_threshold = adapt_threshold
+        self.embed = {}
+        self.unembed = {}
+        self._embeds = []
+        for p in self.patch_sizes:
+            vol = in_channels * p**3
+            emb = Linear(vol, d_model, rng=rng)
+            une = Linear(d_model, out_channels * p**3, rng=rng)
+            self.embed[p] = emb
+            self.unembed[p] = une
+            self._embeds.extend([emb, une])
+        self.transformer = TransformerEncoder(d_model, depth, n_heads, rng=rng)
+        self.time_mix = _TimeMix(window, horizon, rng=rng)
+        self.last_scale: int | None = None
+
+    def _patchify(self, x: Tensor, p: int) -> tuple[Tensor, tuple[int, int, int]]:
+        """(B*, C, H, W, D) -> (B*, n_patches, C*p^3)."""
+        bt, c, h, w, d = x.shape
+        nh, nw, nd = h // p, w // p, d // p
+        x = x.reshape(bt, c, nh, p, nw, p, nd, p)
+        x = x.transpose(0, 2, 4, 6, 1, 3, 5, 7)
+        return x.reshape(bt, nh * nw * nd, c * p**3), (nh, nw, nd)
+
+    def _unpatchify(self, tokens: Tensor, p: int, counts: tuple[int, int, int], c: int) -> Tensor:
+        bt, n, _ = tokens.shape
+        nh, nw, nd = counts
+        x = tokens.reshape(bt, nh, nw, nd, c, p, p, p)
+        x = x.transpose(0, 4, 1, 5, 2, 6, 3, 7)
+        return x.reshape(bt, c, nh * p, nw * p, nd * p)
+
+    def choose_scale(self, x: np.ndarray) -> int:
+        """Pick coarse or fine patches from the field's variance structure."""
+        coarse = self.patch_sizes[0]
+        b, t, c = x.shape[:3]
+        field = x.reshape(b * t * c, *self.grid)
+        nh, nw, nd = (g // coarse for g in self.grid)
+        blocks = field.reshape(-1, nh, coarse, nw, coarse, nd, coarse)
+        per_patch_var = blocks.var(axis=(2, 4, 6)).mean()
+        global_var = max(field.var(), 1e-12)
+        ratio = per_patch_var / global_var
+        return self.patch_sizes[1] if ratio > 1.0 / self.adapt_threshold else self.patch_sizes[0]
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.as_tensor(x)
+        if x.ndim != 6:
+            raise ValueError(f"expected (B, T, C, H, W, D), got {x.shape}")
+        b, t, c = x.shape[:3]
+        if c != self.in_channels or x.shape[3:] != self.grid:
+            raise ValueError(f"expected (*, *, {self.in_channels}, {self.grid}), got {x.shape}")
+        p = self.choose_scale(x.data)
+        self.last_scale = p
+        flat = x.reshape(b * t, c, *self.grid)
+        tokens, counts = self._patchify(flat, p)
+        tokens = self.embed[p](tokens)  # (B*T, n_patches, D)
+        n_patches = tokens.shape[1]
+        # Time mixing happens per patch position: fold patches into batch.
+        d_model = tokens.shape[2]
+        tokens = tokens.reshape(b, t, n_patches, d_model)
+        tokens = tokens.transpose(0, 2, 1, 3).reshape(b * n_patches, t, d_model)
+        tokens = self.transformer(tokens)
+        tokens = self.time_mix(tokens)  # (B*n_patches, T', D)
+        t_out = tokens.shape[1]
+        tokens = tokens.reshape(b, n_patches, t_out, d_model)
+        tokens = tokens.transpose(0, 2, 1, 3).reshape(b * t_out, n_patches, d_model)
+        fields = self.unembed[p](tokens)
+        out = self._unpatchify(fields, p, counts, self.out_channels)
+        return out.reshape(b, t_out, self.out_channels, *self.grid)
+
+
+def build_model(arch: str, rng=None, **kwargs) -> Module:
+    """Factory keyed by the YAML ``train.arch`` value."""
+    arch = arch.lower()
+    if arch == "lstm":
+        return LSTMRegressor(rng=rng, **kwargs)
+    if arch == "mlp_transformer":
+        return MLPTransformer(rng=rng, **kwargs)
+    if arch == "cnn_transformer":
+        return CNNTransformer(rng=rng, **kwargs)
+    if arch == "matey":
+        return MATEY(rng=rng, **kwargs)
+    raise ValueError(f"unknown architecture {arch!r}")

@@ -1,0 +1,107 @@
+"""Module base class: parameter tracking, train/eval mode, state dicts."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Module", "Parameter", "Sequential"]
+
+
+class Parameter(Tensor):
+    """A Tensor registered as trainable."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for layers and models (recursive parameter discovery)."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # Introspection ---------------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for key, value in vars(self).items():
+            name = f"{prefix}{key}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{name}.{i}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{name}.{i}", item
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def n_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # Modes ------------------------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            m.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # Serialization -------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, extra={sorted(extra)}")
+        for name, p in own.items():
+            value = np.asarray(state[name])
+            if value.shape != p.shape:
+                raise ValueError(f"{name}: shape {value.shape} != parameter shape {p.shape}")
+            p.data = value.astype(p.data.dtype, copy=True)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x

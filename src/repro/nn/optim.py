@@ -1,0 +1,152 @@
+"""Optimizers (SGD, Adam), gradient clipping, and LR scheduling.
+
+The paper trains with Adam at lr=1e-3 and a reduce-on-plateau schedule with
+patience 20; both are implemented here with PyTorch-compatible semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["SGD", "Adam", "clip_grad_norm", "ReduceLROnPlateau"]
+
+
+class _Optimizer:
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.params = params
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """SGD with optional classical momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float = 1e-2, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError("momentum must lie in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum > 0:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(_Optimizer):
+    """Adam with bias correction (Kingma & Ba 2015)."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError("betas must lie in [0, 1)")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.betas
+        bc1 = 1.0 - b1**self._t
+        bc2 = 1.0 - b2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay > 0:
+                g = g + self.weight_decay * p.data
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most `max_norm`."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    grads = [p.grad for p in params if p.grad is not None]
+    for g in grads:
+        total += float((g**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for g in grads:
+            g *= scale
+    return norm
+
+
+class ReduceLROnPlateau:
+    """Multiply lr by `factor` after `patience` epochs without improvement."""
+
+    def __init__(
+        self,
+        optimizer: _Optimizer,
+        factor: float = 0.5,
+        patience: int = 20,
+        min_lr: float = 1e-6,
+        threshold: float = 1e-4,
+    ) -> None:
+        if not (0.0 < factor < 1.0):
+            raise ValueError("factor must lie in (0, 1)")
+        if patience < 0:
+            raise ValueError("patience must be >= 0")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.threshold = threshold
+        self.best = np.inf
+        self.bad_epochs = 0
+        self.n_reductions = 0
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+    def step(self, metric: float) -> None:
+        if not np.isfinite(metric):
+            metric = np.inf
+        if metric < self.best * (1.0 - self.threshold):
+            self.best = metric
+            self.bad_epochs = 0
+            return
+        self.bad_epochs += 1
+        if self.bad_epochs > self.patience:
+            new_lr = max(self.optimizer.lr * self.factor, self.min_lr)
+            if new_lr < self.optimizer.lr:
+                self.optimizer.lr = new_lr
+                self.n_reductions += 1
+            self.bad_epochs = 0

@@ -1,0 +1,83 @@
+"""LSTM (the paper's sample-single architecture backbone).
+
+A standard two-gate-matrix LSTM: all four gates computed from one fused
+input projection and one fused hidden projection per layer.  Backward comes
+for free from the autograd graph unrolled over time, which is exactly
+backprop-through-time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """One LSTM step: (x_t, h, c) -> (h', c')."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError("sizes must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(xavier_uniform((4 * hidden_size, input_size), rng))
+        self.w_hh = Parameter(xavier_uniform((4 * hidden_size, hidden_size), rng))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias trick
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h, c = state
+        gates = x @ self.w_ih.transpose() + h @ self.w_hh.transpose() + self.bias
+        hs = self.hidden_size
+        i = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+
+class LSTM(Module):
+    """Multi-layer LSTM over (B, T, C) sequences; returns (B, T, H)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.hidden_size = hidden_size
+        self.cells = [
+            LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng)
+            for layer in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.as_tensor(x)
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, T, C), got {x.shape}")
+        batch, steps, _ = x.shape
+        seq = x
+        for cell in self.cells:
+            h = Tensor(np.zeros((batch, cell.hidden_size)))
+            c = Tensor(np.zeros((batch, cell.hidden_size)))
+            outputs: list[Tensor] = []
+            for t in range(steps):
+                h, c = cell(seq[:, t, :], (h, c))
+                outputs.append(h.reshape(batch, 1, cell.hidden_size))
+            seq = Tensor.concat(outputs, axis=1)
+        return seq

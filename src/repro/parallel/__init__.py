@@ -1,0 +1,39 @@
+"""Simulated MPI runtime.
+
+The paper runs SICKLE's subsampler with ``srun -n 32 python subsample.py`` on
+Frontier (mpi4py under the hood) and measures parallel scalability up to 512
+ranks (Fig 7).  mpi4py and a real interconnect are unavailable offline, so this
+package provides:
+
+* :class:`~repro.parallel.comm.Communicator` — the mpi4py-like interface the
+  sampling pipeline codes against (``rank``/``size``/``bcast``/``scatter``/
+  ``gather``/``allgather``/``allreduce``/``alltoall``/``barrier``/``send``/
+  ``recv``),
+* :class:`~repro.parallel.comm.SerialComm` — a size-1 no-op communicator,
+* :class:`~repro.parallel.threadcomm.ThreadComm` + :func:`~repro.parallel.spmd.run_spmd`
+  — a thread-backed SPMD executor with *correct collective semantics* (every
+  rank really runs concurrently and synchronizes),
+* :class:`~repro.parallel.perfmodel.PerfModel` — a LogGP-style analytic cost
+  model that converts per-rank compute/communication counters into virtual
+  time, reproducing Fig 7's speedup/efficiency curves (quasilinear region,
+  then a knee where ranks starve) without needing 512 physical cores.
+"""
+
+from repro.parallel.comm import Communicator, SerialComm
+from repro.parallel.threadcomm import ThreadComm
+from repro.parallel.spmd import run_spmd
+from repro.parallel.perfmodel import PerfModel, VirtualClock, CommStats
+from repro.parallel.partition import block_partition, block_bounds, owner_of
+
+__all__ = [
+    "Communicator",
+    "SerialComm",
+    "ThreadComm",
+    "run_spmd",
+    "PerfModel",
+    "VirtualClock",
+    "CommStats",
+    "block_partition",
+    "block_bounds",
+    "owner_of",
+]

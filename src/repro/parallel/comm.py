@@ -1,0 +1,196 @@
+"""Communicator interface and the trivial serial implementation.
+
+The sampling pipeline and DDP trainer code exclusively against
+:class:`Communicator`; swapping :class:`SerialComm` for
+:class:`~repro.parallel.threadcomm.ThreadComm` parallelizes them without code
+changes — the same property the paper gets from mpi4py's interface.
+
+Reduction operators are named strings (``"sum"``, ``"max"``, ...) applied
+element-wise to numpy arrays or Python scalars, mirroring ``MPI.SUM`` etc.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.parallel.perfmodel import PerfModel, VirtualClock
+
+__all__ = ["Communicator", "SerialComm", "REDUCE_OPS", "payload_nbytes"]
+
+
+def _sum(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def _prod(a: Any, b: Any) -> Any:
+    return a * b
+
+
+def _max(a: Any, b: Any) -> Any:
+    return np.maximum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else max(a, b)
+
+
+def _min(a: Any, b: Any) -> Any:
+    return np.minimum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else min(a, b)
+
+
+REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": _sum,
+    "prod": _prod,
+    "max": _max,
+    "min": _min,
+}
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate wire size of a payload for the performance model."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (int, float, complex, bool, np.generic)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, (list, tuple, set)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    return 64  # opaque object: flat pickle-overhead estimate
+
+
+class Communicator(abc.ABC):
+    """mpi4py-flavoured communicator: size, rank, and collectives."""
+
+    @property
+    @abc.abstractmethod
+    def rank(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def clock(self) -> VirtualClock:
+        """This rank's virtual clock (perf-model accounting)."""
+
+    @abc.abstractmethod
+    def barrier(self) -> None: ...
+
+    @abc.abstractmethod
+    def bcast(self, obj: Any, root: int = 0) -> Any: ...
+
+    @abc.abstractmethod
+    def scatter(self, chunks: Sequence[Any] | None, root: int = 0) -> Any: ...
+
+    @abc.abstractmethod
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None: ...
+
+    @abc.abstractmethod
+    def allgather(self, obj: Any) -> list[Any]: ...
+
+    @abc.abstractmethod
+    def reduce(self, obj: Any, op: str = "sum", root: int = 0) -> Any: ...
+
+    @abc.abstractmethod
+    def allreduce(self, obj: Any, op: str = "sum") -> Any: ...
+
+    @abc.abstractmethod
+    def alltoall(self, chunks: Sequence[Any]) -> list[Any]: ...
+
+    @abc.abstractmethod
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None: ...
+
+    @abc.abstractmethod
+    def recv(self, source: int, tag: int = 0) -> Any: ...
+
+    # Convenience shared by all implementations -------------------------------
+
+    def account_compute(self, work: float) -> None:
+        """Charge `work` units of local computation to the virtual clock."""
+        self.clock.add_compute(work)
+
+    def _check_root(self, root: int) -> None:
+        if not (0 <= root < self.size):
+            raise ValueError(f"root {root} out of range for size {self.size}")
+
+    def _reduce_many(self, values: list[Any], op: str) -> Any:
+        try:
+            fn = REDUCE_OPS[op]
+        except KeyError:
+            raise ValueError(f"unknown reduce op {op!r}") from None
+        acc = values[0]
+        if isinstance(acc, np.ndarray):
+            acc = acc.copy()
+        for v in values[1:]:
+            acc = fn(acc, v)
+        return acc
+
+
+class SerialComm(Communicator):
+    """Single-rank communicator; collectives are identities.
+
+    Still keeps a virtual clock so serial baselines get consistent
+    perf/energy accounting.
+    """
+
+    def __init__(self, model: PerfModel | None = None) -> None:
+        self._clock = VirtualClock(model=model or PerfModel())
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self._clock
+
+    def barrier(self) -> None:
+        return None
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_root(root)
+        return obj
+
+    def scatter(self, chunks: Sequence[Any] | None, root: int = 0) -> Any:
+        self._check_root(root)
+        if chunks is None:
+            raise ValueError("root rank must supply chunks")
+        if len(chunks) != 1:
+            raise ValueError(f"scatter expects 1 chunk on a serial comm, got {len(chunks)}")
+        return chunks[0]
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        self._check_root(root)
+        return [obj]
+
+    def allgather(self, obj: Any) -> list[Any]:
+        return [obj]
+
+    def reduce(self, obj: Any, op: str = "sum", root: int = 0) -> Any:
+        self._check_root(root)
+        return self._reduce_many([obj], op)
+
+    def allreduce(self, obj: Any, op: str = "sum") -> Any:
+        return self._reduce_many([obj], op)
+
+    def alltoall(self, chunks: Sequence[Any]) -> list[Any]:
+        if len(chunks) != 1:
+            raise ValueError(f"alltoall expects 1 chunk on a serial comm, got {len(chunks)}")
+        return list(chunks)
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        raise RuntimeError("send/recv not available on a serial communicator")
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        raise RuntimeError("send/recv not available on a serial communicator")

@@ -1,0 +1,51 @@
+"""Block decomposition helpers for distributing work across ranks.
+
+The subsampling pipeline distributes hypercubes (and within phase 2, points)
+across MPI ranks with a contiguous block partition, the same layout mpi4py
+codes typically use with ``Scatterv``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["block_partition", "block_bounds", "owner_of", "partition_list"]
+
+
+def block_bounds(n: int, size: int, rank: int) -> tuple[int, int]:
+    """Half-open ``[lo, hi)`` bounds of rank's block of ``range(n)``.
+
+    The first ``n % size`` ranks receive one extra element, so block sizes
+    differ by at most one (load balance within 1 item).
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    if not (0 <= rank < size):
+        raise ValueError(f"rank {rank} out of range for size {size}")
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    base, extra = divmod(n, size)
+    lo = rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+def block_partition(n: int, size: int) -> list[tuple[int, int]]:
+    """All ranks' ``[lo, hi)`` bounds for ``range(n)``."""
+    return [block_bounds(n, size, r) for r in range(size)]
+
+
+def owner_of(index: int, n: int, size: int) -> int:
+    """Rank owning element `index` under the block partition of ``range(n)``."""
+    if not (0 <= index < n):
+        raise ValueError(f"index {index} out of range(n={n})")
+    base, extra = divmod(n, size)
+    boundary = extra * (base + 1)
+    if index < boundary:
+        return index // (base + 1)
+    if base == 0:
+        raise AssertionError("unreachable: index beyond populated ranks")
+    return extra + (index - boundary) // base
+
+
+def partition_list(items: list, size: int) -> list[list]:
+    """Split a list into `size` contiguous blocks (sizes differ by <= 1)."""
+    return [items[lo:hi] for lo, hi in block_partition(len(items), size)]

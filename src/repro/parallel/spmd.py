@@ -1,0 +1,92 @@
+"""SPMD launcher: run ``fn(comm, *args)`` across N thread ranks.
+
+The equivalent of ``mpiexec -n N python script.py``: every rank executes the
+same function against its own :class:`~repro.parallel.threadcomm.ThreadComm`
+endpoint.  Exceptions on any rank abort the shared barrier so peers fail fast
+instead of deadlocking, then the first failure is re-raised in the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.parallel.comm import SerialComm
+from repro.parallel.perfmodel import PerfModel, VirtualClock
+from repro.parallel.threadcomm import CommWorld, ThreadComm
+
+__all__ = ["run_spmd", "SpmdResult"]
+
+
+class SpmdResult:
+    """Per-rank return values and virtual clocks from an SPMD run."""
+
+    def __init__(self, values: list[Any], clocks: list[VirtualClock]) -> None:
+        self.values = values
+        self.clocks = clocks
+
+    @property
+    def virtual_time(self) -> float:
+        """Virtual makespan: the slowest rank's completion time."""
+        return max((c.t for c in self.clocks), default=0.0)
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.values[rank]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def run_spmd(
+    fn: Callable[..., Any],
+    nranks: int,
+    *args: Any,
+    model: PerfModel | None = None,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Run ``fn(comm, *args, **kwargs)`` on `nranks` ranks; gather results.
+
+    For ``nranks == 1`` the function runs inline on a :class:`SerialComm`
+    (easier debugging, no thread overhead).
+    """
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
+    if nranks == 1:
+        comm = SerialComm(model=model)
+        value = fn(comm, *args, **kwargs)
+        return SpmdResult([value], [comm.clock])
+
+    world = CommWorld(nranks, model=model)
+    values: list[Any] = [None] * nranks
+    clocks: list[VirtualClock] = [VirtualClock(model=world.model)] * nranks
+    errors: list[BaseException | None] = [None] * nranks
+
+    def _target(rank: int) -> None:
+        comm = ThreadComm(world, rank)
+        clocks[rank] = comm.clock
+        try:
+            values[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 — must unblock peers on any failure
+            errors[rank] = exc
+            world.abort(exc)
+
+    threads = [
+        threading.Thread(target=_target, args=(rank,), name=f"spmd-rank-{rank}", daemon=True)
+        for rank in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    # Prefer the originating failure: peers that died unblocking a broken
+    # barrier are secondary casualties.
+    if world.failure is not None:
+        for rank, err in enumerate(errors):
+            if err is world.failure:
+                raise RuntimeError(f"rank {rank} failed") from err
+        raise RuntimeError("SPMD run failed") from world.failure
+    for rank, err in enumerate(errors):
+        if err is not None:
+            raise RuntimeError(f"rank {rank} failed") from err
+    return SpmdResult(values, clocks)

@@ -1,0 +1,69 @@
+"""Intelligent sampling — the paper's core contribution.
+
+Pluggable samplers (register more with
+:func:`~repro.sampling.base.register_sampler`):
+
+====================  ======================================================
+``random``            uniform without replacement (the strong baseline)
+``lhs``               Latin hypercube selection over data points
+``stratified``        K-means strata + per-stratum draws
+``uips``              uniform-in-phase-space (binned, iterative)
+``maxent``            entropy-weighted stratified sampling (Xmaxent)
+====================  ======================================================
+
+Phase-1 hypercube selection lives in :mod:`repro.sampling.maxent`
+(``select_hypercubes_maxent``) and the full distributed two-phase pipeline in
+:mod:`repro.sampling.pipeline`.  Temporal snapshot selection (§4.3) is in
+:mod:`repro.sampling.temporal`.
+"""
+
+from repro.sampling.base import Sampler, available_samplers, get_sampler, register_sampler
+from repro.sampling import random_ as _random_  # noqa: F401  (registers random/lhs)
+from repro.sampling import stratified as _stratified  # noqa: F401
+from repro.sampling import uips as _uips  # noqa: F401
+from repro.sampling import maxent as _maxent  # noqa: F401
+from repro.sampling.random_ import LatinHypercubeSampler, RandomSampler
+from repro.sampling.stratified import StratifiedSampler, allocate_counts
+from repro.sampling.uips import UIPSSampler
+from repro.sampling.maxent import MaxEntSampler, maxent_cluster_weights, select_hypercubes_maxent
+from repro.sampling.entropy import (
+    shannon_entropy,
+    kl_divergence,
+    cluster_value_distributions,
+    entropy_adjacency,
+    node_strengths,
+    adjacency_graph,
+    strength_weights,
+)
+from repro.sampling.temporal import select_snapshots, js_divergence
+from repro.sampling.pipeline import SubsampleResult, run_subsample, subsample
+from repro.sampling.streaming import ReservoirSampler, StreamingMaxEnt
+
+__all__ = [
+    "Sampler",
+    "available_samplers",
+    "get_sampler",
+    "register_sampler",
+    "RandomSampler",
+    "LatinHypercubeSampler",
+    "StratifiedSampler",
+    "allocate_counts",
+    "UIPSSampler",
+    "MaxEntSampler",
+    "maxent_cluster_weights",
+    "select_hypercubes_maxent",
+    "shannon_entropy",
+    "kl_divergence",
+    "cluster_value_distributions",
+    "entropy_adjacency",
+    "node_strengths",
+    "adjacency_graph",
+    "strength_weights",
+    "select_snapshots",
+    "js_divergence",
+    "SubsampleResult",
+    "run_subsample",
+    "subsample",
+    "ReservoirSampler",
+    "StreamingMaxEnt",
+]

@@ -1,0 +1,99 @@
+"""Sampler interface and registry — SICKLE's pluggable architecture.
+
+The paper advertises "a pluggable architecture that makes it easy to
+integrate other sampling strategies"; here a sampler is any class
+implementing :meth:`Sampler.select` and registered under a name.  The
+pipeline, benches, and YAML configs refer to samplers by these names
+(``random``, ``lhs``, ``stratified``, ``uips``, ``maxent``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Type
+
+import numpy as np
+
+from repro.energy.meter import account
+from repro.utils.rng import resolve_rng
+
+__all__ = ["Sampler", "register_sampler", "get_sampler", "available_samplers"]
+
+_REGISTRY: dict[str, Type["Sampler"]] = {}
+
+
+class Sampler(abc.ABC):
+    """Selects `n` point indices from a feature table.
+
+    ``features`` is (n_points, d): the variables the method samples over —
+    the K-means cluster variable for MaxEnt/stratified, the model input
+    variables for UIPS (Table 1 / Fig 4).
+    """
+
+    #: registry name, set by the @register_sampler decorator
+    name: str = ""
+
+    def sample(
+        self,
+        features: np.ndarray,
+        n: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Validated entry point: returns `n` unique indices into `features`."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[:, None]
+        if features.ndim != 2:
+            raise ValueError(f"features must be (n_points, d), got {features.shape}")
+        n_points = features.shape[0]
+        if n_points == 0:
+            raise ValueError("cannot sample from an empty feature table")
+        if not np.all(np.isfinite(features)):
+            raise ValueError("features contain non-finite values")
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if n > n_points:
+            raise ValueError(f"requested {n} samples from {n_points} points")
+        rng = resolve_rng(rng)
+        # Every sampler at minimum scans the candidate table once.
+        account(flops=float(features.size), nbytes=float(features.nbytes), device="cpu")
+        idx = np.asarray(self.select(features, n, rng))
+        if idx.shape != (n,):
+            raise AssertionError(f"{type(self).__name__} returned shape {idx.shape}, wanted ({n},)")
+        if len(np.unique(idx)) != n:
+            raise AssertionError(f"{type(self).__name__} returned duplicate indices")
+        if idx.min() < 0 or idx.max() >= n_points:
+            raise AssertionError(f"{type(self).__name__} returned out-of-range indices")
+        return idx
+
+    @abc.abstractmethod
+    def select(self, features: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Strategy-specific selection; inputs are pre-validated."""
+
+
+def register_sampler(name: str) -> Callable[[Type[Sampler]], Type[Sampler]]:
+    """Class decorator adding a sampler to the registry under `name`."""
+
+    def deco(cls: Type[Sampler]) -> Type[Sampler]:
+        if not issubclass(cls, Sampler):
+            raise TypeError(f"{cls.__name__} must subclass Sampler")
+        if name in _REGISTRY:
+            raise ValueError(f"sampler {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def get_sampler(name: str, **kwargs) -> Sampler:
+    """Instantiate a registered sampler by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown sampler {name!r}; available: {available_samplers()}") from None
+    return cls(**kwargs)
+
+
+def available_samplers() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,158 @@
+"""Information-theoretic machinery behind MaxEnt sampling (paper §4.1).
+
+The paper computes, for a set of clusters with per-cluster probability
+distributions P(C_i) over the cluster variable:
+
+* pairwise relative entropies   A_ij = Σ P(C_i) log(P(C_i) / P(C_j))   (Eq. 2)
+  — an adjacency matrix of KL divergences, and
+* node strengths — the row sums of A — which weight the subsequent
+  entropy-weighted random sampling.
+
+A cluster whose distribution diverges most from everyone else's (a rare,
+information-rich region: wake cores, turbulent layers, flame fronts) gets the
+largest node strength and is therefore sampled hardest.  The adjacency matrix
+is exposed as a :mod:`networkx` digraph for analysis/visualization.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "shannon_entropy",
+    "kl_divergence",
+    "cluster_value_distributions",
+    "entropy_adjacency",
+    "node_strengths",
+    "adjacency_graph",
+    "strength_weights",
+]
+
+_EPS = 1e-12
+
+
+def _as_prob(p: np.ndarray, name: str) -> np.ndarray:
+    p = np.asarray(p, dtype=np.float64)
+    if p.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {p.shape}")
+    if np.any(p < 0):
+        raise ValueError(f"{name} has negative entries")
+    total = p.sum()
+    if total <= 0:
+        raise ValueError(f"{name} has zero mass")
+    return p / total
+
+
+def shannon_entropy(p: np.ndarray, base: float | None = None) -> float:
+    """H(p) = -Σ p log p (natural log unless `base` given)."""
+    p = _as_prob(p, "p")
+    nz = p[p > 0]
+    h = float(-(nz * np.log(nz)).sum())
+    if base is not None:
+        h /= np.log(base)
+    return h
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """D(p || q) = Σ p log(p/q), with q floored at eps to stay finite (Eq. 1).
+
+    The floor matches the paper's practical implementation: empirical
+    histograms routinely contain empty bins, and an infinite divergence would
+    poison the node strengths.
+    """
+    p = _as_prob(p, "p")
+    q = _as_prob(q, "q")
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    q = np.maximum(q, _EPS)
+    nz = p > 0
+    return float((p[nz] * np.log(p[nz] / q[nz])).sum())
+
+
+def cluster_value_distributions(
+    values: np.ndarray, labels: np.ndarray, n_clusters: int, bins: int = 100
+) -> np.ndarray:
+    """Per-cluster histograms of the cluster variable on shared edges.
+
+    Returns (n_clusters, bins) row-normalized probabilities; empty clusters
+    get a uniform row (zero divergence against everything — harmless).
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    labels = np.asarray(labels)
+    if values.shape != labels.shape:
+        raise ValueError("values/labels length mismatch")
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be >= 1")
+    lo, hi = float(values.min()), float(values.max())
+    if lo == hi:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, bins + 1)
+    out = np.empty((n_clusters, bins), dtype=np.float64)
+    for c in range(n_clusters):
+        member = values[labels == c]
+        if member.size == 0:
+            out[c] = 1.0 / bins
+            continue
+        counts, _ = np.histogram(member, bins=edges)
+        total = counts.sum()
+        out[c] = counts / total if total > 0 else 1.0 / bins
+    return out
+
+
+def entropy_adjacency(distributions: np.ndarray) -> np.ndarray:
+    """Pairwise KL adjacency A_ij = D(P_i || P_j)  (paper Eq. 2).
+
+    Diagonal is zero; matrix is generally asymmetric (KL is not a metric).
+    """
+    dists = np.asarray(distributions, dtype=np.float64)
+    if dists.ndim != 2:
+        raise ValueError("distributions must be (n_clusters, bins)")
+    k = dists.shape[0]
+    # Vectorized: A_ij = sum_b P_ib log(P_ib) - sum_b P_ib log(P_jb).
+    p = dists / np.maximum(dists.sum(axis=1, keepdims=True), _EPS)
+    logp = np.log(np.maximum(p, _EPS))
+    self_term = (p * logp).sum(axis=1)  # Σ p_i log p_i
+    cross = p @ logp.T  # cross[i, j] = Σ_b p_ib log p_jb
+    a = self_term[:, None] - cross
+    np.fill_diagonal(a, 0.0)
+    # Numerical floor: KL >= 0.
+    return np.maximum(a, 0.0)
+
+
+def node_strengths(adjacency: np.ndarray) -> np.ndarray:
+    """Row sums of the adjacency: s_i = Σ_j A_ij."""
+    a = np.asarray(adjacency, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError("adjacency must be square")
+    return a.sum(axis=1)
+
+
+def adjacency_graph(adjacency: np.ndarray) -> nx.DiGraph:
+    """The adjacency as a weighted digraph (for analysis / visualization)."""
+    a = np.asarray(adjacency, dtype=np.float64)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(a.shape[0]))
+    for i in range(a.shape[0]):
+        for j in range(a.shape[1]):
+            if i != j and a[i, j] > 0:
+                g.add_edge(i, j, weight=float(a[i, j]))
+    return g
+
+
+def strength_weights(strengths: np.ndarray, temperature: float = 1.0) -> np.ndarray:
+    """Normalize node strengths into sampling probabilities.
+
+    ``temperature`` sharpens (<1) or flattens (>1) the weighting; all-zero
+    strengths (identical clusters) fall back to uniform.
+    """
+    s = np.asarray(strengths, dtype=np.float64)
+    if np.any(s < 0):
+        raise ValueError("strengths must be non-negative")
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    s = s ** (1.0 / temperature)
+    total = s.sum()
+    if total <= 0:
+        return np.full(s.shape, 1.0 / len(s))
+    return s / total

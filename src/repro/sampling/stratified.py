@@ -1,0 +1,81 @@
+"""Stratified (clustering-based) sampling — category 2 in the paper's §2.
+
+Partition the feature space into strata with K-means and draw the budget
+from each stratum.  ``allocation='equal'`` gives every stratum the same
+share (boosting rare regions); ``'proportional'`` reproduces the data's own
+mass distribution (closer to random sampling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeans
+from repro.sampling.base import Sampler, register_sampler
+
+__all__ = ["StratifiedSampler", "allocate_counts"]
+
+
+def allocate_counts(
+    n: int, sizes: np.ndarray, weights: np.ndarray | None = None
+) -> np.ndarray:
+    """Split a budget of `n` across strata with capacities `sizes`.
+
+    Largest-remainder apportionment of ``n * weights`` (uniform weights by
+    default), then overflow beyond any stratum's capacity is redistributed to
+    strata with headroom.  Always sums to exactly `n` (requires Σ sizes >= n).
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    k = len(sizes)
+    if k == 0:
+        raise ValueError("need at least one stratum")
+    if sizes.sum() < n:
+        raise ValueError(f"cannot draw {n} samples from {sizes.sum()} points")
+    if weights is None:
+        weights = np.full(k, 1.0 / k)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (k,) or np.any(weights < 0):
+        raise ValueError("weights must be non-negative with one entry per stratum")
+    total = weights.sum()
+    weights = weights / total if total > 0 else np.full(k, 1.0 / k)
+
+    ideal = n * weights
+    counts = np.floor(ideal).astype(np.int64)
+    counts = np.minimum(counts, sizes)
+    # Largest remainders first, respecting capacity.
+    while counts.sum() < n:
+        remainder = np.where(counts < sizes, ideal - counts, -np.inf)
+        nxt = int(np.argmax(remainder))
+        if not np.isfinite(remainder[nxt]):
+            raise AssertionError("unreachable: no capacity left but sum(sizes) >= n")
+        counts[nxt] += 1
+    return counts
+
+
+@register_sampler("stratified")
+class StratifiedSampler(Sampler):
+    """K-means strata + per-stratum random draws."""
+
+    def __init__(self, n_clusters: int = 20, allocation: str = "equal") -> None:
+        if allocation not in ("equal", "proportional"):
+            raise ValueError("allocation must be 'equal' or 'proportional'")
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.allocation = allocation
+
+    def select(self, features: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+        k = min(self.n_clusters, features.shape[0])
+        km = KMeans(n_clusters=k, rng=rng).fit(features)
+        labels = km.labels_
+        k_eff = km.cluster_centers_.shape[0]
+        sizes = np.bincount(labels, minlength=k_eff)
+        weights = sizes / sizes.sum() if self.allocation == "proportional" else None
+        counts = allocate_counts(n, sizes, weights)
+        chosen: list[np.ndarray] = []
+        for c in range(k_eff):
+            if counts[c] == 0:
+                continue
+            members = np.flatnonzero(labels == c)
+            chosen.append(rng.choice(members, size=counts[c], replace=False))
+        return np.concatenate(chosen)

@@ -1,0 +1,182 @@
+"""Streaming / in-situ sampling (the paper's first future-work item).
+
+The paper's outlook calls for "integration with in-situ, streaming, and
+online training frameworks like SmartSim": sampling while the simulation
+runs, without ever materializing the full dataset.  Two single-pass
+samplers:
+
+* :class:`ReservoirSampler` — classic Algorithm-R reservoir sampling: a
+  uniform random subset of an unbounded stream in O(n) memory.
+* :class:`StreamingMaxEnt` — an online MaxEnt analogue: cluster centroids
+  adapt via mini-batch K-means ``partial_fit`` as chunks stream through,
+  each cluster keeps its own value histogram and reservoir, and on
+  :meth:`finalize` the per-cluster budgets follow the same node-strength
+  weighting as the offline sampler.  One pass, bounded memory, and the same
+  tail-seeking behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.kmeans import MiniBatchKMeans
+from repro.data.points import PointSet
+from repro.sampling.entropy import (
+    entropy_adjacency,
+    node_strengths,
+    strength_weights,
+)
+from repro.sampling.stratified import allocate_counts
+from repro.utils.rng import resolve_rng
+
+__all__ = ["ReservoirSampler", "StreamingMaxEnt"]
+
+
+class ReservoirSampler:
+    """Uniform sampling of a stream with Algorithm R (Vitter 1985)."""
+
+    def __init__(self, capacity: int, rng: np.random.Generator | int | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.rng = resolve_rng(rng)
+        self._items: list[np.ndarray] = []
+        self.n_seen = 0
+
+    def feed(self, chunk: np.ndarray) -> None:
+        """Offer a chunk of rows (n, d) to the reservoir."""
+        chunk = np.atleast_2d(np.asarray(chunk, dtype=np.float64))
+        for row in chunk:
+            self.n_seen += 1
+            if len(self._items) < self.capacity:
+                self._items.append(row.copy())
+            else:
+                j = int(self.rng.integers(self.n_seen))
+                if j < self.capacity:
+                    self._items[j] = row.copy()
+
+    @property
+    def sample(self) -> np.ndarray:
+        """The current reservoir, shape (min(capacity, n_seen), d)."""
+        if not self._items:
+            raise ValueError("reservoir is empty — feed data first")
+        return np.stack(self._items)
+
+
+class _ClusterState:
+    """Per-cluster histogram + reservoir for the streaming MaxEnt sampler."""
+
+    def __init__(self, bins: int, reservoir: int, rng: np.random.Generator) -> None:
+        self.counts = np.zeros(bins)
+        self.reservoir = ReservoirSampler(reservoir, rng=rng)
+        self.n_seen = 0
+
+
+class StreamingMaxEnt:
+    """Single-pass MaxEnt sampling over a chunked stream of points.
+
+    Parameters
+    ----------
+    n_samples:
+        Total budget returned by :meth:`finalize`.
+    n_clusters:
+        Number of online K-means clusters.
+    value_range:
+        (lo, hi) range of the cluster variable for the shared histogram
+        edges (streaming cannot see global min/max in advance; pass the
+        simulation's physical bounds or an estimate — out-of-range values
+        clip to the edge bins).
+    reservoir_factor:
+        Each cluster's reservoir holds ``reservoir_factor * n_samples``
+        candidates so post-hoc budgets can be met even for skewed streams.
+    """
+
+    def __init__(
+        self,
+        n_samples: int,
+        value_range: tuple[float, float],
+        n_clusters: int = 10,
+        bins: int = 50,
+        reservoir_factor: float = 2.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        if n_clusters < 2:
+            raise ValueError("n_clusters must be >= 2")
+        if not value_range[1] > value_range[0]:
+            raise ValueError("value_range must be increasing")
+        self.n_samples = n_samples
+        self.n_clusters = n_clusters
+        self.bins = bins
+        self.edges = np.linspace(value_range[0], value_range[1], bins + 1)
+        self.rng = resolve_rng(rng)
+        self._km = MiniBatchKMeans(n_clusters=n_clusters, batch_size=1024, rng=self.rng)
+        per_cluster = max(n_samples, int(reservoir_factor * n_samples))
+        self._states = [
+            _ClusterState(bins, per_cluster, self.rng) for _ in range(n_clusters)
+        ]
+        self.n_seen = 0
+
+    def feed(self, values: np.ndarray, payload: np.ndarray | None = None) -> None:
+        """Stream one chunk: `values` (n,) cluster variable, optional payload
+        rows (n, d) carried alongside (defaults to the values themselves)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        if payload is None:
+            payload = values[:, None]
+        payload = np.atleast_2d(np.asarray(payload, dtype=np.float64))
+        if payload.shape[0] != values.size:
+            raise ValueError("payload row count must match values")
+        feats = values[:, None]
+        self._km.partial_fit(feats)
+        labels = self._km.predict(feats)
+        self.n_seen += values.size
+        idx = np.clip(np.searchsorted(self.edges, values, side="right") - 1, 0, self.bins - 1)
+        for c in range(self.n_clusters):
+            mask = labels == c
+            if not mask.any():
+                continue
+            state = self._states[c]
+            state.n_seen += int(mask.sum())
+            np.add.at(state.counts, idx[mask], 1.0)
+            state.reservoir.feed(np.column_stack([values[mask], payload[mask]]))
+
+    def finalize(self) -> np.ndarray:
+        """Entropy-weighted draw across cluster reservoirs.
+
+        Returns rows of ``[value, payload...]``; at most `n_samples` rows
+        (fewer only if the whole stream was smaller).
+        """
+        if self.n_seen == 0:
+            raise ValueError("no data streamed")
+        active = [s for s in self._states if s.n_seen > 0]
+        dists = np.stack([
+            s.counts / s.counts.sum() if s.counts.sum() > 0 else np.full(self.bins, 1.0 / self.bins)
+            for s in active
+        ])
+        weights = strength_weights(node_strengths(entropy_adjacency(dists)))
+        capacities = np.array([len(s.reservoir._items) for s in active])
+        budget = min(self.n_samples, int(capacities.sum()))
+        counts = allocate_counts(budget, capacities, weights)
+        chosen = []
+        for s, c in zip(active, counts):
+            if c == 0:
+                continue
+            pool = s.reservoir.sample
+            take = self.rng.choice(len(pool), size=int(c), replace=False)
+            chosen.append(pool[take])
+        return np.concatenate(chosen)
+
+    def to_pointset(self, coords_cols: int = 0) -> PointSet:
+        """Finalize into a PointSet (first `coords_cols` payload columns are
+        coordinates; the value column becomes variable 'value')."""
+        rows = self.finalize()
+        values = rows[:, 0]
+        payload = rows[:, 1:]
+        if coords_cols > payload.shape[1]:
+            raise ValueError("coords_cols exceeds payload width")
+        coords = payload[:, :coords_cols] if coords_cols else np.zeros((len(rows), 1))
+        return PointSet(coords=coords, values={"value": values},
+                        meta={"method": "streaming-maxent", "n_seen": self.n_seen})

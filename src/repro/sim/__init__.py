@@ -1,0 +1,58 @@
+"""Synthetic DNS substrates.
+
+The paper's datasets come from production DNS campaigns (OpenFOAM cylinder
+runs, the SST stratified-turbulence ensemble, GESTS exascale isotropic
+turbulence) totalling hundreds of terabytes.  Offline we regenerate
+*statistically equivalent* fields with the properties the paper's results
+hinge on:
+
+* :mod:`repro.sim.spectral` — Fourier-space utilities: wavenumber grids,
+  divergence-free random fields with prescribed energy spectra, radial
+  spectra, derived quantities (vorticity, enstrophy, dissipation, potential
+  vorticity).
+* :mod:`repro.sim.navier_stokes` — a real incompressible pseudo-spectral
+  Navier-Stokes solver (2/3-dealiased, RK2, integrating-factor viscosity)
+  with optional Boussinesq stratification and low-wavenumber forcing; the
+  GESTS and SST generators *evolve* their fields with it rather than just
+  drawing noise.
+* :mod:`repro.sim.isotropic` — GESTS-like forced isotropic turbulence
+  (Kolmogorov -5/3 inertial range; statistically isotropic, hence the
+  regime where the paper finds sampling methods tie).
+* :mod:`repro.sim.stratified` — SST-like stably stratified turbulence:
+  Taylor-Green initialization, transition, buoyancy-dominated anisotropic
+  layering (the regime where MaxEnt wins).
+* :mod:`repro.sim.cylinder` — OF2D: a Kármán vortex-street wake model with
+  a drag-coefficient time series (kinematic Oseen-vortex superposition —
+  documented substitution for the OpenFOAM run).
+* :mod:`repro.sim.combustion` — TC2D: wrinkled-flame progress-variable
+  fields with the bimodal PDF that UIPS was designed around.
+"""
+
+from repro.sim.fields import FlowField, DERIVED_VARIABLES
+from repro.sim.spectral import (
+    wavenumber_grid,
+    solenoidal_random_field,
+    von_karman_spectrum,
+    radial_energy_spectrum,
+)
+from repro.sim.navier_stokes import SpectralNS3D, NSConfig
+from repro.sim.isotropic import generate_isotropic
+from repro.sim.stratified import generate_stratified
+from repro.sim.cylinder import generate_cylinder, CylinderConfig
+from repro.sim.combustion import generate_combustion
+
+__all__ = [
+    "FlowField",
+    "DERIVED_VARIABLES",
+    "wavenumber_grid",
+    "solenoidal_random_field",
+    "von_karman_spectrum",
+    "radial_energy_spectrum",
+    "SpectralNS3D",
+    "NSConfig",
+    "generate_isotropic",
+    "generate_stratified",
+    "generate_cylinder",
+    "CylinderConfig",
+    "generate_combustion",
+]

@@ -1,0 +1,242 @@
+"""Incompressible pseudo-spectral Navier-Stokes solver (3-D, periodic).
+
+A miniature of the paper's DNS substrates (GESTS's Fourier pseudo-spectral
+code; the SST ensemble's stratified Boussinesq runs): rotational-form
+nonlinear term evaluated in physical space, differentiation and time
+advancement in wavenumber space, 2/3-rule dealiasing, RK2 with an exact
+integrating factor for viscosity, optional Boussinesq buoyancy (stable
+stratification with frequency N) and optional low-wavenumber forcing that
+holds the energy of the forced shells constant.
+
+Pressure is diagnosed from the spectral Poisson equation, which is also how
+GESTS post-processes its checkpoints ("solution checkpoints are stored in
+wavenumber space").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.spectral import solenoidal_random_field, wavenumber_grid
+from repro.utils.rng import resolve_rng
+
+__all__ = ["NSConfig", "SpectralNS3D"]
+
+_AXES = {"x": 0, "y": 1, "z": 2}
+
+
+@dataclass
+class NSConfig:
+    """Solver parameters.
+
+    ``n_buoyancy`` is the Brunt-Väisälä frequency N; 0 disables stratification.
+    ``forcing_kmax > 0`` freezes the kinetic energy of shells ``k <= forcing_kmax``
+    at their initial value (statistically stationary forced turbulence).
+    """
+
+    shape: tuple[int, int, int] = (32, 32, 32)
+    nu: float = 5e-3
+    kappa: float | None = None  # scalar diffusivity; defaults to nu (Pr = 1)
+    dt: float = 5e-3
+    n_buoyancy: float = 0.0
+    gravity: str = "z"
+    forcing_kmax: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 3 or any(n < 4 for n in self.shape):
+            raise ValueError("shape must be 3 axes of at least 4 points")
+        if any(n % 2 for n in self.shape):
+            raise ValueError("grid sizes must be even (rfft layout)")
+        if self.nu <= 0:
+            raise ValueError("nu must be positive")
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.gravity not in _AXES:
+            raise ValueError("gravity must be 'x', 'y', or 'z'")
+        if self.kappa is None:
+            self.kappa = self.nu
+
+
+class SpectralNS3D:
+    """Pseudo-spectral incompressible NS with optional Boussinesq buoyancy.
+
+    State lives in spectral space as ``self.uh`` (3 components) and ``self.bh``
+    (buoyancy, used when stratified).  Physical-space views are exposed via
+    :meth:`velocity` and :meth:`buoyancy`.
+    """
+
+    def __init__(
+        self,
+        config: NSConfig,
+        velocity: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+        buoyancy: np.ndarray | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.config = config
+        shape = config.shape
+        rng = resolve_rng(rng)
+        if velocity is None:
+            velocity = solenoidal_random_field(shape, rng=rng)
+        if any(c.shape != shape for c in velocity):
+            raise ValueError("velocity components must match config.shape")
+        self.ks = wavenumber_grid(shape, real=True)
+        self.k2 = sum(k**2 for k in self.ks)
+        self.k2_safe = np.where(self.k2 == 0, 1.0, self.k2)
+        # 2/3 dealiasing mask (also drops Nyquist modes, which keeps every
+        # odd-in-k multiplication Hermitian-consistent).
+        self.dealias = np.ones(self.k2.shape, dtype=bool)
+        for ax, n in enumerate(shape):
+            cutoff = n // 3
+            self.dealias &= np.abs(self.ks[ax]) <= cutoff
+        self.uh = [np.fft.rfftn(c) * self.dealias for c in velocity]
+        self._project()
+        if buoyancy is None:
+            buoyancy = np.zeros(shape)
+        if buoyancy.shape != shape:
+            raise ValueError("buoyancy must match config.shape")
+        self.bh = np.fft.rfftn(buoyancy) * self.dealias
+        self.g_axis = _AXES[config.gravity]
+        self.t = 0.0
+        self.step_count = 0
+        if config.forcing_kmax > 0:
+            self._forced = self.k2 <= config.forcing_kmax**2
+            self._forced &= self.k2 > 0
+            self._target_shell_energy = self._shell_energy(self._forced)
+        else:
+            self._forced = None
+            self._target_shell_energy = 0.0
+
+    # Spectral helpers ---------------------------------------------------------
+
+    def _project(self) -> None:
+        """Leray-project uh onto divergence-free fields."""
+        div = sum(k * f for k, f in zip(self.ks, self.uh))
+        for i in range(3):
+            self.uh[i] = self.uh[i] - self.ks[i] * div / self.k2_safe
+            self.uh[i][self.k2 == 0] = 0.0
+
+    def _shell_energy(self, mask: np.ndarray) -> float:
+        weight = np.ones(self.k2.shape)
+        weight[..., 1:] = 2.0
+        if self.config.shape[2] % 2 == 0:
+            weight[..., -1] = 1.0
+        n_total = float(np.prod(self.config.shape))
+        return float(
+            sum((weight[mask] * 0.5 * np.abs(f[mask] / n_total) ** 2).sum() for f in self.uh)
+        )
+
+    def _rhs(
+        self, uh: list[np.ndarray], bh: np.ndarray
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Nonlinear + buoyancy RHS (viscosity handled by integrating factor)."""
+        shape = self.config.shape
+        u = [np.fft.irfftn(f, s=shape, axes=(0, 1, 2)) for f in uh]
+        # Rotational form: u x omega (the grad(|u|^2/2) part folds into pressure).
+        omega_h = [
+            1j * (self.ks[1] * uh[2] - self.ks[2] * uh[1]),
+            1j * (self.ks[2] * uh[0] - self.ks[0] * uh[2]),
+            1j * (self.ks[0] * uh[1] - self.ks[1] * uh[0]),
+        ]
+        om = [np.fft.irfftn(f, s=shape, axes=(0, 1, 2)) for f in omega_h]
+        cross = [
+            u[1] * om[2] - u[2] * om[1],
+            u[2] * om[0] - u[0] * om[2],
+            u[0] * om[1] - u[1] * om[0],
+        ]
+        rhs_u = [np.fft.rfftn(c) * self.dealias for c in cross]
+
+        n_bv = self.config.n_buoyancy
+        if n_bv != 0.0:
+            b = np.fft.irfftn(bh, s=shape, axes=(0, 1, 2))
+            rhs_u[self.g_axis] = rhs_u[self.g_axis] + np.fft.rfftn(b) * self.dealias
+            adv_b = sum(
+                u[i] * np.fft.irfftn(1j * self.ks[i] * bh, s=shape, axes=(0, 1, 2)) for i in range(3)
+            )
+            rhs_b = -np.fft.rfftn(adv_b) * self.dealias - n_bv**2 * uh[self.g_axis]
+        else:
+            rhs_b = np.zeros_like(bh)
+
+        # Project momentum RHS (removes the implied pressure gradient).
+        div = sum(k * f for k, f in zip(self.ks, rhs_u))
+        for i in range(3):
+            rhs_u[i] = rhs_u[i] - self.ks[i] * div / self.k2_safe
+        return rhs_u, rhs_b
+
+    # Time stepping -------------------------------------------------------------
+
+    def step(self, n: int = 1) -> None:
+        """Advance `n` RK2 (midpoint) steps with exact viscous decay."""
+        cfg = self.config
+        dt = cfg.dt
+        e_half_u = np.exp(-cfg.nu * self.k2 * dt / 2.0)
+        e_half_b = np.exp(-cfg.kappa * self.k2 * dt / 2.0)
+        for _ in range(n):
+            k1u, k1b = self._rhs(self.uh, self.bh)
+            mid_u = [(self.uh[i] + 0.5 * dt * k1u[i]) * e_half_u for i in range(3)]
+            mid_b = (self.bh + 0.5 * dt * k1b) * e_half_b
+            k2u, k2b = self._rhs(mid_u, mid_b)
+            self.uh = [
+                self.uh[i] * e_half_u**2 + dt * e_half_u * k2u[i] for i in range(3)
+            ]
+            self.bh = self.bh * e_half_b**2 + dt * e_half_b * k2b
+            self._project()
+            if self._forced is not None:
+                self._apply_forcing()
+            self.t += dt
+            self.step_count += 1
+
+    def _apply_forcing(self) -> None:
+        """Rescale forced shells to hold their kinetic energy constant."""
+        assert self._forced is not None
+        current = self._shell_energy(self._forced)
+        if current <= 0:
+            return
+        scale = np.sqrt(self._target_shell_energy / current)
+        for i in range(3):
+            self.uh[i][self._forced] *= scale
+
+    # Diagnostics ----------------------------------------------------------------
+
+    def velocity(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        shape = self.config.shape
+        return tuple(np.fft.irfftn(f, s=shape, axes=(0, 1, 2)) for f in self.uh)  # type: ignore[return-value]
+
+    def buoyancy(self) -> np.ndarray:
+        return np.fft.irfftn(self.bh, s=self.config.shape, axes=(0, 1, 2))
+
+    def pressure(self) -> np.ndarray:
+        """Diagnose pressure from the spectral Poisson equation."""
+        shape = self.config.shape
+        u = [np.fft.irfftn(f, s=shape, axes=(0, 1, 2)) for f in self.uh]
+        # div(u . grad u) in spectral space, convective form.
+        div_nl = np.zeros(self.k2.shape, dtype=complex)
+        for i in range(3):
+            for j in range(3):
+                dui_dxj = np.fft.irfftn(1j * self.ks[j] * self.uh[i], s=shape, axes=(0, 1, 2))
+                term = np.fft.rfftn(u[j] * dui_dxj) * self.dealias
+                div_nl = div_nl + 1j * self.ks[i] * term
+        rhs = -div_nl
+        if self.config.n_buoyancy != 0.0:
+            rhs = rhs + 1j * self.ks[self.g_axis] * self.bh
+        ph = rhs / (-self.k2_safe)
+        ph[self.k2 == 0] = 0.0
+        return np.fft.irfftn(ph, s=shape, axes=(0, 1, 2))
+
+    def kinetic_energy(self) -> float:
+        """Mean kinetic energy 0.5 <|u|^2>."""
+        u, v, w = self.velocity()
+        return float(0.5 * np.mean(u**2 + v**2 + w**2))
+
+    def max_divergence(self) -> float:
+        """Max |div u| in physical space (incompressibility check)."""
+        div_h = sum(1j * k * f for k, f in zip(self.ks, self.uh))
+        return float(np.abs(np.fft.irfftn(div_h, s=self.config.shape, axes=(0, 1, 2))).max())
+
+    def cfl(self) -> float:
+        """Advective CFL number of the current state."""
+        u, v, w = self.velocity()
+        umax = max(np.abs(u).max(), np.abs(v).max(), np.abs(w).max())
+        dx = 2.0 * np.pi / max(self.config.shape)
+        return float(umax * self.config.dt / dx)

@@ -1,0 +1,30 @@
+"""Training pipeline: data assembly, the Trainer loop, and HPO.
+
+:func:`~repro.train.data.build_reconstruction_data` and
+:func:`~repro.train.data.build_drag_data` turn a
+:class:`~repro.sampling.pipeline.SubsampleResult` into arrays for the three
+learning problems of §5 (sample-single, sample-full, full-full);
+:class:`~repro.train.trainer.Trainer` runs the §5.2 protocol with energy
+metering; :func:`~repro.train.tuning.tune` replaces DeepHyper's ``--tune``.
+"""
+
+from repro.train.data import (
+    ReconstructionData,
+    build_drag_data,
+    build_reconstruction_data,
+    train_test_split,
+)
+from repro.train.trainer import TrainResult, Trainer
+from repro.train.tuning import SearchSpace, Trial, tune
+
+__all__ = [
+    "ReconstructionData",
+    "build_drag_data",
+    "build_reconstruction_data",
+    "train_test_split",
+    "TrainResult",
+    "Trainer",
+    "SearchSpace",
+    "Trial",
+    "tune",
+]

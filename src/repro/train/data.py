@@ -1,0 +1,239 @@
+"""Building training arrays from subsample results (paper §5's three tasks).
+
+* **sample-single** (LSTM): per-snapshot subsampled probe values →
+  sequences [B, T, C] predicting a global scalar (OF2D drag).
+* **sample-full** (MLP-Transformer): subsampled points inside a hypercube →
+  the dense output field of that cube ([B, T, C, N] → [B, T', C', H, W, D]);
+  this is the sparse-sensor-reconstruction task, so the sampled point
+  *locations* are held fixed across time per cube (sensors don't move).
+* **full-full** (CNN-Transformer / MATEY): dense hypercubes in, dense
+  hypercubes out.
+
+Targets are the dense fields at the last ``horizon`` steps of each input
+window (same-time reconstruction, which also covers the single-snapshot
+GESTS datasets with window = horizon = 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import TurbulenceDataset
+from repro.data.hypercubes import extract_hypercube
+from repro.sampling.pipeline import SubsampleResult
+
+__all__ = ["ReconstructionData", "build_reconstruction_data", "build_drag_data", "train_test_split"]
+
+
+@dataclass
+class ReconstructionData:
+    """Training arrays plus the geometry the model needs."""
+
+    x: np.ndarray  # [B, T, C, N] (points) or [B, T, C, H, W, D] (cubes)
+    y: np.ndarray  # [B, T', C', H, W, D]
+    grid: tuple[int, int, int]
+    in_channels: int
+    out_channels: int
+    n_points: int | None  # None for structured inputs
+
+    def __post_init__(self) -> None:
+        if self.x.shape[0] != self.y.shape[0]:
+            raise ValueError("x and y batch sizes differ")
+
+
+def _windows(n_times: int, window: int, horizon: int) -> list[tuple[list[int], list[int]]]:
+    """Input/target time-index pairs: targets are the window's last h steps."""
+    if window < 1 or horizon < 1:
+        raise ValueError("window and horizon must be >= 1")
+    if horizon > window:
+        raise ValueError("horizon must be <= window (same-time reconstruction)")
+    if n_times < window:
+        raise ValueError(f"need at least {window} snapshots, have {n_times}")
+    return [
+        (list(range(t, t + window)), list(range(t + window - horizon, t + window)))
+        for t in range(n_times - window + 1)
+    ]
+
+
+def _window_ending_at(s: int, window: int, horizon: int) -> tuple[list[int], list[int]] | None:
+    """The input/target time indices for a sample anchored at snapshot s."""
+    if s < window - 1:
+        return None
+    t_in = list(range(s - window + 1, s + 1))
+    return t_in, t_in[-horizon:]
+
+
+def _cube_shape_of(result: SubsampleResult) -> tuple[int, ...]:
+    if result.points is None:
+        raise ValueError("result has no point samples (was method='full'?)")
+    cube_shape = result.points.meta.get("cube_shape")
+    if cube_shape is None:
+        raise ValueError("result points missing 'cube_shape' meta")
+    return tuple(int(c) for c in cube_shape)
+
+
+def _snapshot_index(dataset: TurbulenceDataset, times: np.ndarray) -> np.ndarray:
+    """Map per-point snapshot times back to snapshot indices."""
+    ds_times = dataset.times
+    idx = np.searchsorted(ds_times, times)
+    idx = np.clip(idx, 0, len(ds_times) - 1)
+    # searchsorted can land one slot right of the match for float times.
+    left = np.clip(idx - 1, 0, len(ds_times) - 1)
+    use_left = np.abs(ds_times[left] - times) < np.abs(ds_times[idx] - times)
+    idx = np.where(use_left, left, idx)
+    if not np.allclose(ds_times[idx], times):
+        raise ValueError("sample times do not match any dataset snapshot")
+    return idx
+
+
+def _cube_groups(
+    result: SubsampleResult, dataset: TurbulenceDataset
+) -> dict[tuple[int, tuple[int, ...]], np.ndarray]:
+    """Sampled *relative* coordinates per selected (snapshot, origin) cube."""
+    pts = result.points
+    cube_shape = _cube_shape_of(result)
+    coords = pts.coords.astype(int)
+    origins = (coords // np.array(cube_shape)) * np.array(cube_shape)
+    rel = coords - origins
+    times = np.broadcast_to(np.asarray(pts.time, dtype=np.float64), (len(pts),))
+    snaps = _snapshot_index(dataset, times)
+    groups: dict[tuple[int, tuple[int, ...]], np.ndarray] = {}
+    keys = np.column_stack([snaps, origins])
+    for key in np.unique(keys, axis=0):
+        mask = np.all(keys == key, axis=1)
+        groups[(int(key[0]), tuple(int(o) for o in key[1:]))] = rel[mask]
+    return groups
+
+
+def _origin_groups(
+    result: SubsampleResult, dataset: TurbulenceDataset
+) -> dict[tuple[int, ...], np.ndarray]:
+    """Sensor layout per spatial origin (union over selected snapshots)."""
+    merged: dict[tuple[int, ...], np.ndarray] = {}
+    for (_, origin), rel in sorted(_cube_groups(result, dataset).items()):
+        if origin not in merged:
+            merged[origin] = rel
+    return merged
+
+
+def build_reconstruction_data(
+    dataset: TurbulenceDataset,
+    result: SubsampleResult,
+    window: int = 1,
+    horizon: int = 1,
+    structured: bool | None = None,
+) -> ReconstructionData:
+    """Assemble reconstruction training arrays from a pipeline result."""
+    in_vars = dataset.input_vars
+    out_vars = dataset.output_vars
+    if not out_vars:
+        raise ValueError(f"dataset {dataset.label} has no output variables")
+
+    if structured is None:
+        structured = result.cubes is not None
+
+    def _block(t: int, origin, cube_shape, names) -> np.ndarray:
+        return np.stack([
+            extract_hypercube(dataset.snapshots[t], origin, cube_shape, [v]).variables[v]
+            for v in names
+        ])
+
+    if structured:
+        if result.cubes is None:
+            raise ValueError("structured data requested but result has no cubes")
+        cube_shape = result.cubes[0].shape
+        xs, ys = [], []
+        for cube in result.cubes:
+            s = cube.meta.get("snapshot")
+            if s is None:
+                s = int(_snapshot_index(dataset, np.array([cube.time]))[0])
+            pair = _window_ending_at(int(s), window, horizon)
+            if pair is None:
+                continue  # selected cube lacks temporal history for the window
+            t_in, t_out = pair
+            xs.append(np.stack([_block(t, cube.origin, cube_shape, in_vars) for t in t_in]))
+            ys.append(np.stack([_block(t, cube.origin, cube_shape, out_vars) for t in t_out]))
+        if not xs:
+            raise ValueError("no selected cube has enough history for the window")
+        return ReconstructionData(
+            x=np.stack(xs), y=np.stack(ys), grid=tuple(cube_shape),
+            in_channels=len(in_vars), out_channels=len(out_vars), n_points=None,
+        )
+
+    groups = _cube_groups(result, dataset)
+    if not groups:
+        raise ValueError("no sampled cubes found in result")
+    n_pts = min(len(rel) for rel in groups.values())
+    cube_shape = _cube_shape_of(result)
+    xs, ys = [], []
+    for (s, origin), rel in sorted(groups.items()):
+        pair = _window_ending_at(s, window, horizon)
+        if pair is None:
+            continue
+        t_in, t_out = pair
+        rel = rel[:n_pts]
+        idx = tuple(rel[:, d] + origin[d] for d in range(len(origin)))
+        # Fixed sensors: the same point locations observed at every window step.
+        xs.append(np.stack([
+            np.stack([dataset.snapshots[t].get(v)[idx] for v in in_vars]) for t in t_in
+        ]))
+        ys.append(np.stack([_block(t, origin, cube_shape, out_vars) for t in t_out]))
+    if not xs:
+        raise ValueError("no selected cube has enough history for the window")
+    return ReconstructionData(
+        x=np.stack(xs), y=np.stack(ys), grid=tuple(cube_shape),
+        in_channels=len(in_vars), out_channels=len(out_vars), n_points=n_pts,
+    )
+
+
+def build_drag_data(
+    dataset: TurbulenceDataset,
+    result: SubsampleResult,
+    window: int = 3,
+    horizon: int = 1,
+    max_features: int = 512,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample-single arrays: [B, T, C*N] sequences → [B, T', 1] drag targets.
+
+    Uses the sampled point locations of the first cube group as fixed probes
+    across all snapshots (sparse sensors measuring the wake).
+    """
+    if dataset.target is None:
+        raise ValueError(f"dataset {dataset.label} has no global target")
+    groups = _origin_groups(result, dataset)
+    # Concatenate probes from all groups, capped to keep the LSTM input sane.
+    rel_all = []
+    for origin, rel in sorted(groups.items()):
+        for r in rel:
+            rel_all.append(tuple(r[d] + origin[d] for d in range(len(origin))))
+    probes = rel_all[: max(1, max_features // max(1, len(dataset.input_vars)))]
+    idx = tuple(np.array([p[d] for p in probes]) for d in range(dataset.ndim))
+
+    feats = np.stack([
+        np.concatenate([snap.get(v)[idx] for v in dataset.input_vars])
+        for snap in dataset.snapshots
+    ])  # [T_total, C*N]
+    pairs = _windows(dataset.n_snapshots, window, horizon)
+    x = np.stack([feats[t_in] for t_in, _ in pairs])
+    y = np.stack([dataset.target[t_out] for _, t_out in pairs])[..., None]
+    return x, y
+
+
+def train_test_split(
+    x: np.ndarray, y: np.ndarray, test_frac: float = 0.1, rng: np.random.Generator | int | None = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled 90:10 (by default) split, matching the paper's protocol."""
+    if not (0.0 < test_frac < 1.0):
+        raise ValueError("test_frac must lie in (0, 1)")
+    n = x.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    perm = rng.permutation(n)
+    n_test = max(1, int(round(n * test_frac)))
+    test, train = perm[:n_test], perm[n_test:]
+    if len(train) == 0:
+        raise ValueError("split left no training samples")
+    return x[train], y[train], x[test], y[test]

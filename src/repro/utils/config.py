@@ -1,0 +1,200 @@
+"""Typed case configuration mirroring the paper's YAML schema.
+
+A SICKLE case file has three sections (see the sample ``SST-P1F4`` YAML in the
+paper's appendix)::
+
+    shared:      dims, dtype, input_vars, output_vars, cluster_var, nx/ny/nz, gravity
+    subsample:   hypercubes, num_hypercubes, method, num_samples, num_clusters,
+                 nxsl/nysl/nzsl (hypercube edge lengths), sampling_rate
+    train:       epochs, batch, target, window, arch, sequence
+
+:class:`CaseConfig` validates the combination rules stated in the paper:
+``--method full`` pairs with ``CNN_Transformer``; ``--window 1`` implies
+``sequence: false``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any
+
+from repro.utils.miniyaml import load_file, loads
+
+__all__ = ["SharedConfig", "SubsampleConfig", "TrainConfig", "CaseConfig"]
+
+_HYPERCUBE_METHODS = ("maxent", "random", "entropy")
+_POINT_METHODS = ("maxent", "uips", "random", "lhs", "stratified", "full")
+_ARCHS = ("lstm", "mlp_transformer", "cnn_transformer", "matey")
+
+
+def _as_list(value: Any) -> list[str]:
+    """Normalize 'u v w r' / ['u','v'] / 'u' to a list of variable names."""
+    if value is None:
+        return []
+    if isinstance(value, str):
+        return value.split()
+    if isinstance(value, (list, tuple)):
+        return [str(v) for v in value]
+    return [str(value)]
+
+
+@dataclass
+class SharedConfig:
+    """Dataset geometry and variable roles shared by sampling and training."""
+
+    dims: int = 3
+    dtype: str = "sst-binary"
+    input_vars: list[str] = field(default_factory=lambda: ["u", "v", "w"])
+    output_vars: list[str] = field(default_factory=lambda: ["p"])
+    cluster_var: str = "pv"
+    nx: int = 64
+    ny: int = 64
+    nz: int = 32
+    gravity: str = "z"
+    fileprefix: str = "case"
+
+    def __post_init__(self) -> None:
+        if self.dims not in (2, 3):
+            raise ValueError(f"dims must be 2 or 3, got {self.dims}")
+        if self.dims == 2:
+            self.nz = 1
+        for name in ("nx", "ny", "nz"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.gravity not in ("x", "y", "z", "none"):
+            raise ValueError(f"gravity must be one of x/y/z/none, got {self.gravity!r}")
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        return (self.nx, self.ny) if self.dims == 2 else (self.nx, self.ny, self.nz)
+
+    @property
+    def n_points(self) -> int:
+        n = self.nx * self.ny
+        return n if self.dims == 2 else n * self.nz
+
+
+@dataclass
+class SubsampleConfig:
+    """Phase-1 (hypercube) and phase-2 (point) sampling parameters."""
+
+    hypercubes: str = "maxent"
+    method: str = "maxent"
+    num_hypercubes: int = 32
+    num_samples: int = 3277
+    num_clusters: int = 20
+    nxsl: int = 32
+    nysl: int = 32
+    nzsl: int = 32
+    path: str = ""
+    timesteps: list[int] = field(default_factory=list)
+    sampling_rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.hypercubes not in _HYPERCUBE_METHODS:
+            raise ValueError(
+                f"hypercubes must be one of {_HYPERCUBE_METHODS}, got {self.hypercubes!r}"
+            )
+        if self.method not in _POINT_METHODS:
+            raise ValueError(f"method must be one of {_POINT_METHODS}, got {self.method!r}")
+        if self.num_hypercubes < 1:
+            raise ValueError("num_hypercubes must be >= 1")
+        if self.num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        if self.num_clusters < 2:
+            raise ValueError("num_clusters must be >= 2 (entropy needs >1 cluster)")
+        if self.sampling_rate is not None and not (0.0 < self.sampling_rate <= 1.0):
+            raise ValueError("sampling_rate must lie in (0, 1]")
+
+    @property
+    def hypercube_shape(self) -> tuple[int, int, int]:
+        return (self.nxsl, self.nysl, self.nzsl)
+
+    @property
+    def points_per_hypercube(self) -> int:
+        return self.nxsl * self.nysl * self.nzsl
+
+
+@dataclass
+class TrainConfig:
+    """Training hyperparameters matching the paper's §5.2 defaults."""
+
+    epochs: int = 1000
+    batch: int = 16
+    lr: float = 1e-3
+    patience: int = 20
+    target: str = "p_full"
+    window: int = 1
+    horizon: int = 1
+    arch: str = "mlp_transformer"
+    sequence: bool = True
+    precision: str = "fp32"
+    test_frac: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.arch = self.arch.lower()
+        if self.arch not in _ARCHS:
+            raise ValueError(f"arch must be one of {_ARCHS}, got {self.arch!r}")
+        if self.precision not in ("fp32", "fp16", "bf16", "int8"):
+            raise ValueError(f"unsupported precision {self.precision!r}")
+        if not (0.0 < self.test_frac < 1.0):
+            raise ValueError("test_frac must lie in (0, 1)")
+        if self.window < 1 or self.horizon < 1:
+            raise ValueError("window and horizon must be >= 1")
+        if self.window == 1:
+            # Paper's rule: "When --window 1 use --sequence false".
+            self.sequence = False
+
+
+@dataclass
+class CaseConfig:
+    """A full SICKLE case: shared + subsample + train sections."""
+
+    shared: SharedConfig = field(default_factory=SharedConfig)
+    subsample: SubsampleConfig = field(default_factory=SubsampleConfig)
+    train: TrainConfig = field(default_factory=TrainConfig)
+
+    def __post_init__(self) -> None:
+        # Paper's rule: "When --method full use --arch CNN_Transformer".
+        if self.subsample.method == "full" and self.train.arch not in ("cnn_transformer", "matey"):
+            raise ValueError(
+                "method 'full' produces structured hypercubes; arch must be "
+                f"cnn_transformer or matey, got {self.train.arch!r}"
+            )
+        cap = self.subsample.points_per_hypercube
+        if self.subsample.method != "full" and self.subsample.num_samples > cap:
+            raise ValueError(
+                f"num_samples={self.subsample.num_samples} exceeds points per "
+                f"hypercube ({cap})"
+            )
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "CaseConfig":
+        shared_raw = dict(raw.get("shared") or {})
+        sub_raw = dict(raw.get("subsample") or {})
+        train_raw = dict(raw.get("train") or {})
+        for key in ("input_vars", "output_vars"):
+            if key in shared_raw:
+                shared_raw[key] = _as_list(shared_raw[key])
+        if "cluster_var" in shared_raw and isinstance(shared_raw["cluster_var"], (list, tuple)):
+            shared_raw["cluster_var"] = str(shared_raw["cluster_var"][0])
+        known_shared = {k: v for k, v in shared_raw.items() if k in SharedConfig.__dataclass_fields__}
+        known_sub = {k: v for k, v in sub_raw.items() if k in SubsampleConfig.__dataclass_fields__}
+        known_train = {k: v for k, v in train_raw.items() if k in TrainConfig.__dataclass_fields__}
+        return cls(
+            shared=SharedConfig(**known_shared),
+            subsample=SubsampleConfig(**known_sub),
+            train=TrainConfig(**known_train),
+        )
+
+    @classmethod
+    def from_yaml(cls, text: str) -> "CaseConfig":
+        return cls.from_dict(loads(text))
+
+    @classmethod
+    def from_file(cls, path: str) -> "CaseConfig":
+        return cls.from_dict(load_file(path))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"shared": asdict(self.shared), "subsample": asdict(self.subsample), "train": asdict(self.train)}

@@ -1,0 +1,32 @@
+"""Logging setup shared by pipelines and trainers.
+
+Mirrors the paper's run outputs: trainers grep for lines like
+``Total Energy Consumed`` and ``Evaluation on test set`` in ``train*.out``,
+so the logger keeps a plain, greppable key-value format.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "log_kv"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger (idempotent — handlers added once)."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        logger.addHandler(handler)
+        logger.setLevel(level)
+        logger.propagate = False
+    return logger
+
+
+def log_kv(logger: logging.Logger, key: str, value: object) -> None:
+    """Emit a greppable ``key: value`` line (paper-style output contract)."""
+    logger.info("%s: %s", key, value)

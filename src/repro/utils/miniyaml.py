@@ -1,0 +1,323 @@
+"""A small YAML-subset parser and emitter.
+
+SICKLE's workflow is driven by YAML case files (see the paper's appendix for a
+sample ``SST-P1F4`` config).  PyYAML is not available offline, so this module
+implements the subset of YAML those case files actually use:
+
+* nested mappings via indentation,
+* block sequences (``- item``) and flow sequences (``[a, b, c]``),
+* flow mappings (``{a: 1, b: 2}``),
+* scalars: int, float (incl. scientific notation), bool, null, quoted and
+  bare strings,
+* comments (``#``) and blank lines,
+* string continuation with a trailing ``+\\`` followed by a quoted fragment
+  (used by the paper's ``fileprefix`` entry).
+
+It is intentionally *not* a general YAML implementation — anchors, multi-line
+block scalars, and documents are out of scope; unsupported syntax raises
+:class:`MiniYamlError` rather than silently mis-parsing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = ["MiniYamlError", "loads", "load_file", "dumps"]
+
+
+class MiniYamlError(ValueError):
+    """Raised when the input uses YAML syntax outside the supported subset."""
+
+
+_BOOLS = {"true": True, "false": False, "yes": True, "no": False, "on": True, "off": False}
+_NULLS = {"null", "~", "none", ""}
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing comment, respecting quoted strings."""
+    out = []
+    quote: str | None = None
+    for ch in line:
+        if quote:
+            out.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+            out.append(ch)
+        elif ch == "#":
+            break
+        else:
+            out.append(ch)
+    return "".join(out).rstrip()
+
+
+def parse_scalar(text: str) -> Any:
+    """Parse a single YAML scalar token into a Python value."""
+    text = text.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        inner = text[1:-1]
+        if text[0] == '"' and "\\" in inner:
+            out: list[str] = []
+            i = 0
+            while i < len(inner):
+                if inner[i] == "\\" and i + 1 < len(inner) and inner[i + 1] in ('"', "\\"):
+                    out.append(inner[i + 1])
+                    i += 2
+                else:
+                    out.append(inner[i])
+                    i += 1
+            inner = "".join(out)
+        return inner
+    low = text.lower()
+    if low in _BOOLS:
+        return _BOOLS[low]
+    if low in _NULLS:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _split_flow(body: str) -> list[str]:
+    """Split a flow collection body on top-level commas."""
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    cur: list[str] = []
+    for ch in body:
+        if quote:
+            cur.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+            cur.append(ch)
+        elif ch in "[{":
+            depth += 1
+            cur.append(ch)
+        elif ch in "]}":
+            depth -= 1
+            cur.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append(tail)
+    return [p.strip() for p in parts]
+
+
+def _parse_value(text: str) -> Any:
+    """Parse a value that may be a flow collection or scalar."""
+    text = text.strip()
+    if text.startswith("[") :
+        if not text.endswith("]"):
+            raise MiniYamlError(f"unterminated flow sequence: {text!r}")
+        return [_parse_value(p) for p in _split_flow(text[1:-1])]
+    if text.startswith("{"):
+        if not text.endswith("}"):
+            raise MiniYamlError(f"unterminated flow mapping: {text!r}")
+        out: dict[str, Any] = {}
+        for item in _split_flow(text[1:-1]):
+            if ":" not in item:
+                raise MiniYamlError(f"flow mapping entry missing ':': {item!r}")
+            k, v = item.split(":", 1)
+            out[parse_scalar(k) if not k.strip().startswith(("'", '"')) else k.strip()[1:-1]] = _parse_value(v)
+        return out
+    # Space-separated multi-token bare values (e.g. "u v w r") stay strings;
+    # callers that want lists use flow/block sequences.
+    return parse_scalar(text)
+
+
+class _Lines:
+    """Iterator over (indent, content) with one-line pushback."""
+
+    def __init__(self, text: str) -> None:
+        self._lines = self._prepare(text)
+        self._idx = 0
+
+    @staticmethod
+    def _prepare(text: str) -> list[tuple[int, str]]:
+        out = []
+        raw_lines = text.splitlines()
+        i = 0
+        while i < len(raw_lines):
+            raw = raw_lines[i]
+            if "\t" in raw:
+                raise MiniYamlError("tabs are not allowed for indentation")
+            stripped = _strip_comment(raw)
+            if not stripped.strip():
+                i += 1
+                continue
+            # String continuation: value ends with  +\  → join next line's quoted fragment.
+            while stripped.rstrip().endswith("+\\") and i + 1 < len(raw_lines):
+                nxt = _strip_comment(raw_lines[i + 1]).strip()
+                head = stripped.rstrip()[:-2].rstrip()
+                if head.endswith('"') and nxt.startswith('"'):
+                    stripped = head[:-1] + nxt[1:]
+                else:
+                    stripped = head + nxt
+                i += 1
+            indent = len(stripped) - len(stripped.lstrip())
+            out.append((indent, stripped.strip()))
+            i += 1
+        return out
+
+    def peek(self) -> tuple[int, str] | None:
+        if self._idx < len(self._lines):
+            return self._lines[self._idx]
+        return None
+
+    def next(self) -> tuple[int, str]:
+        item = self._lines[self._idx]
+        self._idx += 1
+        return item
+
+
+def _parse_block(lines: _Lines, indent: int) -> Any:
+    """Parse a block (mapping or sequence) at the given indent level."""
+    first = lines.peek()
+    if first is None:
+        return None
+    if first[1].startswith("- "):
+        return _parse_sequence(lines, indent)
+    return _parse_mapping(lines, indent)
+
+
+def _parse_sequence(lines: _Lines, indent: int) -> list[Any]:
+    items: list[Any] = []
+    while True:
+        nxt = lines.peek()
+        if nxt is None or nxt[0] < indent or not nxt[1].startswith("- "):
+            break
+        if nxt[0] != indent:
+            raise MiniYamlError(f"inconsistent sequence indent at {nxt[1]!r}")
+        _, content = lines.next()
+        body = content[2:].strip()
+        if not body:
+            sub = lines.peek()
+            items.append(_parse_block(lines, sub[0]) if sub and sub[0] > indent else None)
+        elif ":" in body and not body.startswith(("[", "{", "'", '"')):
+            # Inline mapping start on the dash line: "- key: value"
+            key, _, rest = body.partition(":")
+            entry = {key.strip(): _parse_value(rest) if rest.strip() else None}
+            sub = lines.peek()
+            if sub and sub[0] > indent:
+                entry.update(_parse_mapping(lines, sub[0]))
+            items.append(entry)
+        else:
+            items.append(_parse_value(body))
+    return items
+
+
+def _parse_mapping(lines: _Lines, indent: int) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    while True:
+        nxt = lines.peek()
+        if nxt is None or nxt[0] < indent:
+            break
+        if nxt[0] != indent:
+            raise MiniYamlError(f"inconsistent mapping indent at {nxt[1]!r}")
+        _, content = lines.next()
+        if content.startswith("- "):
+            raise MiniYamlError(f"sequence item where mapping key expected: {content!r}")
+        if ":" not in content:
+            raise MiniYamlError(f"expected 'key: value', got {content!r}")
+        key_raw, _, rest = content.partition(":")
+        key = key_raw.strip()
+        if key.startswith(("'", '"')) and key.endswith(key[0]):
+            key = key[1:-1]
+        rest = rest.strip()
+        if rest:
+            out[key] = _parse_value(rest)
+        else:
+            sub = lines.peek()
+            if sub is not None and sub[0] > indent:
+                out[key] = _parse_block(lines, sub[0])
+            else:
+                out[key] = None
+    return out
+
+
+def loads(text: str) -> Any:
+    """Parse a YAML-subset document into Python dicts/lists/scalars."""
+    lines = _Lines(text)
+    if lines.peek() is None:
+        return {}
+    result = _parse_block(lines, lines.peek()[0])
+    leftover = lines.peek()
+    if leftover is not None:
+        raise MiniYamlError(f"trailing content at outer indent: {leftover[1]!r}")
+    return result
+
+
+def load_file(path: str) -> Any:
+    """Parse a YAML-subset file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads(fh.read())
+
+
+def _dump_scalar(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    specials = set(":#{}[],&*!|>'\"%@`-")
+    needs_quote = (
+        not text
+        or text != text.strip()
+        or bool(set(text) & specials)
+        or parse_scalar(text) != text  # would re-parse as int/float/bool/null
+    )
+    if needs_quote:
+        return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    return text
+
+
+def _dump_lines(value: Any, indent: int) -> Iterator[str]:
+    pad = "  " * indent
+    if isinstance(value, dict):
+        for k, v in value.items():
+            if isinstance(v, dict) and v:
+                yield f"{pad}{k}:"
+                yield from _dump_lines(v, indent + 1)
+            elif isinstance(v, (list, tuple)) and len(v) > 0 and any(isinstance(x, (dict, list, tuple)) for x in v):
+                yield f"{pad}{k}:"
+                yield from _dump_lines(list(v), indent + 1)
+            elif isinstance(v, (list, tuple)):
+                yield f"{pad}{k}: [" + ", ".join(_dump_scalar(x) for x in v) + "]"
+            elif isinstance(v, dict):
+                yield f"{pad}{k}: {{}}"
+            else:
+                yield f"{pad}{k}: {_dump_scalar(v)}"
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            if isinstance(item, dict):
+                lines = list(_dump_lines(item, indent + 1))
+                if lines:
+                    first = lines[0].lstrip()
+                    yield f"{pad}- {first}"
+                    yield from lines[1:]
+                else:
+                    yield f"{pad}- {{}}"
+            else:
+                yield f"{pad}- {_dump_scalar(item)}"
+    else:
+        yield f"{pad}{_dump_scalar(value)}"
+
+
+def dumps(value: Any) -> str:
+    """Serialize dicts/lists/scalars back to the YAML subset."""
+    return "\n".join(_dump_lines(value, 0)) + "\n"

@@ -1,0 +1,10 @@
+"""Text-mode visualization (matplotlib/Excel substitute).
+
+Benches print each figure's rows/series as aligned tables, CSV, and ASCII
+plots so the reproduction is inspectable in a terminal and diffable in CI.
+"""
+
+from repro.viz.ascii import ascii_scatter, ascii_line, ascii_bar, ascii_field
+from repro.viz.tables import format_table, to_csv
+
+__all__ = ["ascii_scatter", "ascii_line", "ascii_bar", "ascii_field", "format_table", "to_csv"]

@@ -1,0 +1,120 @@
+"""ASCII plotting primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_scatter", "ascii_line", "ascii_bar", "ascii_field"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def _canvas(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _render(canvas: list[list[str]]) -> str:
+    return "\n".join("".join(row) for row in canvas)
+
+
+def _scale(v: np.ndarray, lo: float, hi: float, n: int) -> np.ndarray:
+    span = hi - lo if hi > lo else 1.0
+    return np.clip(((v - lo) / span * (n - 1)).round().astype(int), 0, n - 1)
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 60,
+    height: int = 20,
+    marker: str = "o",
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Scatter plot of (x, y) points on a character grid."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.size == 0:
+        raise ValueError("x and y must be equal-length, non-empty")
+    xs = np.log10(x) if logx else x
+    ys = np.log10(y) if logy else y
+    canvas = _canvas(width, height)
+    cols = _scale(xs, xs.min(), xs.max(), width)
+    rows = _scale(ys, ys.min(), ys.max(), height)
+    for c, r in zip(cols, rows):
+        canvas[height - 1 - r][c] = marker
+    header = f"{title}\n" if title else ""
+    footer = (
+        f"\nx: [{x.min():.3g}, {x.max():.3g}]"
+        f"{' (log)' if logx else ''}   y: [{y.min():.3g}, {y.max():.3g}]"
+        f"{' (log)' if logy else ''}"
+    )
+    return header + _render(canvas) + footer
+
+
+def ascii_line(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 60,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Multiple named series on one grid, each with its own marker."""
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "ox+*sd^v"
+    all_x = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    tx = np.log10(all_x) if logx else all_x
+    ty = np.log10(all_y) if logy else all_y
+    canvas = _canvas(width, height)
+    legend = []
+    for i, (name, (x, y)) in enumerate(series.items()):
+        m = markers[i % len(markers)]
+        legend.append(f"{m}={name}")
+        xs = np.log10(np.asarray(x, float)) if logx else np.asarray(x, float)
+        ys = np.log10(np.asarray(y, float)) if logy else np.asarray(y, float)
+        cols = _scale(xs, tx.min(), tx.max(), width)
+        rows = _scale(ys, ty.min(), ty.max(), height)
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = m
+    header = f"{title}\n" if title else ""
+    return header + _render(canvas) + "\n" + "  ".join(legend)
+
+
+def ascii_bar(labels: list[str], values: list[float], width: int = 50, title: str = "") -> str:
+    """Horizontal bar chart."""
+    if len(labels) != len(values) or not labels:
+        raise ValueError("labels and values must be equal-length, non-empty")
+    vmax = max(max(values), 1e-12)
+    name_w = max(len(s) for s in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        n = int(round(v / vmax * width))
+        lines.append(f"{label:>{name_w}} | {'#' * n} {v:.4g}")
+    return "\n".join(lines)
+
+
+def ascii_field(field: np.ndarray, width: int = 60, height: int = 24, title: str = "") -> str:
+    """Render a 2-D scalar field as shaded characters (Fig 1-style)."""
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 2:
+        raise ValueError("field must be 2-D")
+    # Downsample by block mean onto the character grid.
+    rows = np.linspace(0, field.shape[0], height + 1).astype(int)
+    cols = np.linspace(0, field.shape[1], width + 1).astype(int)
+    out = []
+    lo, hi = field.min(), field.max()
+    span = hi - lo if hi > lo else 1.0
+    for r in range(height):
+        line = []
+        for c in range(width):
+            block = field[rows[r] : max(rows[r + 1], rows[r] + 1),
+                          cols[c] : max(cols[c + 1], cols[c] + 1)]
+            v = (block.mean() - lo) / span
+            line.append(_SHADES[min(int(v * (len(_SHADES) - 1)), len(_SHADES) - 1)])
+        out.append("".join(line))
+    header = f"{title}\n" if title else ""
+    return header + "\n".join(out)

@@ -1,0 +1,50 @@
+"""Aligned-table and CSV emitters for bench output."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "to_csv"]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None, title: str = "") -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        raise ValueError("need at least one row")
+    cols = columns if columns is not None else list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in cells)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def to_csv(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render dict rows as CSV text."""
+    if not rows:
+        raise ValueError("need at least one row")
+    cols = columns if columns is not None else list(rows[0].keys())
+
+    def esc(v) -> str:
+        s = _fmt(v)
+        if "," in s or '"' in s:
+            s = '"' + s.replace('"', '""') + '"'
+        return s
+
+    lines = [",".join(cols)]
+    for row in rows:
+        lines.append(",".join(esc(row.get(c, "")) for c in cols))
+    return "\n".join(lines)

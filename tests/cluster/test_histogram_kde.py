@@ -1,0 +1,120 @@
+"""Tests for histogram PDFs and KDE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import GaussianKDE, HistogramPDF, histogram_pdf, joint_histogram
+
+
+class TestHistogramPDF:
+    def test_prob_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        pdf = histogram_pdf(rng.standard_normal(10000), bins=100)
+        assert pdf.prob.sum() == pytest.approx(1.0)
+
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(1)
+        pdf = histogram_pdf(rng.standard_normal(10000), bins=50)
+        integral = (pdf.density * pdf.bin_volume).sum()
+        assert integral == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_pdf(np.array([]))
+
+    def test_bin_index_roundtrip(self):
+        pdf = histogram_pdf(np.linspace(0, 1, 101), bins=10, range_=(0.0, 1.0))
+        idx = pdf.bin_index(np.array([[0.05], [0.55], [0.95]]))
+        assert idx.tolist() == [0, 5, 9]
+
+    def test_out_of_range_clipped(self):
+        pdf = histogram_pdf(np.linspace(0, 1, 11), bins=5, range_=(0.0, 1.0))
+        idx = pdf.bin_index(np.array([[-10.0], [10.0]]))
+        assert idx.tolist() == [0, 4]
+
+    def test_prob_at_uniform(self):
+        x = np.repeat(np.linspace(0.05, 0.95, 10), 10)
+        pdf = histogram_pdf(x, bins=10, range_=(0.0, 1.0))
+        assert np.allclose(pdf.prob_at(x[:, None]), 0.1)
+
+    def test_mismatched_edges_rejected(self):
+        with pytest.raises(ValueError):
+            HistogramPDF(edges=[np.arange(4)], counts=np.zeros(5))
+
+    def test_weights(self):
+        pdf = histogram_pdf(np.array([0.1, 0.9]), bins=2, range_=(0, 1), weights=np.array([3.0, 1.0]))
+        assert pdf.prob.tolist() == [0.75, 0.25]
+
+
+class TestJointHistogram:
+    def test_2d_mass(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((5000, 2))
+        pdf = joint_histogram(x, bins=10)
+        assert pdf.counts.shape == (10, 10)
+        assert pdf.prob.sum() == pytest.approx(1.0)
+
+    def test_density_at_matches_structure(self):
+        """Points in dense regions report higher density than sparse regions."""
+        rng = np.random.default_rng(3)
+        dense = rng.standard_normal((5000, 2)) * 0.2
+        sparse = rng.standard_normal((100, 2)) * 3.0 + 6.0
+        x = np.vstack([dense, sparse])
+        pdf = joint_histogram(x, bins=20)
+        assert pdf.density_at(np.array([[0.0, 0.0]]))[0] > pdf.density_at(np.array([[6.0, 6.0]]))[0]
+
+    @given(st.integers(2, 5), st.integers(1, 3), st.integers(0, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_mass_conserved_any_dim(self, bins, d, seed):
+        rng = np.random.default_rng(seed)
+        pdf = joint_histogram(rng.random((200, d)), bins=bins)
+        assert pdf.prob.sum() == pytest.approx(1.0)
+        assert pdf.counts.sum() == 200
+
+
+class TestGaussianKDE:
+    def test_density_positive_and_peaked_at_mode(self):
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal(2000)
+        kde = GaussianKDE(data)
+        at_mode = kde.evaluate(np.array([0.0]))[0]
+        at_tail = kde.evaluate(np.array([4.0]))[0]
+        assert at_mode > at_tail > 0
+
+    def test_matches_scipy(self):
+        from scipy.stats import gaussian_kde
+
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal(500)
+        ours = GaussianKDE(data)
+        theirs = gaussian_kde(data, bw_method="scott")
+        q = np.linspace(-2, 2, 9)
+        assert np.allclose(ours.evaluate(q), theirs(q), rtol=0.05)
+
+    def test_2d_integrates_roughly_to_one(self):
+        rng = np.random.default_rng(6)
+        data = rng.standard_normal((500, 2))
+        kde = GaussianKDE(data)
+        grid = np.linspace(-5, 5, 41)
+        xx, yy = np.meshgrid(grid, grid)
+        pts = np.column_stack([xx.ravel(), yy.ravel()])
+        dx = grid[1] - grid[0]
+        integral = kde.evaluate(pts).sum() * dx * dx
+        assert integral == pytest.approx(1.0, abs=0.05)
+
+    def test_sample_shape_and_spread(self):
+        rng = np.random.default_rng(7)
+        data = rng.standard_normal((300, 2))
+        draws = GaussianKDE(data).sample(1000, rng=0)
+        assert draws.shape == (1000, 2)
+        assert abs(draws.mean()) < 0.3
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKDE(np.array([1.0]))
+
+    def test_dim_mismatch_rejected(self):
+        kde = GaussianKDE(np.random.default_rng(8).standard_normal((50, 2)))
+        with pytest.raises(ValueError):
+            kde.evaluate(np.zeros((3, 3)))

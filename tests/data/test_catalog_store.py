@@ -1,0 +1,153 @@
+"""Tests for the dataset catalog, loaders, and stores."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CATALOG,
+    SubsampleStore,
+    TurbulenceDataset,
+    build_dataset,
+    dataset_summary,
+    load_dataset,
+    save_dataset,
+)
+from repro.data.points import PointSet
+from repro.data.store import load_field, save_field
+from repro.sim.fields import FlowField
+
+
+@pytest.fixture(scope="module")
+def of2d():
+    return build_dataset("OF2D", scale=0.4, rng=0, n_snapshots=12)
+
+
+@pytest.fixture(scope="module")
+def sst_small():
+    return build_dataset("SST-P1F4", scale=0.5, rng=0, n_snapshots=2)
+
+
+class TestCatalog:
+    def test_all_six_datasets_present(self):
+        assert set(CATALOG) == {
+            "TC2D", "OF2D", "SST-P1F4", "SST-P1F100", "GESTS-2048", "GESTS-8192",
+        }
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            build_dataset("NOPE")
+
+    def test_of2d_roles_match_table1(self, of2d):
+        assert of2d.input_vars == ["u", "v"]
+        assert of2d.cluster_var == "p"
+        assert of2d.target is not None and len(of2d.target) == 12
+
+    def test_sst_roles_match_table1(self, sst_small):
+        assert sst_small.input_vars == ["u", "v", "w"]
+        assert sst_small.output_vars == ["p"]
+        assert sst_small.cluster_var == "pv"
+
+    def test_tc2d(self):
+        ds = build_dataset("TC2D", scale=0.3, rng=0)
+        assert ds.n_snapshots == 1
+        assert ds.input_vars == ["c", "c_var"]
+
+    def test_gests_small(self):
+        ds = build_dataset("GESTS-2048", scale=0.5, rng=0, spinup_steps=4)
+        assert ds.cluster_var == "enstrophy"
+        assert ds.ndim == 3
+
+    def test_sst_p1f100_gravity_y(self):
+        ds = build_dataset("SST-P1F100", scale=0.6, rng=0, n_snapshots=1)
+        assert ds.gravity == "y"
+        assert ds.output_vars == ["ee"]
+
+    def test_summary_rows(self, of2d):
+        rows = dataset_summary([of2d])
+        assert rows[0]["label"] == "OF2D"
+        assert rows[0]["paper_size"] == "300MB"
+        assert rows[0]["size_bytes"] > 0
+
+
+class TestDatasetValidation:
+    def test_needs_snapshots(self):
+        with pytest.raises(ValueError):
+            TurbulenceDataset(
+                label="x", snapshots=[], input_vars=[], output_vars=[], cluster_var="u"
+            )
+
+    def test_missing_variable_rejected(self):
+        f = FlowField({"u": np.ones((4, 4))})
+        with pytest.raises(ValueError, match="not available"):
+            TurbulenceDataset(
+                label="x", snapshots=[f], input_vars=["zeta"], output_vars=[], cluster_var="u"
+            )
+
+    def test_target_length_checked(self):
+        f = FlowField({"u": np.ones((4, 4))})
+        with pytest.raises(ValueError, match="one value per snapshot"):
+            TurbulenceDataset(
+                label="x", snapshots=[f], input_vars=["u"], output_vars=[],
+                cluster_var="u", target=np.zeros(3),
+            )
+
+    def test_times_property(self, of2d):
+        times = of2d.times
+        assert len(times) == of2d.n_snapshots
+        assert np.all(np.diff(times) > 0)
+
+
+class TestPersistence:
+    def test_field_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        f = FlowField({"u": rng.random((6, 6))}, time=3.5, meta={"label": "X", "nu": 0.01})
+        path = str(tmp_path / "snap.npz")
+        save_field(path, f)
+        g = load_field(path)
+        assert np.array_equal(g["u"], f["u"])
+        assert g.time == 3.5
+        assert g.meta["nu"] == 0.01
+
+    def test_dataset_roundtrip(self, tmp_path, of2d):
+        path = str(tmp_path / "of2d")
+        save_dataset(of2d, path)
+        loaded = load_dataset("openfoam", path=path)
+        assert loaded.label == of2d.label
+        assert loaded.n_snapshots == of2d.n_snapshots
+        assert np.allclose(loaded.target, of2d.target)
+        assert np.array_equal(loaded.snapshots[0]["u"], of2d.snapshots[0]["u"])
+
+    def test_load_generates_when_no_path(self):
+        ds = load_dataset("tc2d", scale=0.3, rng=0)
+        assert ds.label == "TC2D"
+
+    def test_unknown_dtype(self):
+        with pytest.raises(KeyError):
+            load_dataset("hdf9")
+
+    def test_subsample_store_roundtrip(self, tmp_path):
+        store = SubsampleStore(str(tmp_path / "store"))
+        ps = PointSet(
+            coords=np.arange(12.0).reshape(4, 3),
+            values={"u": np.arange(4.0)},
+            time=1.0,
+            meta={"method": "maxent"},
+        )
+        store.save("run1", ps)
+        back = store.load("run1")
+        assert np.array_equal(back.coords, ps.coords)
+        assert back.meta["method"] == "maxent"
+        assert "run1" in store.entries()
+
+    def test_store_reduction_factor(self, tmp_path):
+        store = SubsampleStore(str(tmp_path / "store"))
+        rng = np.random.default_rng(2)
+        ps = PointSet(coords=rng.random((100, 3)), values={"u": rng.random(100)})
+        store.save("small", ps)
+        factor = store.reduction_factor("small", raw_bytes=10**7)
+        assert factor > 100  # storing 100 points vs a 10 MB field
+
+    def test_store_rejects_path_traversal(self, tmp_path):
+        store = SubsampleStore(str(tmp_path / "store"))
+        with pytest.raises(ValueError):
+            store.save("../evil", PointSet(coords=np.zeros((1, 2)), values={}))

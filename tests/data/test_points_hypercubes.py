@@ -1,0 +1,151 @@
+"""Tests for PointSet and hypercube extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    Hypercube,
+    PointSet,
+    extract_all_hypercubes,
+    extract_hypercube,
+    hypercube_origins,
+)
+from repro.sim.fields import FlowField
+
+
+def make_field(shape=(8, 8, 8)):
+    rng = np.random.default_rng(0)
+    return FlowField(
+        {name: rng.random(shape) for name in ("u", "v", "w")}, time=2.0, meta={"label": "T"}
+    )
+
+
+class TestPointSet:
+    def test_construction_and_len(self):
+        ps = PointSet(coords=np.zeros((5, 3)), values={"u": np.arange(5.0)})
+        assert len(ps) == 5
+        assert ps.ndim == 3
+
+    def test_value_shape_checked(self):
+        with pytest.raises(ValueError):
+            PointSet(coords=np.zeros((5, 3)), values={"u": np.arange(4.0)})
+
+    def test_feature_table(self):
+        ps = PointSet(
+            coords=np.zeros((3, 2)),
+            values={"a": np.array([1.0, 2, 3]), "b": np.array([4.0, 5, 6])},
+        )
+        assert ps.feature_table(["b", "a"]).tolist() == [[4, 1], [5, 2], [6, 3]]
+
+    def test_feature_table_missing(self):
+        ps = PointSet(coords=np.zeros((2, 2)), values={"a": np.zeros(2)})
+        with pytest.raises(KeyError):
+            ps.feature_table(["a", "zz"])
+
+    def test_select(self):
+        ps = PointSet(coords=np.arange(8.0).reshape(4, 2), values={"a": np.arange(4.0)})
+        sub = ps.select(np.array([0, 2]))
+        assert len(sub) == 2
+        assert sub.values["a"].tolist() == [0, 2]
+
+    def test_concatenate(self):
+        a = PointSet(coords=np.zeros((2, 3)), values={"u": np.ones(2)}, time=1.0)
+        b = PointSet(coords=np.ones((3, 3)), values={"u": np.zeros(3)}, time=2.0)
+        cat = PointSet.concatenate([a, b])
+        assert len(cat) == 5
+        assert isinstance(cat.time, np.ndarray)
+        assert cat.time.tolist() == [1, 1, 2, 2, 2]
+
+    def test_concatenate_mismatch_rejected(self):
+        a = PointSet(coords=np.zeros((2, 3)), values={"u": np.ones(2)})
+        b = PointSet(coords=np.zeros((2, 3)), values={"v": np.ones(2)})
+        with pytest.raises(ValueError):
+            PointSet.concatenate([a, b])
+
+    def test_nbytes_positive(self):
+        ps = PointSet(coords=np.zeros((5, 3)), values={"u": np.zeros(5)})
+        assert ps.nbytes() == 5 * 3 * 8 + 5 * 8
+
+
+class TestHypercubeOrigins:
+    def test_exact_tiling(self):
+        origins = hypercube_origins((8, 8, 8), (4, 4, 4))
+        assert len(origins) == 8
+        assert (0, 0, 0) in origins and (4, 4, 4) in origins
+
+    def test_remainder_dropped(self):
+        origins = hypercube_origins((10, 8), (4, 4))
+        assert len(origins) == 2 * 2  # 10//4 = 2 along x
+
+    def test_cube_bigger_than_grid_rejected(self):
+        with pytest.raises(ValueError):
+            hypercube_origins((4, 4), (8, 4))
+
+    @given(
+        gx=st.integers(6, 20), gy=st.integers(6, 20),
+        cx=st.integers(1, 6), cy=st.integers(1, 6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_origins_disjoint_and_inside(self, gx, gy, cx, cy):
+        origins = hypercube_origins((gx, gy), (cx, cy))
+        assert len(origins) == (gx // cx) * (gy // cy)
+        seen = set()
+        for ox, oy in origins:
+            assert 0 <= ox and ox + cx <= gx
+            assert 0 <= oy and oy + cy <= gy
+            assert (ox, oy) not in seen
+            seen.add((ox, oy))
+
+
+class TestExtract:
+    def test_extract_matches_source(self):
+        f = make_field()
+        cube = extract_hypercube(f, (2, 2, 2), (4, 4, 4), ["u", "v"])
+        assert cube.shape == (4, 4, 4)
+        assert np.array_equal(cube.variables["u"], f["u"][2:6, 2:6, 2:6])
+        assert cube.time == 2.0
+
+    def test_out_of_bounds_rejected(self):
+        f = make_field()
+        with pytest.raises(ValueError):
+            extract_hypercube(f, (6, 0, 0), (4, 4, 4), ["u"])
+
+    def test_derived_variable_extracted(self):
+        f = make_field()
+        cube = extract_hypercube(f, (0, 0, 0), (4, 4, 4), ["enstrophy"])
+        assert np.all(cube.variables["enstrophy"] >= 0)
+
+    def test_extract_all_covers_grid(self):
+        f = make_field()
+        cubes = extract_all_hypercubes(f, (4, 4, 4), ["u"])
+        assert len(cubes) == 8
+        total = sum(c.n_points for c in cubes)
+        assert total == f.n_points
+
+    def test_cube_coords_global(self):
+        f = make_field()
+        cube = extract_hypercube(f, (4, 0, 0), (2, 2, 2), ["u"])
+        coords = cube.coords()
+        assert coords.shape == (8, 3)
+        assert coords[:, 0].min() == 4.0
+
+    def test_to_pointset_roundtrip_values(self):
+        f = make_field()
+        cube = extract_hypercube(f, (0, 4, 0), (2, 2, 2), ["u"])
+        ps = cube.to_pointset(["u"])
+        # Check one specific point: coords (0, 4, 0) is the first in C-order.
+        assert ps.values["u"][0] == f["u"][0, 4, 0]
+
+    def test_select_points(self):
+        f = make_field()
+        cube = extract_hypercube(f, (0, 0, 0), (2, 2, 2), ["u"])
+        ps = cube.select_points(np.array([0, 7]))
+        assert len(ps) == 2
+        assert ps.values["u"][1] == f["u"][1, 1, 1]
+
+    def test_hypercube_validation(self):
+        with pytest.raises(ValueError):
+            Hypercube(origin=(0, 0), shape=(2, 2, 2), variables={})
+        with pytest.raises(ValueError):
+            Hypercube(origin=(0, 0, 0), shape=(2, 2, 2), variables={"u": np.zeros((3, 2, 2))})

@@ -1,0 +1,138 @@
+"""Tests for the energy model, meters, and Eq. 3 cost model."""
+
+import threading
+
+import pytest
+
+from repro.energy import EnergyMeter, EnergyModel, account, active_meter, cost_to_train
+
+
+class TestEnergyModel:
+    def test_dynamic_energy(self):
+        m = EnergyModel(e_flop=1e-11, e_byte=1e-10)
+        assert m.dynamic_energy(1e12, 0) == pytest.approx(10.0)
+        assert m.dynamic_energy(0, 1e11) == pytest.approx(10.0)
+
+    def test_movement_dominates_compute(self):
+        """The paper's premise: moving a double costs >>(~100x) computing it."""
+        m = EnergyModel()
+        per_flop = m.dynamic_energy(1, 0)
+        per_double_moved = m.dynamic_energy(0, 8)
+        assert per_double_moved / per_flop >= 100
+
+    def test_idle_energy(self):
+        m = EnergyModel(p_idle_cpu=100.0, p_idle_gpu=400.0)
+        assert m.idle_energy(2.0, gpus=4) == pytest.approx(2 * (100 + 1600))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().dynamic_energy(-1, 0)
+        with pytest.raises(ValueError):
+            EnergyModel().idle_energy(-1)
+
+
+class TestEnergyMeter:
+    def test_context_accounting(self):
+        with EnergyMeter() as meter:
+            account(flops=1e9, nbytes=1e6, device="gpu")
+        assert meter.flops_gpu == 1e9
+        assert meter.bytes_gpu == 1e6
+        assert meter.total_energy > 0
+
+    def test_no_active_meter_is_noop(self):
+        assert active_meter() is None
+        account(flops=1e9)  # must not raise
+
+    def test_nested_meters_both_charged(self):
+        with EnergyMeter() as outer:
+            account(flops=100)
+            with EnergyMeter() as inner:
+                account(flops=10)
+        assert inner.flops_gpu == 10
+        assert outer.flops_gpu == 110
+
+    def test_cpu_vs_gpu_split(self):
+        with EnergyMeter() as meter:
+            account(flops=5, device="cpu")
+            account(flops=7, device="gpu")
+        assert meter.flops_cpu == 5
+        assert meter.flops_gpu == 7
+
+    def test_bad_device(self):
+        with pytest.raises(ValueError):
+            EnergyMeter().record(flops=1, device="tpu")
+
+    def test_idle_power_needs_elapsed(self):
+        meter = EnergyMeter(gpus=2)
+        meter.add_elapsed(10.0)
+        assert meter.gpu_energy == pytest.approx(meter.model.p_idle_gpu * 2 * 10.0)
+
+    def test_report_greppable(self):
+        """Report must contain the lines the paper's analysis greps for."""
+        meter = EnergyMeter()
+        meter.record(flops=1e12)
+        meter.add_elapsed(1.0)
+        text = meter.report()
+        assert "Total Energy Consumed" in text
+        assert "CPU Energy" in text
+        assert "Elapsed Time" in text
+
+    def test_merge_sums_counters_max_elapsed(self):
+        a, b = EnergyMeter(), EnergyMeter()
+        a.record(flops=10)
+        a.add_elapsed(1.0)
+        b.record(flops=20)
+        b.add_elapsed(5.0)
+        a.merge(b)
+        assert a.flops_gpu == 30
+        assert a.elapsed == 5.0
+
+    def test_meters_thread_local(self):
+        """SPMD ranks meter independently — no cross-thread bleed."""
+        seen = {}
+
+        def worker():
+            with EnergyMeter() as m:
+                account(flops=111)
+                seen["worker"] = m.flops_gpu
+
+        with EnergyMeter() as main:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["worker"] == 111
+        assert main.flops_gpu == 0
+
+    def test_exit_order_enforced(self):
+        a, b = EnergyMeter(), EnergyMeter()
+        a.__enter__()
+        b.__enter__()
+        with pytest.raises(RuntimeError):
+            a.__exit__(None, None, None)
+        b.__exit__(None, None, None)
+        a.__exit__(None, None, None)
+
+
+class TestCostToTrain:
+    def test_training_term_linear_in_each_factor(self):
+        base = cost_to_train(m=100, p=1000, e=10).training
+        assert cost_to_train(m=200, p=1000, e=10).training == pytest.approx(2 * base)
+        assert cost_to_train(m=100, p=2000, e=10).training == pytest.approx(2 * base)
+        assert cost_to_train(m=100, p=1000, e=20).training == pytest.approx(2 * base)
+
+    def test_sampling_amortized_over_full_scan(self):
+        c = cost_to_train(m=100, p=10, e=1, sampling_cost_per_point=2.0, points_scanned=1e6)
+        assert c.sampling == pytest.approx(2e6)
+        assert c.total == c.sampling + c.training
+
+    def test_subsampling_wins_when_epochs_large(self):
+        """Eq. 3's core claim: sampling overhead amortizes under long training."""
+        full = cost_to_train(m=1e6, p=1e5, e=1000)
+        sampled = cost_to_train(
+            m=1e5, p=1e5, e=1000, sampling_cost_per_point=100.0, points_scanned=1e6
+        )
+        assert sampled.total < full.total
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cost_to_train(m=-1, p=1, e=1)

@@ -1,0 +1,168 @@
+"""Tests for metrics and ASCII/table visualization."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    ScalingSeries,
+    find_knee,
+    nrmse,
+    pdf_match_js,
+    phase_space_uniformity,
+    relative_l2,
+    rmse,
+    speedup_series,
+    tail_coverage,
+    wake_capture_score,
+)
+from repro.viz import ascii_bar, ascii_field, ascii_line, ascii_scatter, format_table, to_csv
+
+
+class TestPdfMetrics:
+    def test_js_zero_for_population_sample(self):
+        rng = np.random.default_rng(0)
+        pop = rng.standard_normal(10000)
+        assert pdf_match_js(pop, pop) == pytest.approx(0.0, abs=1e-9)
+
+    def test_js_detects_bias(self):
+        rng = np.random.default_rng(1)
+        pop = rng.standard_normal(10000)
+        center_only = pop[np.abs(pop) < 0.5]
+        fair = rng.choice(pop, 1000)
+        assert pdf_match_js(pop, center_only) > pdf_match_js(pop, fair)
+
+    def test_tail_coverage_full_vs_center(self):
+        rng = np.random.default_rng(2)
+        pop = rng.standard_normal(20000)
+        tail_idx = np.argsort(np.abs(pop))[-300:]
+        center_idx = np.argsort(np.abs(pop))[:300]
+        assert tail_coverage(pop, tail_idx) > 0.8
+        assert tail_coverage(pop, center_idx) == 0.0
+
+    def test_uniformity_uniform_beats_gaussian(self):
+        rng = np.random.default_rng(3)
+        uniform = rng.random((2000, 2))
+        gauss = rng.standard_normal((2000, 2)) * 0.15 + 0.5
+        assert phase_space_uniformity(uniform) < phase_space_uniformity(gauss)
+
+    def test_wake_capture_enrichment(self):
+        rng = np.random.default_rng(4)
+        vort = np.zeros(1000)
+        vort[:100] = 10.0  # wake cells
+        wake_samples = np.arange(50)  # all inside the wake
+        spread_samples = rng.choice(1000, 100, replace=False)
+        assert wake_capture_score(vort, wake_samples) == pytest.approx(10.0)
+        assert wake_capture_score(vort, spread_samples) < 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pdf_match_js(np.array([]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            tail_coverage(np.ones(10), np.arange(3), quantile=1.5)
+
+
+class TestAccuracy:
+    def test_rmse(self):
+        assert rmse(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == pytest.approx(np.sqrt(2.5))
+
+    def test_nrmse_scale_invariant(self):
+        rng = np.random.default_rng(5)
+        t = rng.standard_normal(100)
+        p = t + 0.1 * rng.standard_normal(100)
+        assert nrmse(10 * p, 10 * t) == pytest.approx(nrmse(p, t))
+
+    def test_relative_l2_zero_for_exact(self):
+        t = np.array([1.0, 2.0, 3.0])
+        assert relative_l2(t, t) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(4))
+
+
+class TestScaling:
+    def test_ideal_scaling(self):
+        s = speedup_series([1, 2, 4, 8], [8.0, 4.0, 2.0, 1.0])
+        assert np.allclose(s.speedup, [1, 2, 4, 8])
+        assert np.allclose(s.efficiency, 1.0)
+        assert find_knee(s) == 8
+
+    def test_knee_detection(self):
+        # Efficiency: 1, 0.9, 0.8, 0.55, 0.3 -> knee at 8 for threshold 0.5.
+        ranks = [1, 2, 4, 8, 16]
+        times = [16.0, 16 / (2 * 0.9), 16 / (4 * 0.8), 16 / (8 * 0.55), 16 / (16 * 0.3)]
+        s = speedup_series(ranks, times)
+        assert find_knee(s, efficiency_threshold=0.5) == 8
+
+    def test_series_validation(self):
+        with pytest.raises(ValueError):
+            speedup_series([2, 4], [1.0, 0.5])  # missing baseline
+        with pytest.raises(ValueError):
+            speedup_series([1, 1], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            speedup_series([1, 2], [1.0, -1.0])
+
+    def test_row(self):
+        s = speedup_series([1, 2], [2.0, 1.0])
+        row = s.row(1)
+        assert row["ranks"] == 2 and row["speedup"] == 2.0
+
+
+class TestViz:
+    def test_scatter_contains_markers(self):
+        out = ascii_scatter(np.arange(10), np.arange(10) ** 2, title="t")
+        assert "o" in out and out.startswith("t\n")
+
+    def test_scatter_log_axes(self):
+        out = ascii_scatter(np.array([1, 10, 100]), np.array([1.0, 2.0, 3.0]), logx=True)
+        assert "(log)" in out
+
+    def test_line_legend(self):
+        out = ascii_line({
+            "a": (np.arange(5), np.arange(5.0)),
+            "b": (np.arange(5), np.arange(5.0)[::-1]),
+        })
+        assert "o=a" in out and "x=b" in out
+
+    def test_bar(self):
+        out = ascii_bar(["x", "yy"], [1.0, 2.0])
+        assert out.count("|") == 2
+        assert "2" in out
+
+    def test_field_shading(self):
+        field = np.zeros((30, 30))
+        field[:, 15:] = 1.0
+        out = ascii_field(field, width=20, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 10
+        assert lines[0][0] == " " and lines[0][-1] == "@"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            ascii_bar([], [])
+        with pytest.raises(ValueError):
+            ascii_field(np.zeros(3))
+
+
+class TestTables:
+    def test_format_table_aligned(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_csv_escaping(self):
+        rows = [{"a": 'v,"1"', "b": 2}]
+        out = to_csv(rows)
+        assert '"v,""1"""' in out
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        assert "b" not in format_table(rows, columns=["a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([])

@@ -1,0 +1,41 @@
+"""Finite-difference gradient checking for the autograd engine."""
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar fn w.r.t. array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def gradcheck(build, x: np.ndarray, rtol: float = 1e-4, atol: float = 1e-6) -> None:
+    """Compare autograd's gradient against finite differences.
+
+    ``build(tensor) -> Tensor`` must return a scalar tensor.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    t = Tensor(x.copy(), requires_grad=True)
+    out = build(t)
+    if out.size != 1:
+        raise ValueError("gradcheck target must be scalar")
+    out.backward()
+    analytic = t.grad
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        return float(build(Tensor(arr.copy())).data)
+
+    numeric = numeric_grad(scalar_fn, x.copy())
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

@@ -1,0 +1,201 @@
+"""Collective-semantics tests for the simulated MPI runtime.
+
+Every collective is exercised on both the serial and the threaded
+communicator; threaded runs use 2-8 ranks so real interleavings occur.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SerialComm, run_spmd
+from repro.parallel.comm import payload_nbytes
+
+
+class TestSerialComm:
+    def test_identity_collectives(self):
+        comm = SerialComm()
+        assert comm.rank == 0 and comm.size == 1
+        assert comm.bcast(42) == 42
+        assert comm.gather("x") == ["x"]
+        assert comm.allgather(3) == [3]
+        assert comm.allreduce(5) == 5
+        assert comm.scatter([7]) == 7
+        assert comm.alltoall([1]) == [1]
+        comm.barrier()
+
+    def test_scatter_needs_exactly_one_chunk(self):
+        with pytest.raises(ValueError):
+            SerialComm().scatter([1, 2])
+
+    def test_send_recv_unavailable(self):
+        with pytest.raises(RuntimeError):
+            SerialComm().send(1, dest=0)
+
+    def test_reduce_ops(self):
+        comm = SerialComm()
+        assert comm.allreduce(np.array([1.0, 2.0]), op="max").tolist() == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            comm.allreduce(1, op="bogus")
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 7])
+class TestThreadCollectives:
+    def test_bcast(self, nranks):
+        def prog(comm):
+            data = np.arange(5) * 10 if comm.rank == 2 % comm.size else None
+            return comm.bcast(data, root=2 % comm.size)
+
+        res = run_spmd(prog, nranks)
+        for v in res.values:
+            assert np.array_equal(v, np.arange(5) * 10)
+
+    def test_bcast_receivers_get_copies(self, nranks):
+        def prog(comm):
+            data = np.zeros(3) if comm.rank == 0 else None
+            out = comm.bcast(data, root=0)
+            if comm.rank == 1:
+                out += 99  # must not corrupt peers
+            comm.barrier()
+            return float(out.sum())
+
+        res = run_spmd(prog, nranks)
+        assert res.values[0] == 0.0
+
+    def test_scatter_gather_roundtrip(self, nranks):
+        def prog(comm):
+            chunks = [np.full(2, r) for r in range(comm.size)] if comm.rank == 0 else None
+            mine = comm.scatter(chunks, root=0)
+            assert np.all(mine == comm.rank)
+            gathered = comm.gather(mine * 2, root=0)
+            if comm.rank == 0:
+                return [g.tolist() for g in gathered]
+            assert gathered is None
+            return None
+
+        res = run_spmd(prog, nranks)
+        assert res.values[0] == [[2 * r, 2 * r] for r in range(nranks)]
+
+    def test_allgather(self, nranks):
+        res = run_spmd(lambda comm: comm.allgather(comm.rank**2), nranks)
+        expected = [r**2 for r in range(nranks)]
+        assert all(v == expected for v in res.values)
+
+    def test_allreduce_sum_array(self, nranks):
+        def prog(comm):
+            return comm.allreduce(np.full(3, comm.rank + 1.0))
+
+        res = run_spmd(prog, nranks)
+        total = sum(range(1, nranks + 1))
+        for v in res.values:
+            assert np.allclose(v, total)
+
+    def test_allreduce_min_max(self, nranks):
+        res = run_spmd(lambda c: (c.allreduce(c.rank, op="min"), c.allreduce(c.rank, op="max")), nranks)
+        assert all(v == (0, nranks - 1) for v in res.values)
+
+    def test_reduce_root_only(self, nranks):
+        res = run_spmd(lambda c: c.reduce(1, op="sum", root=0), nranks)
+        assert res.values[0] == nranks
+        assert all(v is None for v in res.values[1:])
+
+    def test_alltoall(self, nranks):
+        def prog(comm):
+            out = comm.alltoall([100 * comm.rank + dst for dst in range(comm.size)])
+            return out
+
+        res = run_spmd(prog, nranks)
+        for dst, received in enumerate(res.values):
+            assert received == [100 * src + dst for src in range(nranks)]
+
+    def test_send_recv_ring(self, nranks):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(np.array([comm.rank]), dest=right, tag=5)
+            got = comm.recv(source=left, tag=5)
+            return int(got[0])
+
+        res = run_spmd(prog, nranks)
+        assert res.values == [(r - 1) % nranks for r in range(nranks)]
+
+    def test_sequential_collectives_do_not_cross(self, nranks):
+        """Values from one collective must never bleed into the next."""
+
+        def prog(comm):
+            a = comm.allgather(("first", comm.rank))
+            b = comm.allgather(("second", comm.rank))
+            return a[0][0], b[0][0]
+
+        res = run_spmd(prog, nranks)
+        assert all(v == ("first", "second") for v in res.values)
+
+
+class TestErrorPropagation:
+    def test_rank_failure_propagates(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 1 failed"):
+            run_spmd(prog, 3)
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(RuntimeError):
+            run_spmd(lambda c: c.bcast(1, root=99), 2)
+
+    def test_scatter_wrong_chunk_count(self):
+        def prog(comm):
+            chunks = [1] if comm.rank == 0 else None
+            return comm.scatter(chunks, root=0)
+
+        with pytest.raises(RuntimeError):
+            run_spmd(prog, 3)
+
+
+class TestVirtualTime:
+    def test_compute_advances_clock(self):
+        def prog(comm):
+            comm.account_compute(2.0e6)
+            return comm.clock.t
+
+        res = run_spmd(prog, 2)
+        assert all(t == pytest.approx(1.0) for t in res.values)  # 2e6 work / 2e6 rate
+
+    def test_collective_synchronizes_clocks(self):
+        def prog(comm):
+            comm.account_compute(1.0e6 * (comm.rank + 1))  # rank 1 is slower
+            comm.barrier()
+            return comm.clock.t
+
+        res = run_spmd(prog, 2)
+        # Both ranks end at >= the slow rank's arrival time.
+        assert min(res.values) >= 1.0
+        assert res.values[0] == pytest.approx(res.values[1])
+
+    def test_virtual_makespan(self):
+        res = run_spmd(lambda c: c.account_compute(4.0e6), 2)
+        assert res.virtual_time == pytest.approx(2.0)
+
+    def test_stats_counted(self):
+        def prog(comm):
+            comm.barrier()
+            comm.allreduce(1.0)
+            return comm.clock.stats
+
+        res = run_spmd(prog, 2)
+        for stats in res.values:
+            assert stats.barriers == 1
+            assert stats.collectives == 1
+
+
+class TestPayloadNbytes:
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_scalars_and_containers(self):
+        assert payload_nbytes(1) == 8
+        assert payload_nbytes("ab") == 2
+        assert payload_nbytes([1, 2]) == 16
+        assert payload_nbytes({"a": 1}) == 9
+        assert payload_nbytes(None) == 0

@@ -1,0 +1,54 @@
+"""Tests for block decomposition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.partition import block_bounds, block_partition, owner_of, partition_list
+
+
+class TestBlockPartition:
+    def test_even_split(self):
+        assert block_partition(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_first(self):
+        assert block_partition(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_more_ranks_than_items(self):
+        parts = block_partition(2, 5)
+        sizes = [hi - lo for lo, hi in parts]
+        assert sizes == [1, 1, 0, 0, 0]
+
+    def test_zero_items(self):
+        assert all(lo == hi for lo, hi in block_partition(0, 3))
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            block_bounds(10, 4, 4)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            block_bounds(10, 0, 0)
+
+    @given(st.integers(0, 1000), st.integers(1, 64))
+    def test_partition_covers_range_exactly(self, n, size):
+        parts = block_partition(n, size)
+        assert parts[0][0] == 0
+        assert parts[-1][1] == n
+        for (al, ah), (bl, bh) in zip(parts, parts[1:]):
+            assert ah == bl  # contiguous, no gaps or overlap
+        sizes = [hi - lo for lo, hi in parts]
+        assert max(sizes) - min(sizes) <= 1  # balanced
+
+    @given(st.integers(1, 500), st.integers(1, 32))
+    def test_owner_consistent_with_bounds(self, n, size):
+        for idx in range(0, n, max(1, n // 7)):
+            r = owner_of(idx, n, size)
+            lo, hi = block_bounds(n, size, r)
+            assert lo <= idx < hi
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(ValueError):
+            owner_of(5, 5, 2)
+
+    def test_partition_list(self):
+        assert partition_list([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]

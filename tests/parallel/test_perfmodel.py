@@ -1,0 +1,82 @@
+"""Tests for the LogGP performance model and virtual clocks."""
+
+import math
+
+import pytest
+
+from repro.parallel.perfmodel import CommStats, PerfModel, VirtualClock
+
+
+class TestPerfModel:
+    def test_compute_time_linear(self):
+        m = PerfModel(compute_rate=1e6)
+        assert m.compute_time(2e6) == pytest.approx(2.0)
+        assert m.compute_time(0) == 0.0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            PerfModel().compute_time(-1)
+
+    def test_p2p_latency_plus_bandwidth(self):
+        m = PerfModel(alpha=1e-6, beta=1e-9)
+        assert m.p2p_time(1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_collective_single_rank_free(self):
+        assert PerfModel().collective_time("allreduce", 1000, 1) == 0.0
+
+    def test_collective_log_scaling(self):
+        m = PerfModel(alpha=1e-6, beta=0.0)
+        t4 = m.collective_time("bcast", 0, 4)
+        t16 = m.collective_time("bcast", 0, 16)
+        assert t16 == pytest.approx(2 * t4)  # log2(16)=4 vs log2(4)=2
+
+    def test_alltoall_linear_in_p(self):
+        m = PerfModel(alpha=1e-6, beta=0.0)
+        assert m.collective_time("alltoall", 0, 9) == pytest.approx(8e-6)
+
+    def test_allreduce_twice_bcast(self):
+        m = PerfModel(alpha=1e-6, beta=1e-9)
+        assert m.collective_time("allreduce", 64, 8) == pytest.approx(
+            2 * m.collective_time("bcast", 64, 8)
+        )
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            PerfModel().collective_time("gossip", 0, 4)
+
+    def test_imbalance_slows_collectives(self):
+        fast = PerfModel(imbalance=0.0)
+        slow = PerfModel(imbalance=0.2)
+        assert slow.collective_time("barrier", 0, 64) > fast.collective_time("barrier", 0, 64)
+
+    def test_rounds_are_ceil_log2(self):
+        m = PerfModel(alpha=1.0, beta=0.0)
+        assert m.collective_time("barrier", 0, 5) == pytest.approx(math.ceil(math.log2(5)))
+
+
+class TestVirtualClock:
+    def test_add_compute(self):
+        c = VirtualClock(model=PerfModel(compute_rate=100.0))
+        c.add_compute(50.0)
+        assert c.t == pytest.approx(0.5)
+        assert c.stats.compute_work == 50.0
+
+    def test_sync_to_takes_max(self):
+        c = VirtualClock(model=PerfModel(alpha=0.0, beta=0.0))
+        c.add_compute(0)
+        c.sync_to(7.0, "barrier", 0, 4)
+        assert c.t >= 7.0
+        assert c.stats.barriers == 1
+
+    def test_p2p_counts(self):
+        c = VirtualClock()
+        c.add_p2p(128)
+        assert c.stats.messages == 1
+        assert c.stats.bytes_sent == 128
+        assert c.t > 0
+
+    def test_stats_merge(self):
+        a = CommStats(messages=1, bytes_sent=10, collectives=2, barriers=3, compute_work=4.0)
+        b = CommStats(messages=5, bytes_sent=6, collectives=7, barriers=8, compute_work=9.0)
+        a.merge(b)
+        assert (a.messages, a.bytes_sent, a.collectives, a.barriers, a.compute_work) == (6, 16, 9, 11, 13.0)

@@ -1,0 +1,168 @@
+"""Tests for the entropy / KL / node-strength machinery."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling.entropy import (
+    adjacency_graph,
+    cluster_value_distributions,
+    entropy_adjacency,
+    kl_divergence,
+    node_strengths,
+    shannon_entropy,
+    strength_weights,
+)
+
+
+class TestShannonEntropy:
+    def test_uniform_is_max(self):
+        assert shannon_entropy(np.full(8, 0.125), base=2) == pytest.approx(3.0)
+
+    def test_delta_is_zero(self):
+        assert shannon_entropy(np.array([1.0, 0.0, 0.0])) == 0.0
+
+    def test_unnormalized_accepted(self):
+        assert shannon_entropy(np.array([2.0, 2.0]), base=2) == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            shannon_entropy(np.array([-0.1, 1.1]))
+        with pytest.raises(ValueError):
+            shannon_entropy(np.zeros(3))
+
+    @given(st.lists(st.floats(0.01, 10.0), min_size=2, max_size=32))
+    def test_bounds(self, raw):
+        p = np.array(raw)
+        h = shannon_entropy(p)
+        assert -1e-12 <= h <= np.log(len(p)) + 1e-9
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_for_different(self):
+        assert kl_divergence(np.array([0.9, 0.1]), np.array([0.1, 0.9])) > 0
+
+    def test_asymmetric(self):
+        p = np.array([0.7, 0.2, 0.1])
+        q = np.array([0.1, 0.1, 0.8])
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_empty_q_bins_finite(self):
+        """The eps floor keeps divergence finite on empty histogram bins."""
+        d = kl_divergence(np.array([0.5, 0.5]), np.array([1.0, 0.0]))
+        assert np.isfinite(d) and d > 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.ones(3), np.ones(4))
+
+    @given(
+        st.lists(st.floats(0.01, 1.0), min_size=3, max_size=3),
+        st.lists(st.floats(0.01, 1.0), min_size=3, max_size=3),
+    )
+    def test_nonnegative(self, p_raw, q_raw):
+        assert kl_divergence(np.array(p_raw), np.array(q_raw)) >= -1e-12
+
+
+class TestClusterDistributions:
+    def test_rows_normalized(self):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(1000)
+        labels = rng.integers(0, 5, size=1000)
+        dists = cluster_value_distributions(values, labels, 5, bins=20)
+        assert dists.shape == (5, 20)
+        assert np.allclose(dists.sum(axis=1), 1.0)
+
+    def test_empty_cluster_uniform(self):
+        values = np.array([0.0, 1.0])
+        labels = np.array([0, 0])
+        dists = cluster_value_distributions(values, labels, 3, bins=4)
+        assert np.allclose(dists[1], 0.25)
+        assert np.allclose(dists[2], 0.25)
+
+    def test_separated_clusters_disjoint_support(self):
+        values = np.concatenate([np.zeros(50), np.ones(50) * 10])
+        labels = np.concatenate([np.zeros(50, int), np.ones(50, int)])
+        dists = cluster_value_distributions(values, labels, 2, bins=10)
+        assert (dists[0] * dists[1]).sum() == pytest.approx(0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cluster_value_distributions(np.ones(3), np.zeros(4, int), 2)
+
+    def test_constant_values_handled(self):
+        dists = cluster_value_distributions(np.ones(10), np.zeros(10, int), 1, bins=5)
+        assert np.isfinite(dists).all()
+
+
+class TestAdjacency:
+    def test_diagonal_zero_nonnegative(self):
+        rng = np.random.default_rng(1)
+        dists = rng.dirichlet(np.ones(10), size=4)
+        a = entropy_adjacency(dists)
+        assert a.shape == (4, 4)
+        assert np.all(np.diag(a) == 0)
+        assert np.all(a >= 0)
+
+    def test_matches_pairwise_kl(self):
+        rng = np.random.default_rng(2)
+        dists = rng.dirichlet(np.ones(6) * 2, size=3)
+        a = entropy_adjacency(dists)
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    assert a[i, j] == pytest.approx(kl_divergence(dists[i], dists[j]), abs=1e-6)
+
+    def test_identical_rows_zero_matrix(self):
+        dists = np.tile(np.full(5, 0.2), (3, 1))
+        assert np.allclose(entropy_adjacency(dists), 0.0)
+
+
+class TestNodeStrengths:
+    def test_outlier_cluster_strongest(self):
+        """A distribution far from the others must get the top strength."""
+        base = np.array([0.5, 0.3, 0.15, 0.05])
+        near = np.array([0.45, 0.35, 0.15, 0.05])
+        outlier = np.array([0.02, 0.03, 0.15, 0.8])
+        s = node_strengths(entropy_adjacency(np.stack([base, near, outlier])))
+        assert np.argmax(s) == 2
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            node_strengths(np.ones((2, 3)))
+
+    def test_graph_construction(self):
+        a = np.array([[0.0, 1.0], [2.0, 0.0]])
+        g = adjacency_graph(a)
+        assert isinstance(g, nx.DiGraph)
+        assert g[0][1]["weight"] == 1.0
+        assert g[1][0]["weight"] == 2.0
+        assert not g.has_edge(0, 0)
+
+
+class TestStrengthWeights:
+    def test_normalized(self):
+        w = strength_weights(np.array([1.0, 3.0]))
+        assert w.sum() == pytest.approx(1.0)
+        assert w[1] == pytest.approx(0.75)
+
+    def test_all_zero_falls_back_uniform(self):
+        w = strength_weights(np.zeros(4))
+        assert np.allclose(w, 0.25)
+
+    def test_temperature_sharpens(self):
+        s = np.array([1.0, 2.0])
+        sharp = strength_weights(s, temperature=0.5)
+        flat = strength_weights(s, temperature=2.0)
+        assert sharp[1] > flat[1]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            strength_weights(np.array([-1.0, 1.0]))
+        with pytest.raises(ValueError):
+            strength_weights(np.ones(2), temperature=0.0)

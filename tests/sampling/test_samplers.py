@@ -1,0 +1,248 @@
+"""Behavioural tests for all registered samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling import (
+    MaxEntSampler,
+    Sampler,
+    available_samplers,
+    get_sampler,
+    register_sampler,
+)
+from repro.sampling.stratified import allocate_counts
+
+ALL_SAMPLERS = ["random", "lhs", "stratified", "uips", "maxent"]
+
+
+def bimodal_features(n=2000, rare_frac=0.02, seed=0):
+    """A dense mode at 0 plus a rare tail mode at 8 (1-D)."""
+    rng = np.random.default_rng(seed)
+    n_rare = max(1, int(n * rare_frac))
+    dense = rng.standard_normal(n - n_rare) * 0.5
+    rare = 8.0 + rng.standard_normal(n_rare) * 0.5
+    return np.concatenate([dense, rare])[:, None]
+
+
+class TestRegistry:
+    def test_all_expected_registered(self):
+        for name in ALL_SAMPLERS:
+            assert name in available_samplers()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_sampler("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_sampler("random")
+            class Dup(Sampler):  # pragma: no cover - never used
+                def select(self, features, n, rng):
+                    return np.arange(n)
+
+    def test_non_sampler_rejected(self):
+        with pytest.raises(TypeError):
+            register_sampler("notasampler")(object)  # type: ignore[arg-type]
+
+
+@pytest.mark.parametrize("name", ALL_SAMPLERS)
+class TestSamplerContract:
+    def test_returns_n_unique_valid_indices(self, name):
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((300, 2))
+        idx = get_sampler(name).sample(features, 50, rng=1)
+        assert idx.shape == (50,)
+        assert len(np.unique(idx)) == 50
+        assert idx.min() >= 0 and idx.max() < 300
+
+    def test_deterministic_given_seed(self, name):
+        rng = np.random.default_rng(1)
+        features = rng.standard_normal((200, 2))
+        a = get_sampler(name).sample(features, 40, rng=7)
+        b = get_sampler(name).sample(features, 40, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_full_budget_allowed(self, name):
+        rng = np.random.default_rng(2)
+        features = rng.standard_normal((64, 1))
+        idx = get_sampler(name).sample(features, 64, rng=0)
+        assert sorted(idx.tolist()) == list(range(64))
+
+    def test_over_budget_rejected(self, name):
+        with pytest.raises(ValueError):
+            get_sampler(name).sample(np.zeros((10, 1)), 11, rng=0)
+
+    def test_nonfinite_rejected(self, name):
+        features = np.ones((10, 1))
+        features[3] = np.nan
+        with pytest.raises(ValueError):
+            get_sampler(name).sample(features, 2, rng=0)
+
+    def test_1d_features_accepted(self, name):
+        rng = np.random.default_rng(3)
+        idx = get_sampler(name).sample(rng.standard_normal(128), 16, rng=0)
+        assert idx.shape == (16,)
+
+
+class TestLatinHypercube:
+    def test_marginal_stratification_1d(self):
+        """On dense 1-D data each decile receives exactly one of 10 samples."""
+        features = np.linspace(0, 1, 1000)[:, None]
+        idx = get_sampler("lhs").sample(features, 10, rng=0)
+        deciles = np.floor(features[idx, 0] * 10).astype(int).clip(0, 9)
+        assert len(np.unique(deciles)) == 10
+
+    def test_better_coverage_than_random_worst_gap(self):
+        rng = np.random.default_rng(4)
+        features = rng.random((2000, 1))
+        lhs_idx = get_sampler("lhs").sample(features, 20, rng=0)
+        gaps_lhs = np.diff(np.sort(features[lhs_idx, 0]), prepend=0, append=1).max()
+        worst_random = np.median([
+            np.diff(np.sort(features[
+                get_sampler("random").sample(features, 20, rng=s), 0
+            ]), prepend=0, append=1).max()
+            for s in range(10)
+        ])
+        assert gaps_lhs <= worst_random
+
+
+class TestAllocateCounts:
+    def test_sums_to_budget(self):
+        counts = allocate_counts(10, np.array([100, 100, 100]))
+        assert counts.sum() == 10
+
+    def test_respects_capacity(self):
+        counts = allocate_counts(10, np.array([2, 100]), np.array([0.9, 0.1]))
+        assert counts[0] <= 2
+        assert counts.sum() == 10
+
+    def test_insufficient_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_counts(10, np.array([3, 3]))
+
+    @given(
+        n=st.integers(1, 50),
+        sizes=st.lists(st.integers(0, 40), min_size=1, max_size=8),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property(self, n, sizes, seed):
+        sizes = np.array(sizes)
+        if sizes.sum() < n:
+            with pytest.raises(ValueError):
+                allocate_counts(n, sizes)
+            return
+        rng = np.random.default_rng(seed)
+        weights = rng.random(len(sizes))
+        counts = allocate_counts(n, sizes, weights)
+        assert counts.sum() == n
+        assert np.all(counts <= sizes)
+        assert np.all(counts >= 0)
+
+
+class TestMaxEntBehaviour:
+    def test_oversamples_rare_mode(self):
+        """MaxEnt must pick up the rare tail mode far above its data share."""
+        features = bimodal_features(n=2000, rare_frac=0.02)
+        n = 200
+        idx = MaxEntSampler(n_clusters=8).sample(features, n, rng=0)
+        rare_share = (features[idx, 0] > 4.0).mean()
+        assert rare_share > 0.1  # 5x the 2% population share
+
+    def test_random_matches_population_share(self):
+        features = bimodal_features(n=2000, rare_frac=0.02)
+        idx = get_sampler("random").sample(features, 200, rng=0)
+        rare_share = (features[idx, 0] > 4.0).mean()
+        assert rare_share < 0.08
+
+    def test_tail_coverage_beats_random(self):
+        """Fig 5's headline: MaxEnt covers tails that random misses."""
+        rng = np.random.default_rng(5)
+        features = rng.standard_normal((5000, 1)) ** 3  # heavy-tailed
+        n = 250
+        tail = np.abs(features[:, 0]) > np.quantile(np.abs(features[:, 0]), 0.98)
+        me = MaxEntSampler(n_clusters=10).sample(features, n, rng=0)
+        rd = get_sampler("random").sample(features, n, rng=0)
+        assert tail[me].sum() >= tail[rd].sum()
+
+    def test_tiny_input(self):
+        features = np.arange(8.0)[:, None]
+        idx = MaxEntSampler(n_clusters=4).sample(features, 4, rng=0)
+        assert idx.shape == (4,)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MaxEntSampler(n_clusters=1)
+        with pytest.raises(ValueError):
+            MaxEntSampler(bins=1)
+
+
+class TestUIPSBehaviour:
+    def test_flattens_phase_space_2d(self):
+        """Selected subset is closer to uniform over occupied bins than random."""
+        from repro.cluster.histogram import joint_histogram
+
+        rng = np.random.default_rng(6)
+        features = rng.standard_normal((5000, 2))  # Gaussian: dense centre
+        n = 400
+        uips_idx = get_sampler("uips").sample(features, n, rng=0)
+        rand_idx = get_sampler("random").sample(features, n, rng=0)
+
+        def occupied_cv(idx):
+            pdf = joint_histogram(features[idx], bins=8,
+                                  ranges=[(-4, 4), (-4, 4)])
+            occ = pdf.prob[pdf.prob > 0]
+            return occ.std() / occ.mean()
+
+        assert occupied_cv(uips_idx) < occupied_cv(rand_idx)
+
+    def test_dim_cap(self):
+        with pytest.raises(ValueError):
+            get_sampler("uips").sample(np.zeros((100, 6)), 10, rng=0)
+
+    def test_invalid_params(self):
+        from repro.sampling.uips import UIPSSampler
+
+        with pytest.raises(ValueError):
+            UIPSSampler(bins=1)
+        with pytest.raises(ValueError):
+            UIPSSampler(n_iterations=0)
+
+
+class TestStratifiedBehaviour:
+    def test_equal_allocation_boosts_small_stratum(self):
+        features = bimodal_features(n=1000, rare_frac=0.05, seed=7)
+        from repro.sampling.stratified import StratifiedSampler
+
+        idx = StratifiedSampler(n_clusters=2, allocation="equal").sample(features, 100, rng=0)
+        rare_share = (features[idx, 0] > 4.0).mean()
+        assert rare_share > 0.3  # ~half the budget lands in the 5% stratum
+
+    def test_proportional_tracks_population(self):
+        features = bimodal_features(n=1000, rare_frac=0.05, seed=8)
+        from repro.sampling.stratified import StratifiedSampler
+
+        idx = StratifiedSampler(n_clusters=2, allocation="proportional").sample(
+            features, 100, rng=0
+        )
+        rare_share = (features[idx, 0] > 4.0).mean()
+        assert rare_share < 0.2
+
+    def test_invalid_allocation(self):
+        from repro.sampling.stratified import StratifiedSampler
+
+        with pytest.raises(ValueError):
+            StratifiedSampler(allocation="magic")
+
+
+class TestEnergyAccounting:
+    def test_sampling_charges_meter(self):
+        from repro.energy import EnergyMeter
+
+        rng = np.random.default_rng(9)
+        features = rng.standard_normal((500, 1))
+        with EnergyMeter() as meter:
+            get_sampler("maxent").sample(features, 50, rng=0)
+        assert meter.flops_cpu > 0

@@ -1,0 +1,187 @@
+"""Tests for the four dataset generators and FlowField."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    FlowField,
+    generate_combustion,
+    generate_cylinder,
+    generate_isotropic,
+    generate_stratified,
+)
+from repro.sim.cylinder import CylinderConfig
+
+
+class TestFlowField:
+    def test_basic_access(self):
+        f = FlowField({"u": np.ones((4, 4))}, time=1.5)
+        assert f.grid_shape == (4, 4)
+        assert f.ndim == 2
+        assert f.n_points == 16
+        assert f["u"].sum() == 16
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FlowField({"u": np.ones((4, 4)), "v": np.ones((5, 4))})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FlowField({})
+
+    def test_unknown_variable(self):
+        f = FlowField({"u": np.ones((4, 4))})
+        with pytest.raises(KeyError):
+            f.get("zeta")
+
+    def test_derived_wz_cached(self):
+        rng = np.random.default_rng(0)
+        f = FlowField({"u": rng.random((8, 8)), "v": rng.random((8, 8))})
+        a = f.get("wz")
+        b = f.get("wz")
+        assert a is b
+
+    def test_derived_requires_inputs(self):
+        f = FlowField({"p": np.ones((4, 4))})
+        with pytest.raises(KeyError):
+            f.get("wz")
+
+    def test_point_table(self):
+        f = FlowField({"u": np.arange(4.0).reshape(2, 2), "v": np.ones((2, 2))})
+        table = f.point_table(["u", "v"])
+        assert table.shape == (4, 2)
+        assert table[:, 0].tolist() == [0, 1, 2, 3]
+
+    def test_contains(self):
+        f = FlowField({"u": np.ones((4, 4)), "v": np.ones((4, 4))})
+        assert "u" in f and "wz" in f and "nope" not in f
+
+
+class TestIsotropic:
+    def test_variables_present(self):
+        f = generate_isotropic(shape=(16, 16, 16), spinup_steps=5, rng=0)
+        for name in ("u", "v", "w", "p", "e", "enstrophy"):
+            assert name in f.variables
+
+    def test_statistically_isotropic(self):
+        """Component energies agree within tens of percent (no special axis)."""
+        f = generate_isotropic(shape=(24, 24, 24), spinup_steps=20, rng=1)
+        energies = [float(np.mean(f[c] ** 2)) for c in ("u", "v", "w")]
+        assert max(energies) / min(energies) < 2.0
+
+    def test_skip_solve_path(self):
+        f = generate_isotropic(shape=(16, 16, 16), spinup_steps=0, rng=2)
+        assert f["u"].shape == (16, 16, 16)
+        assert np.all(f["e"] >= 0)
+
+
+class TestStratified:
+    def test_snapshot_sequence(self):
+        snaps = generate_stratified(shape=(16, 16, 16), n_snapshots=3, steps_per_snapshot=5, rng=0)
+        assert len(snaps) == 3
+        times = [s.time for s in snaps]
+        assert times == sorted(times)
+        for s in snaps:
+            for name in ("u", "v", "w", "r", "p"):
+                assert name in s.variables
+
+    def test_anisotropic(self):
+        """Stratified fields must be anisotropic: vertical motion suppressed."""
+        snaps = generate_stratified(
+            shape=(16, 16, 16), n_snapshots=4, steps_per_snapshot=15, n_buoyancy=4.0, rng=1
+        )
+        last = snaps[-1]
+        horizontal = float(np.mean(last["u"] ** 2 + last["v"] ** 2)) / 2.0
+        vertical = float(np.mean(last["w"] ** 2))
+        assert vertical < horizontal
+
+    def test_pv_derivable(self):
+        snaps = generate_stratified(shape=(16, 16, 16), n_snapshots=1, rng=2)
+        pv = snaps[0].get("pv")
+        assert pv.shape == (16, 16, 16)
+        assert np.all(np.isfinite(pv))
+
+    def test_bad_snapshot_count(self):
+        with pytest.raises(ValueError):
+            generate_stratified(n_snapshots=0)
+
+
+class TestCylinder:
+    def test_snapshots_and_drag(self):
+        snaps, drag = generate_cylinder(CylinderConfig(nx=40, ny=30), n_snapshots=10, rng=0)
+        assert len(snaps) == 10
+        assert drag.shape == (10,)
+        for s in snaps:
+            for name in ("u", "v", "p", "wz"):
+                assert name in s.variables
+
+    def test_interior_masked(self):
+        cfg = CylinderConfig(nx=60, ny=45)
+        snaps, _ = generate_cylinder(cfg, n_snapshots=1, rng=0)
+        x = np.linspace(*cfg.x_range, cfg.nx)
+        y = np.linspace(*cfg.y_range, cfg.ny)
+        xx, yy = np.meshgrid(x, y, indexing="ij")
+        inside = xx**2 + yy**2 <= cfg.radius**2
+        assert inside.any()
+        assert np.all(snaps[0]["u"][inside] == 0)
+
+    def test_wake_confined_downstream(self):
+        """Vorticity concentrates behind the cylinder, not upstream."""
+        cfg = CylinderConfig(nx=80, ny=60)
+        snaps, _ = generate_cylinder(cfg, n_snapshots=30, rng=0)
+        wz = np.abs(snaps[-1]["wz"])
+        x = np.linspace(*cfg.x_range, cfg.nx)
+        upstream = wz[x < -1.0, :].sum()
+        downstream = wz[x > 1.0, :].sum()
+        assert downstream > 10 * max(upstream, 1e-12)
+
+    def test_drag_oscillates_at_double_shedding_frequency(self):
+        cfg = CylinderConfig()
+        snaps, drag = generate_cylinder(cfg, n_snapshots=200, rng=0)
+        dt = snaps[1].time - snaps[0].time
+        spec = np.abs(np.fft.rfft(drag - drag.mean()))
+        freqs = np.fft.rfftfreq(len(drag), d=dt)
+        f_peak = freqs[np.argmax(spec)]
+        assert f_peak == pytest.approx(2.0 / cfg.shedding_period, rel=0.1)
+
+    def test_free_stream_recovered_far_away(self):
+        cfg = CylinderConfig(nx=60, ny=45)
+        snaps, _ = generate_cylinder(cfg, n_snapshots=1, rng=0)
+        # Upstream far corner should be close to (u_inf, 0).
+        assert snaps[0]["u"][0, 0] == pytest.approx(cfg.u_inf, abs=0.2)
+        assert snaps[0]["v"][0, 0] == pytest.approx(0.0, abs=0.2)
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            CylinderConfig(nx=2)
+        with pytest.raises(ValueError):
+            CylinderConfig(radius=-1.0)
+
+
+class TestCombustion:
+    def test_progress_variable_bounded(self):
+        f = generate_combustion(shape=(64, 64), rng=0)
+        c = f["c"]
+        assert c.min() >= 0.0 and c.max() <= 1.0
+
+    def test_bimodal_pdf(self):
+        """Most mass near 0 and 1; the front interior is rare."""
+        f = generate_combustion(shape=(128, 128), rng=1)
+        c = f["c"].ravel()
+        extremes = ((c < 0.1) | (c > 0.9)).mean()
+        assert extremes > 0.7
+
+    def test_variance_peaks_on_front(self):
+        f = generate_combustion(shape=(128, 128), rng=2)
+        c, cv = f["c"], f["c_var"]
+        front = (c > 0.4) & (c < 0.6)
+        if front.any():
+            assert cv[front].mean() > 5 * cv[~front].mean()
+
+    def test_variance_nonnegative(self):
+        f = generate_combustion(shape=(64, 64), rng=3)
+        assert np.all(f["c_var"] >= 0)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            generate_combustion(shape=(8, 8, 8))  # type: ignore[arg-type]

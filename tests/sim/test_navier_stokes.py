@@ -1,0 +1,145 @@
+"""Physics tests for the pseudo-spectral NS solver."""
+
+import numpy as np
+import pytest
+
+from repro.sim.navier_stokes import NSConfig, SpectralNS3D
+from repro.sim.spectral import solenoidal_random_field
+from repro.sim.stratified import taylor_green_velocity
+
+SHAPE = (16, 16, 16)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = NSConfig()
+        assert cfg.kappa == cfg.nu  # Pr = 1 default
+
+    def test_odd_grid_rejected(self):
+        with pytest.raises(ValueError):
+            NSConfig(shape=(15, 16, 16))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            NSConfig(nu=0.0)
+        with pytest.raises(ValueError):
+            NSConfig(dt=-1.0)
+        with pytest.raises(ValueError):
+            NSConfig(gravity="q")
+
+
+class TestSolverInvariants:
+    def test_stays_divergence_free(self):
+        solver = SpectralNS3D(NSConfig(shape=SHAPE, nu=5e-3, dt=2e-3), rng=0)
+        solver.step(10)
+        assert solver.max_divergence() < 1e-10
+
+    def test_unforced_energy_decays(self):
+        solver = SpectralNS3D(NSConfig(shape=SHAPE, nu=2e-2, dt=2e-3), rng=1)
+        e0 = solver.kinetic_energy()
+        solver.step(20)
+        assert solver.kinetic_energy() < e0
+
+    def test_pure_viscous_decay_rate(self):
+        """A single Fourier mode decays like exp(-2 nu k^2 t) in energy."""
+        n = 16
+        y = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        u = np.broadcast_to(np.sin(y)[None, :, None], (n, n, n)).copy()
+        zero = np.zeros((n, n, n))
+        nu, dt, steps = 0.05, 1e-3, 100
+        solver = SpectralNS3D(NSConfig(shape=(n, n, n), nu=nu, dt=dt), velocity=(u, zero, zero.copy()))
+        e0 = solver.kinetic_energy()
+        solver.step(steps)
+        expected = e0 * np.exp(-2.0 * nu * 1.0 * dt * steps)  # k^2 = 1
+        assert solver.kinetic_energy() == pytest.approx(expected, rel=1e-3)
+
+    def test_forcing_holds_energy(self):
+        solver = SpectralNS3D(
+            NSConfig(shape=SHAPE, nu=8e-3, dt=2e-3, forcing_kmax=2.0), rng=2
+        )
+        e0 = solver.kinetic_energy()
+        solver.step(30)
+        assert solver.kinetic_energy() == pytest.approx(e0, rel=0.35)
+
+    def test_nonlinear_transfer_fills_small_scales(self):
+        """Starting from a large-scale TG flow, energy must cascade to k > k0."""
+        from repro.sim.spectral import radial_energy_spectrum
+
+        u, v, w = taylor_green_velocity(SHAPE, k0=2)
+        solver = SpectralNS3D(NSConfig(shape=SHAPE, nu=5e-3, dt=2.5e-3), velocity=(u, v, w))
+        _, spec0 = radial_energy_spectrum(*solver.velocity())
+        high0 = spec0[6:].sum()
+        solver.step(40)
+        _, spec1 = radial_energy_spectrum(*solver.velocity())
+        assert spec1[6:].sum() > max(high0, 1e-12) * 10
+
+    def test_time_advances(self):
+        solver = SpectralNS3D(NSConfig(shape=SHAPE, dt=1e-3), rng=3)
+        solver.step(5)
+        assert solver.t == pytest.approx(5e-3)
+        assert solver.step_count == 5
+
+    def test_cfl_reported(self):
+        solver = SpectralNS3D(NSConfig(shape=SHAPE, dt=1e-3), rng=4)
+        assert 0 < solver.cfl() < 1.0
+
+
+class TestStratified:
+    def test_buoyancy_suppresses_vertical_velocity(self):
+        """Strong stratification must damp w relative to the unstratified run."""
+        u0, v0, w0 = solenoidal_random_field(SHAPE, rng=5)
+        runs = {}
+        for n_bv in (0.0, 4.0):
+            solver = SpectralNS3D(
+                NSConfig(shape=SHAPE, nu=5e-3, dt=2e-3, n_buoyancy=n_bv, gravity="z"),
+                velocity=(u0.copy(), v0.copy(), w0.copy()),
+            )
+            solver.step(60)
+            _, _, w = solver.velocity()
+            runs[n_bv] = float(np.mean(w**2))
+        assert runs[4.0] < runs[0.0]
+
+    def test_buoyancy_field_develops(self):
+        solver = SpectralNS3D(
+            NSConfig(shape=SHAPE, nu=5e-3, dt=2e-3, n_buoyancy=2.0), rng=6
+        )
+        assert np.allclose(solver.buoyancy(), 0.0)
+        solver.step(10)
+        assert solver.buoyancy().std() > 0
+
+    def test_gravity_axis_respected(self):
+        u0, v0, w0 = solenoidal_random_field(SHAPE, rng=7)
+        sol = SpectralNS3D(
+            NSConfig(shape=SHAPE, nu=5e-3, dt=2e-3, n_buoyancy=4.0, gravity="x"),
+            velocity=(u0.copy(), v0.copy(), w0.copy()),
+        )
+        sol.step(60)
+        u, v, w = sol.velocity()
+        # The damped component is u (gravity along x), not w.
+        assert np.mean(u**2) < np.mean(w**2) * 1.5
+
+
+class TestPressure:
+    def test_pressure_zero_mean(self):
+        solver = SpectralNS3D(NSConfig(shape=SHAPE), rng=8)
+        solver.step(5)
+        assert abs(solver.pressure().mean()) < 1e-12
+
+    def test_pressure_matches_taylor_green_analytic(self):
+        """For 2-D TG flow u = cos x sin y, v = -sin x cos y the exact
+        incompressible pressure is p = -(cos 2x + cos 2y)/4."""
+        n = 32
+        x = np.linspace(0, 2 * np.pi, n, endpoint=False)[:, None, None]
+        y = np.linspace(0, 2 * np.pi, n, endpoint=False)[None, :, None]
+        shape = (n, n, n)
+        u = np.broadcast_to(np.cos(x) * np.sin(y), shape).copy()
+        v = np.broadcast_to(-np.sin(x) * np.cos(y), shape).copy()
+        w = np.zeros(shape)
+        solver = SpectralNS3D(NSConfig(shape=shape), velocity=(u, v, w))
+        p = solver.pressure()
+        expected = np.broadcast_to(-(np.cos(2 * x) + np.cos(2 * y)) / 4.0, shape)
+        assert np.allclose(p, expected - expected.mean(), atol=1e-10)
+
+    def test_bad_velocity_shape_rejected(self):
+        with pytest.raises(ValueError):
+            SpectralNS3D(NSConfig(shape=SHAPE), velocity=tuple(np.zeros((8, 8, 8)) for _ in range(3)))

@@ -1,0 +1,114 @@
+"""End-to-end tests for the YAML-driven CLI (the paper's T1 -> T2 chain)."""
+
+import pytest
+
+from repro.cli import main, subsample_main, train_main
+
+SST_CASE = """
+shared:
+  dims: 3
+  dtype: sst-binary
+  input_vars: [u, v, w]
+  output_vars: p
+  cluster_var: pv
+  gravity: z
+  fileprefix: "cli-test"
+subsample:
+  hypercubes: maxent
+  num_hypercubes: 3
+  method: maxent
+  num_samples: 64
+  num_clusters: 4
+  nxsl: 8
+  nysl: 8
+  nzsl: 8
+train:
+  epochs: 2
+  batch: 4
+  window: 1
+  arch: MLP_transformer
+"""
+
+LSTM_CASE = """
+shared:
+  dims: 2
+  dtype: openfoam
+  input_vars: [u, v]
+  output_vars: []
+  cluster_var: p
+subsample:
+  hypercubes: random
+  method: random
+  num_hypercubes: 3
+  num_samples: 16
+  num_clusters: 4
+  nxsl: 12
+  nysl: 12
+  nzsl: 1
+train:
+  epochs: 2
+  batch: 4
+  window: 3
+  arch: lstm
+"""
+
+
+@pytest.fixture()
+def sst_case(tmp_path):
+    path = tmp_path / "case.yaml"
+    path.write_text(SST_CASE)
+    return str(path)
+
+
+@pytest.fixture()
+def lstm_case(tmp_path):
+    path = tmp_path / "case.yaml"
+    path.write_text(LSTM_CASE)
+    return str(path)
+
+
+class TestSubsampleCli:
+    def test_runs_and_reports_energy(self, sst_case, capsys):
+        code = subsample_main([sst_case, "--scale", "0.5", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Total Energy Consumed" in out
+        assert "Subsampled" in out
+
+    def test_parallel_ranks(self, sst_case, capsys):
+        code = subsample_main([sst_case, "--scale", "0.5", "--ranks", "2"])
+        assert code == 0
+        assert "Elapsed Time" in capsys.readouterr().out
+
+    def test_output_dir_persists(self, sst_case, tmp_path, capsys):
+        out_dir = str(tmp_path / "snapshots")
+        code = subsample_main([sst_case, "--scale", "0.5", "--output_dir", out_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Saved subsample" in out
+        assert "reduction" in out
+
+
+class TestTrainCli:
+    def test_reconstruction_training(self, sst_case, capsys):
+        code = train_main([sst_case, "--scale", "0.5", "--epochs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Evaluation on test set" in out
+        assert "Total Energy Consumed" in out
+
+    def test_lstm_drag_training(self, lstm_case, capsys):
+        code = train_main([lstm_case, "--scale", "0.4", "--epochs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Evaluation on test set" in out
+
+
+class TestDispatcher:
+    def test_usage_on_bad_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_dispatch_subsample(self, sst_case, capsys):
+        assert main(["subsample", sst_case, "--scale", "0.5"]) == 0
+        assert "Subsampled" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Coverage for smaller surfaces: logging, SPMD results, misc layers, viz."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.nn import GELU, Sequential, Linear, Tensor
+from repro.parallel import run_spmd
+from repro.parallel.spmd import SpmdResult
+from repro.parallel.perfmodel import VirtualClock
+from repro.utils.log import get_logger, log_kv
+from repro.utils.rng import seed_everything
+
+
+class TestLogging:
+    def test_logger_idempotent(self):
+        a = get_logger("repro.test.x")
+        b = get_logger("repro.test.x")
+        assert a is b
+        assert len(a.handlers) == 1
+
+    def test_log_kv_greppable(self, caplog):
+        logger = get_logger("repro.test.kv")
+        logger.propagate = True
+        with caplog.at_level(logging.INFO, logger="repro.test.kv"):
+            log_kv(logger, "Total Energy Consumed", 42.0)
+        assert "Total Energy Consumed: 42.0" in caplog.text
+
+
+class TestSeedEverything:
+    def test_seeds_global_rngs(self):
+        import random
+
+        seed_everything(123)
+        a = (random.random(), np.random.rand())
+        seed_everything(123)
+        b = (random.random(), np.random.rand())
+        assert a == b
+
+
+class TestSpmdResult:
+    def test_len_getitem_makespan(self):
+        clocks = [VirtualClock(), VirtualClock()]
+        clocks[1].t = 5.0
+        res = SpmdResult(values=["a", "b"], clocks=clocks)
+        assert len(res) == 2
+        assert res[1] == "b"
+        assert res.virtual_time == 5.0
+
+    def test_kwargs_passthrough(self):
+        def prog(comm, a, b=0):
+            return a + b + comm.rank
+
+        res = run_spmd(prog, 2, 10, b=5)
+        assert res.values == [15, 16]
+
+    def test_nranks_validation(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda c: None, 0)
+
+
+class TestMiscLayers:
+    def test_gelu_close_to_exact(self):
+        from scipy.stats import norm
+
+        x = np.linspace(-3, 3, 31)
+        out = GELU()(Tensor(x)).data
+        exact = x * norm.cdf(x)
+        assert np.allclose(out, exact, atol=2e-3)
+
+    def test_sequential_order(self):
+        rng = np.random.default_rng(0)
+        a = Linear(3, 4, rng=rng)
+        b = Linear(4, 2, rng=rng)
+        seq = Sequential(a, b)
+        x = Tensor(rng.standard_normal((5, 3)))
+        manual = b(a(x)).data
+        assert np.allclose(seq(x).data, manual)
+
+    def test_tensor_repr_and_helpers(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        assert "grad" in repr(t)
+        assert t.numpy().tolist() == [1.0, 2.0]
+        assert Tensor([3.0]).item() == 3.0
+
+
+class TestTrainerVerbose:
+    def test_verbose_logging_runs(self):
+        from repro.nn import LSTMRegressor
+        from repro.train import Trainer
+
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((12, 2, 3))
+        y = rng.standard_normal((12, 1, 1))
+        model = LSTMRegressor(input_dim=3, hidden=8, rng=0)
+        fit = Trainer(model, epochs=2, batch=4, seed=0, verbose=True).fit(x, y)
+        assert fit.epochs_run == 2
+
+    def test_invalid_gpu_rate(self):
+        from repro.nn import LSTMRegressor
+        from repro.train import Trainer
+
+        with pytest.raises(ValueError):
+            Trainer(LSTMRegressor(input_dim=2, rng=0), gpu_flops_rate=0.0)
+
+
+class TestCliModelFactory:
+    def test_matey_branch(self):
+        from repro.cli import build_model_for_case
+        from repro.nn import MATEY
+        from repro.train.data import ReconstructionData
+        from repro.utils.config import CaseConfig, SubsampleConfig, TrainConfig
+
+        data = ReconstructionData(
+            x=np.zeros((2, 1, 1, 8, 8, 8)), y=np.zeros((2, 1, 1, 8, 8, 8)),
+            grid=(8, 8, 8), in_channels=1, out_channels=1, n_points=None,
+        )
+        case = CaseConfig(
+            subsample=SubsampleConfig(method="full"),
+            train=TrainConfig(arch="matey"),
+        )
+        model = build_model_for_case(case, data)
+        assert isinstance(model, MATEY)
+
+    def test_lstm_requires_input_dim(self):
+        from repro.cli import build_model_for_case
+        from repro.utils.config import CaseConfig, TrainConfig
+
+        case = CaseConfig(train=TrainConfig(arch="lstm"))
+        with pytest.raises(ValueError):
+            build_model_for_case(case, None)

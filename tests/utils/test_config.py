@@ -1,0 +1,152 @@
+"""Tests for typed case configuration."""
+
+import pytest
+
+from repro.utils.config import CaseConfig, SharedConfig, SubsampleConfig, TrainConfig
+
+
+class TestSharedConfig:
+    def test_defaults(self):
+        cfg = SharedConfig()
+        assert cfg.dims == 3
+        assert cfg.grid_shape == (64, 64, 32)
+        assert cfg.n_points == 64 * 64 * 32
+
+    def test_2d_forces_nz_one(self):
+        cfg = SharedConfig(dims=2, nx=100, ny=50, nz=999)
+        assert cfg.nz == 1
+        assert cfg.grid_shape == (100, 50)
+        assert cfg.n_points == 5000
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError, match="dims"):
+            SharedConfig(dims=4)
+
+    def test_bad_gravity(self):
+        with pytest.raises(ValueError, match="gravity"):
+            SharedConfig(gravity="w")
+
+    def test_bad_grid(self):
+        with pytest.raises(ValueError, match="nx"):
+            SharedConfig(nx=0)
+
+
+class TestSubsampleConfig:
+    def test_defaults(self):
+        cfg = SubsampleConfig()
+        assert cfg.hypercube_shape == (32, 32, 32)
+        assert cfg.points_per_hypercube == 32768
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError, match="method"):
+            SubsampleConfig(method="bogus")
+
+    def test_bad_hypercube_selector(self):
+        with pytest.raises(ValueError, match="hypercubes"):
+            SubsampleConfig(hypercubes="bogus")
+
+    def test_num_clusters_minimum(self):
+        with pytest.raises(ValueError, match="num_clusters"):
+            SubsampleConfig(num_clusters=1)
+
+    def test_sampling_rate_bounds(self):
+        with pytest.raises(ValueError, match="sampling_rate"):
+            SubsampleConfig(sampling_rate=1.5)
+        assert SubsampleConfig(sampling_rate=0.1).sampling_rate == 0.1
+
+
+class TestTrainConfig:
+    def test_window_one_forces_no_sequence(self):
+        # Paper rule: "When --window 1 use --sequence false".
+        cfg = TrainConfig(window=1, sequence=True)
+        assert cfg.sequence is False
+
+    def test_window_two_keeps_sequence(self):
+        cfg = TrainConfig(window=2, sequence=True)
+        assert cfg.sequence is True
+
+    def test_arch_case_insensitive(self):
+        assert TrainConfig(arch="MLP_Transformer").arch == "mlp_transformer"
+
+    def test_bad_arch(self):
+        with pytest.raises(ValueError, match="arch"):
+            TrainConfig(arch="resnet")
+
+    def test_bad_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            TrainConfig(precision="fp8")
+
+    def test_bad_test_frac(self):
+        with pytest.raises(ValueError, match="test_frac"):
+            TrainConfig(test_frac=0.0)
+
+
+class TestCaseConfig:
+    def test_full_method_requires_cnn(self):
+        # Paper rule: "When --method full use --arch CNN_Transformer".
+        with pytest.raises(ValueError, match="structured hypercubes"):
+            CaseConfig(
+                subsample=SubsampleConfig(method="full"),
+                train=TrainConfig(arch="lstm"),
+            )
+
+    def test_full_method_with_cnn_ok(self):
+        cfg = CaseConfig(
+            subsample=SubsampleConfig(method="full"),
+            train=TrainConfig(arch="cnn_transformer"),
+        )
+        assert cfg.subsample.method == "full"
+
+    def test_num_samples_capped_by_hypercube(self):
+        with pytest.raises(ValueError, match="exceeds points per"):
+            CaseConfig(subsample=SubsampleConfig(num_samples=10**6, nxsl=8, nysl=8, nzsl=8))
+
+    def test_from_yaml_paper_case(self):
+        text = """
+shared:
+  dims: 3
+  dtype: sst-binary
+  input_vars: [u, v, w, r]
+  output_vars: p
+  cluster_var: pv
+  nx: 64
+  ny: 64
+  nz: 32
+  gravity: z
+subsample:
+  hypercubes: maxent
+  num_hypercubes: 32
+  method: maxent
+  num_samples: 3277
+  num_clusters: 20
+  nxsl: 32
+  nysl: 32
+  nzsl: 32
+train:
+  epochs: 10
+  batch: 16
+  target: p_full
+  window: 1
+  arch: MLP_transformer
+  sequence: true
+"""
+        cfg = CaseConfig.from_yaml(text)
+        assert cfg.shared.input_vars == ["u", "v", "w", "r"]
+        assert cfg.shared.output_vars == ["p"]
+        assert cfg.subsample.num_samples == 3277
+        assert cfg.train.arch == "mlp_transformer"
+        assert cfg.train.sequence is False  # window 1 rule applied
+
+    def test_space_separated_vars(self):
+        cfg = CaseConfig.from_dict({"shared": {"input_vars": "u v w r", "output_vars": "p"}})
+        assert cfg.shared.input_vars == ["u", "v", "w", "r"]
+
+    def test_roundtrip_dict(self):
+        cfg = CaseConfig()
+        again = CaseConfig.from_dict(cfg.to_dict())
+        assert again.to_dict() == cfg.to_dict()
+
+    def test_unknown_keys_ignored(self):
+        cfg = CaseConfig.from_dict({"shared": {"dims": 2, "mystery": 1}, "train": {"epochs": 3}})
+        assert cfg.shared.dims == 2
+        assert cfg.train.epochs == 3

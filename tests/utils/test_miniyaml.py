@@ -1,0 +1,165 @@
+"""Tests for the YAML-subset parser/emitter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.miniyaml import MiniYamlError, dumps, loads, parse_scalar
+
+
+class TestScalars:
+    def test_int(self):
+        assert parse_scalar("42") == 42
+
+    def test_negative_int(self):
+        assert parse_scalar("-7") == -7
+
+    def test_float(self):
+        assert parse_scalar("3.14") == pytest.approx(3.14)
+
+    def test_scientific(self):
+        assert parse_scalar("1e-3") == pytest.approx(1e-3)
+
+    def test_bools(self):
+        assert parse_scalar("true") is True
+        assert parse_scalar("False") is False
+
+    def test_null_variants(self):
+        assert parse_scalar("null") is None
+        assert parse_scalar("~") is None
+
+    def test_quoted_string_keeps_type(self):
+        assert parse_scalar('"42"') == "42"
+        assert parse_scalar("'true'") == "true"
+
+    def test_bare_string(self):
+        assert parse_scalar("maxent") == "maxent"
+
+
+class TestDocuments:
+    def test_flat_mapping(self):
+        assert loads("a: 1\nb: two\n") == {"a": 1, "b": "two"}
+
+    def test_nested_mapping(self):
+        doc = loads("outer:\n  inner: 5\n  other: x\ntop: 1\n")
+        assert doc == {"outer": {"inner": 5, "other": "x"}, "top": 1}
+
+    def test_flow_sequence(self):
+        assert loads("vars: [u, v, w, r]\n") == {"vars": ["u", "v", "w", "r"]}
+
+    def test_flow_mapping(self):
+        assert loads("m: {a: 1, b: 2}\n") == {"m": {"a": 1, "b": 2}}
+
+    def test_block_sequence(self):
+        assert loads("items:\n  - 1\n  - 2\n  - three\n") == {"items": [1, 2, "three"]}
+
+    def test_sequence_of_mappings(self):
+        doc = loads("runs:\n  - name: a\n    n: 1\n  - name: b\n    n: 2\n")
+        assert doc == {"runs": [{"name": "a", "n": 1}, {"name": "b", "n": 2}]}
+
+    def test_comments_and_blanks(self):
+        doc = loads("# header\na: 1  # trailing\n\nb: 2\n")
+        assert doc == {"a": 1, "b": 2}
+
+    def test_hash_inside_quotes_kept(self):
+        assert loads('key: "a#b"\n') == {"key": "a#b"}
+
+    def test_empty_document(self):
+        assert loads("") == {}
+        assert loads("# only a comment\n") == {}
+
+    def test_null_value_key(self):
+        assert loads("a:\nb: 1\n") == {"a": None, "b": 1}
+
+    def test_tabs_rejected(self):
+        with pytest.raises(MiniYamlError):
+            loads("a:\n\tb: 1\n")
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(MiniYamlError):
+            loads("just a line\n")
+
+    def test_unterminated_flow_rejected(self):
+        with pytest.raises(MiniYamlError):
+            loads("a: [1, 2\n")
+
+    def test_nested_flow(self):
+        assert loads("a: [[1, 2], [3]]\n") == {"a": [[1, 2], [3]]}
+
+    def test_paper_sst_case(self):
+        """The sample YAML from the paper's appendix parses faithfully."""
+        text = """
+shared:
+  dims: 3
+  dtype: sst-binary
+  input_vars: [u, v, w, r]
+  output_vars: p
+  cluster_var: pv
+  nx: 514
+  ny: 512
+  nz: 256
+  gravity: z
+  fileprefix: "SST-P1-H{hypercubes}-C{num_hypercubes}"+\\
+    "-X{method}-ns{num_samples}-window{window}"
+subsample:
+  hypercubes: maxent
+  num_hypercubes: 32
+  method: maxent
+  path: /path/to/P1F4R32_testing/raw_data/
+  num_samples: 3277
+  num_clusters: 20
+  nxsl: 32
+  nysl: 32
+  nzsl: 32
+train:
+  epochs: 1000
+  batch: 16
+  target: p_full
+  window: 1
+  arch: MLP_transformer
+  sequence: true
+"""
+        doc = loads(text)
+        assert doc["shared"]["nx"] == 514
+        assert doc["shared"]["input_vars"] == ["u", "v", "w", "r"]
+        assert doc["shared"]["fileprefix"] == (
+            "SICKLE" and "SST-P1-H{hypercubes}-C{num_hypercubes}-X{method}-ns{num_samples}-window{window}"
+        )
+        assert doc["subsample"]["num_samples"] == 3277
+        assert doc["train"]["sequence"] is True
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        doc = {"a": 1, "b": [1, 2, 3], "c": {"d": "x", "e": 2.5}, "f": True, "g": None}
+        assert loads(dumps(doc)) == doc
+
+    def test_string_needing_quotes(self):
+        doc = {"k": "a: b # c"}
+        assert loads(dumps(doc)) == doc
+
+    scalars = st.one_of(
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.booleans(),
+        st.none(),
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdefghij_", min_size=1, max_size=8),
+            st.one_of(
+                scalars,
+                st.lists(scalars, max_size=4),
+                st.dictionaries(
+                    st.text(alphabet="klmnop", min_size=1, max_size=6), scalars, max_size=3
+                ),
+            ),
+            max_size=6,
+        )
+    )
+    def test_roundtrip_property(self, doc):
+        assert loads(dumps(doc)) == doc
