@@ -2,7 +2,9 @@
 
 Writes a SICKLE-style case file (the appendix's SST-P1F4 schema), then runs
 the ``subsample.py`` and ``train.py`` equivalents against it — the exact
-T1 -> T2 task chain of the paper's artifact description.
+T1 -> T2 task chain of the paper's artifact description.  Both CLI commands
+are thin shells over :class:`repro.api.Experiment`; step T3 shows the same
+chain driven directly from Python.
 
 Run:  python examples/cli_workflow.py
 """
@@ -10,6 +12,7 @@ Run:  python examples/cli_workflow.py
 import os
 import tempfile
 
+from repro.api import Experiment
 from repro.cli import subsample_main, train_main
 
 CASE_YAML = """
@@ -54,6 +57,18 @@ def main() -> None:
 
         print("\n== T2: python train.py case.yaml ==")
         train_main([case_path, "--epochs", "8"])
+
+        print("\n== T3: the same chain via the Experiment facade ==")
+        report = (
+            Experiment.from_case(case_path)
+            .with_ranks(2)
+            .with_seed(0)
+            .with_epochs(8)
+            .subsample()
+            .train()
+            .report()
+        )
+        print(report)
 
 
 if __name__ == "__main__":

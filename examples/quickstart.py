@@ -1,11 +1,13 @@
 """Quickstart: subsample a turbulence dataset and inspect what MaxEnt keeps.
 
-Covers the 60-second SICKLE path:
+Covers the 60-second SICKLE path through the :class:`repro.api.Experiment`
+facade:
   1. build (or load) a dataset from the Table 1 catalog,
   2. run the two-phase MaxEnt pipeline (hypercube selection + point
-     selection) at a 10% rate,
+     selection) at a 10% rate via ``Experiment...subsample()``,
   3. compare the sampled subset's PDF against the population,
-  4. store the feature-rich subsample and report the storage reduction.
+  4. persist the subsample as a first-class Artifact and report the
+     storage reduction.
 
 Run:  python examples/quickstart.py
 """
@@ -15,9 +17,10 @@ import tempfile
 
 import numpy as np
 
-from repro.data import SubsampleStore, build_dataset
+from repro.api import Experiment
+from repro.data import build_dataset
 from repro.metrics import pdf_match_js, tail_coverage
-from repro.sampling import get_sampler, subsample
+from repro.sampling import get_sampler
 from repro.utils.config import CaseConfig, SharedConfig, SubsampleConfig, TrainConfig
 from repro.viz import format_table
 
@@ -42,7 +45,14 @@ def main() -> None:
     )
 
     print("Running the two-phase pipeline on 2 simulated MPI ranks...")
-    result = subsample(dataset, case, nranks=2, seed=0)
+    exp = (
+        Experiment.from_case(case)
+        .with_dataset(dataset)
+        .with_ranks(2)
+        .with_seed(0)
+        .subsample()
+    )
+    result = exp.subsample_artifact.result
     print(f"  kept {result.n_samples} points from "
           f"{result.n_points_scanned} scanned ({result.meta['method']})")
     print(f"  virtual time {result.virtual_time:.3f} s; "
@@ -62,12 +72,17 @@ def main() -> None:
     print()
     print(format_table(rows, title="Sample vs population PDF (cluster variable pv)"))
 
-    # Feature-rich subsample storage: the paper's file-reduction feature.
+    # Artifacts are first-class: save, reload, and the metadata alone (seed +
+    # config snapshot) is enough to reproduce the run.
+    from repro.api import SubsampleArtifact
+
     with tempfile.TemporaryDirectory() as tmp:
-        store = SubsampleStore(os.path.join(tmp, "store"))
-        store.save("sst_maxent_10pct", result.points)
-        factor = store.reduction_factor("sst_maxent_10pct", raw_bytes=dataset.nbytes())
-        print(f"\nStored subsample is {factor:.0f}x smaller than the raw fields.")
+        path = exp.subsample_artifact.save(os.path.join(tmp, "sst_maxent_10pct"))
+        reloaded = SubsampleArtifact.load(path)
+        assert reloaded.result.n_samples == result.n_samples
+        factor = dataset.nbytes() / os.path.getsize(path)
+        print(f"\nStored artifact is {factor:.0f}x smaller than the raw fields "
+              f"(seed={reloaded.meta['seed']}, reproducible from metadata).")
 
 
 if __name__ == "__main__":

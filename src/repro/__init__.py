@@ -4,8 +4,14 @@ SICKLE is a Sparse Intelligent Curation frameworK for Learning Efficiently:
 two-phase maximum-entropy subsampling of extreme-scale turbulence datasets,
 with surrogate training, distributed scalability, and energy benchmarking.
 
+The front door is :class:`repro.api.Experiment`::
+
+    from repro import Experiment
+    Experiment.from_case("case.yaml").with_ranks(32).subsample().train().report()
+
 Subpackages:
 
+- :mod:`repro.api` — fluent Experiment facade + persistable Artifacts
 - :mod:`repro.sampling` — the paper's contribution (MaxEnt, UIPS, random, ...)
 - :mod:`repro.sim` — synthetic DNS dataset generators (OF2D/TC2D/SST/GESTS)
 - :mod:`repro.data` — datasets, hypercube extraction, stores
@@ -17,6 +23,17 @@ Subpackages:
 - :mod:`repro.metrics`, :mod:`repro.viz` — evaluation and reporting
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "Experiment", "SubsampleArtifact", "TrainArtifact"]
+
+_API_NAMES = ("Experiment", "Artifact", "SubsampleArtifact", "TrainArtifact")
+
+
+def __getattr__(name: str):
+    """Lazy re-export of the api facade, keeping bare ``import repro`` light."""
+    if name in _API_NAMES:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,472 @@
+"""High-level experiment facade — the repo's front door.
+
+One fluent chain drives the paper's whole T1 → T2 workflow::
+
+    from repro.api import Experiment
+
+    report = (
+        Experiment.from_case("case.yaml")
+        .with_ranks(32)
+        .with_seed(7)
+        .subsample()
+        .train()
+        .report()
+    )
+
+``from_case`` accepts a YAML path, a raw dict, or a built
+:class:`~repro.utils.config.CaseConfig`.  Every stage call records a
+first-class artifact — :class:`SubsampleArtifact` / :class:`TrainArtifact` —
+that can be persisted with ``save(path)`` and resurrected with
+``Artifact.load(path)``; saved artifacts embed the seed and a full config
+snapshot, so a stored result is reproducible from its metadata alone.
+
+The CLI (:mod:`repro.cli`) and the examples are thin shells over this
+facade; under the hood each stage runs the composable
+:class:`~repro.sampling.stages.SubsamplePipeline`, so anything registered
+with ``register_sampler`` / ``register_selector`` is available here too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.data import load_dataset
+from repro.data.dataset import TurbulenceDataset
+from repro.data.points import PointSet
+from repro.data.store import META_KEY as _META_KEY
+from repro.data.store import points_from_npz, points_payload
+from repro.energy.meter import EnergyMeter
+from repro.sampling.pipeline import SubsampleResult, subsample
+from repro.train import Trainer, build_drag_data, build_reconstruction_data
+from repro.train.trainer import TrainResult
+from repro.utils.config import CaseConfig
+
+__all__ = [
+    "Artifact",
+    "SubsampleArtifact",
+    "TrainArtifact",
+    "Experiment",
+    "build_model_for_case",
+]
+
+
+def build_model_for_case(case: CaseConfig, data, input_dim: int | None = None, rng=0):
+    """Instantiate the Table 2 architecture named by ``train.arch``."""
+    from repro.nn.models import CNNTransformer, LSTMRegressor, MATEY, MLPTransformer
+
+    arch = case.train.arch
+    if arch == "lstm":
+        if input_dim is None:
+            raise ValueError("lstm needs input_dim")
+        return LSTMRegressor(input_dim=input_dim, horizon=case.train.horizon, rng=rng)
+    common = dict(
+        in_channels=data.in_channels, out_channels=data.out_channels, grid=data.grid,
+        window=case.train.window, horizon=case.train.horizon,
+        d_model=32, depth=1, n_heads=2, rng=rng,
+    )
+    if arch == "mlp_transformer":
+        return MLPTransformer(n_points=data.n_points, **common)
+    if arch == "cnn_transformer":
+        return CNNTransformer(**common)
+    if arch == "matey":
+        return MATEY(patch=min(8, min(data.grid) // 2), **common)
+    raise ValueError(f"unknown arch {arch!r}")
+
+
+@dataclass
+class Artifact:
+    """A first-class, persistable stage result.
+
+    Subclasses implement ``save(path) -> path`` and the ``load(path)``
+    classmethod; every artifact carries the seed and a config snapshot in
+    ``meta`` so it is reproducible without the originating script.
+    """
+
+    kind: ClassVar[str] = "artifact"
+
+    meta: dict = field(default_factory=dict)
+
+    def save(self, path: str) -> str:
+        raise NotImplementedError
+
+    @classmethod
+    def load(cls, path: str) -> "Artifact":
+        raise NotImplementedError
+
+    def summary(self) -> str:
+        return f"[{self.kind}] {self.meta}"
+
+
+@dataclass
+class SubsampleArtifact(Artifact):
+    """Wraps a :class:`~repro.sampling.stages.SubsampleResult`."""
+
+    kind: ClassVar[str] = "subsample"
+
+    result: SubsampleResult | None = None
+
+    @property
+    def points(self) -> PointSet | None:
+        return self.result.points if self.result is not None else None
+
+    @property
+    def selected_cube_ids(self) -> np.ndarray:
+        return self.result.selected_cube_ids
+
+    def summary(self) -> str:
+        res = self.result
+        lines = [
+            f"Subsampled {res.n_samples} points/cells from "
+            f"{res.n_points_scanned} scanned "
+            f"(H{res.meta.get('hypercubes', '?')}-X{res.meta.get('method', '?')})",
+            f"Elapsed Time: {res.virtual_time:.3f} s",
+        ]
+        if res.energy is not None:
+            lines.append(res.energy.report())
+        return "\n".join(lines)
+
+    def save(self, path: str) -> str:
+        """Persist as one compressed npz (points or dense cubes + JSON meta).
+
+        The PointSet payload shares its format with
+        :class:`repro.data.store.SubsampleStore`; ``method='full'`` results
+        store every dense cube's variable blocks alongside their origins.
+        """
+        res = self.result
+        if res is None:
+            raise ValueError("artifact holds no result")
+        payload: dict[str, np.ndarray] = {
+            "selected_cube_ids": np.asarray(res.selected_cube_ids),
+        }
+        cube_meta = None
+        if res.points is not None:
+            payload.update(points_payload(res.points))
+        elif res.cubes is not None:
+            cube_meta = []
+            for i, cube in enumerate(res.cubes):
+                for var, block in cube.variables.items():
+                    payload[f"cube{i}_{var}"] = block
+                cube_meta.append({
+                    "origin": list(cube.origin),
+                    "shape": list(cube.shape),
+                    "time": float(cube.time),
+                    "meta": cube.meta,
+                    "variables": sorted(cube.variables),
+                })
+        meta = {
+            **self.meta,
+            # The config snapshot is stored once, at artifact level; strip the
+            # identical copy the pipeline records in result.meta.
+            "result_meta": {k: v for k, v in res.meta.items() if k != "case"},
+            "points_meta": res.points.meta if res.points is not None else None,
+            "cubes": cube_meta,
+            "n_candidate_cubes": res.n_candidate_cubes,
+            "n_points_scanned": res.n_points_scanned,
+            "virtual_time": res.virtual_time,
+            "total_energy": res.energy.total_energy if res.energy is not None else None,
+        }
+        payload[_META_KEY] = np.array(json.dumps(meta))
+        if not path.endswith(".npz"):
+            path = path + ".npz"
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        np.savez_compressed(path, **payload)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "SubsampleArtifact":
+        """Rebuild the artifact (minus live energy meters) from ``save`` output."""
+        from repro.data.hypercubes import Hypercube
+
+        if not path.endswith(".npz"):
+            path = path + ".npz"
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data[_META_KEY])) if _META_KEY in data.files else {}
+            points = None
+            cubes = None
+            if "coords" in data.files:
+                points = points_from_npz(data, meta.get("points_meta"))
+            elif meta.get("cubes"):
+                cubes = [
+                    Hypercube(
+                        origin=tuple(int(o) for o in cm["origin"]),
+                        shape=tuple(int(s) for s in cm["shape"]),
+                        variables={v: data[f"cube{i}_{v}"] for v in cm["variables"]},
+                        time=cm["time"],
+                        meta=cm.get("meta") or {},
+                    )
+                    for i, cm in enumerate(meta["cubes"])
+                ]
+            result_meta = meta.get("result_meta") or {}
+            if "case" in meta:
+                result_meta = {**result_meta, "case": meta["case"]}
+            result = SubsampleResult(
+                points=points,
+                cubes=cubes,
+                selected_cube_ids=data["selected_cube_ids"],
+                n_candidate_cubes=int(meta.get("n_candidate_cubes", 0)),
+                n_points_scanned=int(meta.get("n_points_scanned", 0)),
+                energy=None,
+                virtual_time=float(meta.get("virtual_time", 0.0)),
+                meta=result_meta,
+            )
+        art_meta = {k: v for k, v in meta.items()
+                    if k not in ("result_meta", "points_meta", "cubes")}
+        return cls(meta=art_meta, result=result)
+
+
+@dataclass
+class TrainArtifact(Artifact):
+    """Wraps a :class:`~repro.train.trainer.TrainResult`."""
+
+    kind: ClassVar[str] = "train"
+
+    result: TrainResult | None = None
+
+    def summary(self) -> str:
+        return self.result.report()
+
+    def save(self, path: str) -> str:
+        """Persist the loss curves and metadata as JSON."""
+        res = self.result
+        if res is None:
+            raise ValueError("artifact holds no result")
+        if not path.endswith(".json"):
+            path = path + ".json"
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        doc = {
+            "meta": self.meta,
+            "train_losses": [float(v) for v in res.train_losses],
+            "test_losses": [float(v) for v in res.test_losses],
+            "best_test_loss": float(res.best_test_loss),
+            "final_test_loss": float(res.final_test_loss),
+            "epochs_run": int(res.epochs_run),
+            "lr_reductions": int(res.lr_reductions),
+            "result_meta": res.meta,
+            "total_energy": res.energy.total_energy if res.energy is not None else None,
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "TrainArtifact":
+        if not path.endswith(".json"):
+            path = path + ".json"
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        result = TrainResult(
+            train_losses=doc["train_losses"],
+            test_losses=doc["test_losses"],
+            best_test_loss=doc["best_test_loss"],
+            final_test_loss=doc["final_test_loss"],
+            epochs_run=doc["epochs_run"],
+            energy=EnergyMeter(),
+            lr_reductions=doc["lr_reductions"],
+            meta=doc.get("result_meta") or {},
+        )
+        return cls(meta=doc.get("meta") or {}, result=result)
+
+
+class Experiment:
+    """Fluent builder + runner for one SICKLE case.
+
+    ``with_*`` methods configure and return ``self`` (chainable); ``subsample``
+    and ``train`` execute a stage and record its artifact; ``report`` renders
+    everything run so far.  Stages only run once — calling ``train`` without
+    ``subsample`` triggers the subsample stage implicitly.
+    """
+
+    def __init__(self, case: CaseConfig) -> None:
+        self.case = case
+        self.ranks = 1          # simulated MPI ranks for the subsample SPMD run
+        self.train_ranks = 1    # simulated DDP ranks for training
+        self.seed = 0
+        self.scale = 1.0
+        self.epochs: int | None = None
+        self.artifacts: dict[str, Artifact] = {}
+        self._dataset: TurbulenceDataset | None = None
+        self._dataset_explicit = False
+
+    # ---- construction -----------------------------------------------------
+
+    @classmethod
+    def from_case(cls, case: "str | dict[str, Any] | CaseConfig") -> "Experiment":
+        """Build from a YAML path, a raw config dict, or a CaseConfig."""
+        if isinstance(case, CaseConfig):
+            cfg = case
+        elif isinstance(case, dict):
+            cfg = CaseConfig.from_dict(case)
+        else:
+            cfg = CaseConfig.from_file(str(case))
+        return cls(cfg)
+
+    # ---- fluent configuration --------------------------------------------
+
+    def with_ranks(self, n: int) -> "Experiment":
+        """Simulated MPI ranks for the subsample phase (``srun -n N``)."""
+        if n < 1:
+            raise ValueError("ranks must be >= 1")
+        self.ranks = int(n)
+        return self
+
+    def with_train_ranks(self, n: int) -> "Experiment":
+        """Simulated DDP ranks for the training phase."""
+        if n < 1:
+            raise ValueError("train ranks must be >= 1")
+        self.train_ranks = int(n)
+        return self
+
+    def with_seed(self, seed: int) -> "Experiment":
+        self.seed = int(seed)
+        self._invalidate_dataset()
+        return self
+
+    def with_scale(self, scale: float) -> "Experiment":
+        """Dataset resolution scale (1.0 = the case's native grid)."""
+        if scale <= 0:
+            raise ValueError("scale must be > 0")
+        self.scale = float(scale)
+        self._invalidate_dataset()
+        return self
+
+    def _invalidate_dataset(self) -> None:
+        """Drop a lazily-loaded dataset (it depends on seed and scale);
+        a dataset supplied via with_dataset is the user's and is kept.
+
+        Refuses outright once a stage has run: recorded artifacts were
+        produced under the old dataset, and silently pairing them with a
+        reloaded one (e.g. ``.subsample().with_scale(0.5).train()``) would
+        train on data inconsistent with the sampled points and stamp the
+        new settings into the artifact metadata.
+        """
+        if self.artifacts:
+            raise RuntimeError(
+                "cannot change seed/scale/dataset after a stage has run "
+                f"(recorded: {sorted(self.artifacts)}); start a new "
+                "Experiment via Experiment.from_case(...)"
+            )
+        if not self._dataset_explicit:
+            self._dataset = None
+
+    def with_epochs(self, epochs: int | None) -> "Experiment":
+        """Override the case's epoch budget (None keeps the case value)."""
+        if epochs is not None and epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.epochs = epochs
+        return self
+
+    def with_dataset(self, dataset: TurbulenceDataset) -> "Experiment":
+        """Use a pre-built dataset instead of loading from the case."""
+        if self.artifacts:
+            raise RuntimeError(
+                "cannot change seed/scale/dataset after a stage has run "
+                f"(recorded: {sorted(self.artifacts)}); start a new "
+                "Experiment via Experiment.from_case(...)"
+            )
+        self._dataset = dataset
+        self._dataset_explicit = True
+        return self
+
+    # ---- execution --------------------------------------------------------
+
+    @property
+    def dataset(self) -> TurbulenceDataset:
+        """The case's dataset, loaded lazily and cached."""
+        if self._dataset is None:
+            self._dataset = load_dataset(
+                self.case.shared.dtype,
+                path=self.case.subsample.path or None,
+                scale=self.scale,
+                rng=self.seed,
+            )
+        return self._dataset
+
+    def subsample(self) -> "Experiment":
+        """Run the two-phase subsampling pipeline and record its artifact."""
+        result = subsample(self.dataset, self.case, nranks=self.ranks, seed=self.seed)
+        self.artifacts["subsample"] = SubsampleArtifact(
+            meta={"seed": self.seed, "case": self.case.to_dict(),
+                  "ranks": self.ranks, "scale": self.scale},
+            result=result,
+        )
+        return self
+
+    def train(self) -> "Experiment":
+        """Train the case's architecture on the subsample; records an artifact."""
+        if "subsample" not in self.artifacts:
+            self.subsample()
+        result: SubsampleResult = self.subsample_artifact.result
+        case = self.case
+        epochs = self.epochs if self.epochs is not None else min(case.train.epochs, 100)
+
+        if case.train.arch == "lstm":
+            x, y = build_drag_data(self.dataset, result, window=case.train.window,
+                                   horizon=case.train.horizon)
+            model = build_model_for_case(case, None, input_dim=x.shape[2], rng=self.seed)
+        else:
+            data = build_reconstruction_data(self.dataset, result,
+                                             window=case.train.window,
+                                             horizon=case.train.horizon)
+            x, y = data.x, data.y
+            model = build_model_for_case(case, data, rng=self.seed)
+
+        def run(comm=None) -> TrainResult:
+            trainer = Trainer(
+                model, epochs=epochs, batch=case.train.batch, lr=case.train.lr,
+                patience=case.train.patience, precision=case.train.precision,
+                test_frac=case.train.test_frac, comm=comm, seed=self.seed,
+            )
+            return trainer.fit(x, y)
+
+        if self.train_ranks > 1:
+            from repro.parallel import run_spmd
+
+            fit = run_spmd(lambda comm: run(comm), self.train_ranks)[0]
+        else:
+            fit = run()
+        self.artifacts["train"] = TrainArtifact(
+            meta={"seed": self.seed, "case": case.to_dict(),
+                  "ranks": self.train_ranks, "epochs": epochs},
+            result=fit,
+        )
+        return self
+
+    # ---- results ----------------------------------------------------------
+
+    @property
+    def subsample_artifact(self) -> SubsampleArtifact:
+        try:
+            return self.artifacts["subsample"]  # type: ignore[return-value]
+        except KeyError:
+            raise KeyError("subsample stage has not run; call .subsample() first") from None
+
+    @property
+    def train_artifact(self) -> TrainArtifact:
+        try:
+            return self.artifacts["train"]  # type: ignore[return-value]
+        except KeyError:
+            raise KeyError("train stage has not run; call .train() first") from None
+
+    def report(self) -> str:
+        """Human-readable report over every stage run so far."""
+        if not self.artifacts:
+            return "(no stages run yet)"
+        blocks = []
+        for name in ("subsample", "train"):
+            art = self.artifacts.get(name)
+            if art is not None:
+                blocks.append(f"== {name} ==\n{art.summary()}")
+        return "\n\n".join(blocks)
+
+    def save(self, directory: str) -> dict[str, str]:
+        """Persist every recorded artifact under ``directory``; returns paths."""
+        os.makedirs(directory, exist_ok=True)
+        return {
+            name: art.save(os.path.join(directory, name))
+            for name, art in self.artifacts.items()
+        }

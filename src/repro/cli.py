@@ -7,8 +7,12 @@ The paper drives everything as::
 
 Here the same case files drive :func:`subsample_main` and :func:`train_main`
 (``python -m repro.cli subsample case.yaml --ranks 32``); ranks are simulated
-threads.  Outputs keep the paper's greppable log contract (``CPU Energy``,
-``Total Energy Consumed``, ``Evaluation on test set``).
+threads.  Both commands are thin shells over the
+:class:`repro.api.Experiment` facade — the same fluent chain available from
+Python (``Experiment.from_case(path).with_ranks(32).subsample().train()``)
+— so anything registered with ``register_sampler`` / ``register_selector``
+is reachable from YAML.  Outputs keep the paper's greppable log contract
+(``CPU Energy``, ``Total Energy Consumed``, ``Evaluation on test set``).
 """
 
 from __future__ import annotations
@@ -16,17 +20,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.data import SubsampleStore, load_dataset
-from repro.nn.models import CNNTransformer, LSTMRegressor, MATEY, MLPTransformer
-from repro.sampling import subsample
-from repro.train import Trainer, build_drag_data, build_reconstruction_data
-from repro.utils.config import CaseConfig
+from repro.api import Experiment, build_model_for_case
+from repro.data import SubsampleStore
 
 __all__ = ["main", "subsample_main", "train_main", "build_model_for_case"]
-
-
-def _load_case(path: str) -> CaseConfig:
-    return CaseConfig.from_file(path)
 
 
 def subsample_main(argv: list[str] | None = None) -> int:
@@ -39,43 +36,22 @@ def subsample_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output_dir", default=None, help="store the subsample here")
     args = parser.parse_args(argv)
 
-    case = _load_case(args.case)
-    dataset = load_dataset(case.shared.dtype, path=case.subsample.path or None,
-                           scale=args.scale, rng=args.seed)
-    result = subsample(dataset, case, nranks=args.ranks, seed=args.seed)
-    print(f"Subsampled {result.n_samples} points/cells from "
-          f"{result.n_points_scanned} scanned "
-          f"(H{case.subsample.hypercubes}-X{case.subsample.method})")
-    print(f"Elapsed Time: {result.virtual_time:.3f} s")
-    print(result.energy.report())
+    exp = (
+        Experiment.from_case(args.case)
+        .with_ranks(args.ranks)
+        .with_seed(args.seed)
+        .with_scale(args.scale)
+        .subsample()
+    )
+    result = exp.subsample_artifact.result
+    print(exp.subsample_artifact.summary())
     if args.output_dir and result.points is not None:
         store = SubsampleStore(args.output_dir)
-        name = case.shared.fileprefix.replace("/", "_") or "subsample"
+        name = exp.case.shared.fileprefix.replace("/", "_") or "subsample"
         path = store.save(name, result.points)
         print(f"Saved subsample to {path} "
-              f"({store.reduction_factor(name, dataset.nbytes()):.0f}x reduction)")
+              f"({store.reduction_factor(name, exp.dataset.nbytes()):.0f}x reduction)")
     return 0
-
-
-def build_model_for_case(case: CaseConfig, data, input_dim: int | None = None, rng=0):
-    """Instantiate the Table 2 architecture named by ``train.arch``."""
-    arch = case.train.arch
-    if arch == "lstm":
-        if input_dim is None:
-            raise ValueError("lstm needs input_dim")
-        return LSTMRegressor(input_dim=input_dim, horizon=case.train.horizon, rng=rng)
-    common = dict(
-        in_channels=data.in_channels, out_channels=data.out_channels, grid=data.grid,
-        window=case.train.window, horizon=case.train.horizon,
-        d_model=32, depth=1, n_heads=2, rng=rng,
-    )
-    if arch == "mlp_transformer":
-        return MLPTransformer(n_points=data.n_points, **common)
-    if arch == "cnn_transformer":
-        return CNNTransformer(**common)
-    if arch == "matey":
-        return MATEY(patch=min(8, min(data.grid) // 2), **common)
-    raise ValueError(f"unknown arch {arch!r}")
 
 
 def train_main(argv: list[str] | None = None) -> int:
@@ -88,37 +64,15 @@ def train_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--epochs", type=int, default=None, help="override case epochs")
     args = parser.parse_args(argv)
 
-    case = _load_case(args.case)
-    dataset = load_dataset(case.shared.dtype, path=case.subsample.path or None,
-                           scale=args.scale, rng=args.seed)
-    result = subsample(dataset, case, nranks=1, seed=args.seed)
-
-    epochs = args.epochs if args.epochs is not None else min(case.train.epochs, 100)
-    if case.train.arch == "lstm":
-        x, y = build_drag_data(dataset, result, window=case.train.window,
-                               horizon=case.train.horizon)
-        model = build_model_for_case(case, None, input_dim=x.shape[2], rng=args.seed)
-    else:
-        data = build_reconstruction_data(dataset, result, window=case.train.window,
-                                         horizon=case.train.horizon)
-        x, y = data.x, data.y
-        model = build_model_for_case(case, data, rng=args.seed)
-
-    def run(comm=None):
-        trainer = Trainer(
-            model, epochs=epochs, batch=case.train.batch, lr=case.train.lr,
-            patience=case.train.patience, precision=case.train.precision,
-            test_frac=case.train.test_frac, comm=comm, seed=args.seed,
-        )
-        return trainer.fit(x, y)
-
-    if args.ranks > 1:
-        from repro.parallel import run_spmd
-
-        fit = run_spmd(lambda comm: run(comm), args.ranks)[0]
-    else:
-        fit = run()
-    print(fit.report())
+    exp = (
+        Experiment.from_case(args.case)
+        .with_seed(args.seed)
+        .with_scale(args.scale)
+        .with_train_ranks(args.ranks)
+        .with_epochs(args.epochs)
+        .train()
+    )
+    print(exp.train_artifact.result.report())
     return 0
 
 

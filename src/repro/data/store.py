@@ -17,9 +17,43 @@ import numpy as np
 from repro.data.points import PointSet
 from repro.sim.fields import FlowField
 
-__all__ = ["SubsampleStore", "save_field", "load_field"]
+__all__ = [
+    "SubsampleStore",
+    "save_field",
+    "load_field",
+    "points_payload",
+    "points_from_npz",
+    "META_KEY",
+]
 
-_META_KEYS = "__meta_json__"
+#: npz entry holding the JSON-encoded metadata, shared by every serializer
+#: in this repo (SubsampleStore, field snapshots, repro.api artifacts).
+META_KEY = "__meta_json__"
+_META_KEYS = META_KEY
+
+
+def points_payload(points: PointSet) -> dict[str, np.ndarray]:
+    """The canonical npz array payload for one PointSet (sans meta).
+
+    Shared by :class:`SubsampleStore` and :mod:`repro.api` artifacts so the
+    on-disk format has exactly one definition.
+    """
+    payload: dict[str, np.ndarray] = {f"val_{k}": v for k, v in points.values.items()}
+    payload["coords"] = points.coords
+    payload["time"] = np.asarray(points.time)
+    return payload
+
+
+def points_from_npz(data, meta: dict | None = None) -> PointSet:
+    """Rebuild a PointSet from an open npz written with :func:`points_payload`."""
+    values = {k[4:]: data[k] for k in data.files if k.startswith("val_")}
+    time = data["time"]
+    return PointSet(
+        coords=data["coords"],
+        values=values,
+        time=float(time) if time.ndim == 0 else time,
+        meta=dict(meta) if meta else {},
+    )
 
 
 def save_field(path: str, field: FlowField) -> None:
@@ -53,9 +87,7 @@ class SubsampleStore:
 
     def save(self, name: str, points: PointSet) -> str:
         """Persist one PointSet; returns the file path."""
-        payload: dict[str, np.ndarray] = {f"val_{k}": v for k, v in points.values.items()}
-        payload["coords"] = points.coords
-        payload["time"] = np.asarray(points.time)
+        payload = points_payload(points)
         payload[_META_KEYS] = np.array(json.dumps(points.meta))
         path = self._path(name)
         np.savez_compressed(path, **payload)
@@ -64,12 +96,9 @@ class SubsampleStore:
     def load(self, name: str) -> PointSet:
         path = self._path(name)
         with np.load(path, allow_pickle=False) as data:
-            values = {k[4:]: data[k] for k in data.files if k.startswith("val_")}
-            coords = data["coords"]
-            time = data["time"]
-            time = float(time) if time.ndim == 0 else time
             meta = json.loads(str(data[_META_KEYS])) if _META_KEYS in data.files else {}
-        return PointSet(coords=coords, values=values, time=time, meta=meta)
+            points = points_from_npz(data, meta)
+        return points
 
     def entries(self) -> list[str]:
         return sorted(

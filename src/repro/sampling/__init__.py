@@ -1,7 +1,19 @@
-"""Intelligent sampling — the paper's core contribution.
+"""Intelligent sampling — the paper's core contribution, as a stage-based API.
 
-Pluggable samplers (register more with
-:func:`~repro.sampling.base.register_sampler`):
+Both phases of SICKLE's two-phase subsampling are pluggable registries:
+
+**Phase 1 — hypercube selectors** (:mod:`repro.sampling.selectors`; register
+more with :func:`register_selector`):
+
+====================  ======================================================
+``maxent``            Hmaxent — K-means over cube moments + KL adjacency +
+                      entropy-weighted draw
+``random``            Hrandom — uniform cube choice (the baseline)
+``entropy``           per-cube Shannon-entropy-weighted draw (no clustering)
+====================  ======================================================
+
+**Phase 2 — point samplers** (:mod:`repro.sampling.base`; register more with
+:func:`register_sampler`):
 
 ====================  ======================================================
 ``random``            uniform without replacement (the strong baseline)
@@ -11,13 +23,29 @@ Pluggable samplers (register more with
 ``maxent``            entropy-weighted stratified sampling (Xmaxent)
 ====================  ======================================================
 
-Phase-1 hypercube selection lives in :mod:`repro.sampling.maxent`
-(``select_hypercubes_maxent``) and the full distributed two-phase pipeline in
-:mod:`repro.sampling.pipeline`.  Temporal snapshot selection (§4.3) is in
-:mod:`repro.sampling.temporal`.
+Registered classes carry their own ``cost_per_point`` work-unit cost, so the
+pipeline's virtual-clock/energy accounting covers third-party strategies
+automatically.
+
+The distributed pipeline itself is a composition of named stages
+(:mod:`repro.sampling.stages`: CubeIndex → Phase1Summarize → CubeSelect →
+PointSample → Gather) driven by :class:`SubsamplePipeline`; the historical
+entry points :func:`run_subsample` / :func:`subsample` remain as thin
+wrappers, and :class:`repro.api.Experiment` is the high-level facade over
+the whole subsample → train → report workflow.  Temporal snapshot selection
+(§4.3) is in :mod:`repro.sampling.temporal`.
 """
 
 from repro.sampling.base import Sampler, available_samplers, get_sampler, register_sampler
+from repro.sampling.selectors import (
+    CubeSelector,
+    EntropyCubeSelector,
+    MaxEntCubeSelector,
+    RandomCubeSelector,
+    available_selectors,
+    get_selector,
+    register_selector,
+)
 from repro.sampling import random_ as _random_  # noqa: F401  (registers random/lhs)
 from repro.sampling import stratified as _stratified  # noqa: F401
 from repro.sampling import uips as _uips  # noqa: F401
@@ -36,7 +64,18 @@ from repro.sampling.entropy import (
     strength_weights,
 )
 from repro.sampling.temporal import select_snapshots, js_divergence
-from repro.sampling.pipeline import SubsampleResult, run_subsample, subsample
+from repro.sampling.stages import (
+    CubeIndexStage,
+    CubeSelectStage,
+    GatherStage,
+    Phase1SummarizeStage,
+    PipelineContext,
+    PointSampleStage,
+    Stage,
+    SubsamplePipeline,
+    SubsampleResult,
+)
+from repro.sampling.pipeline import run_subsample, subsample
 from repro.sampling.streaming import ReservoirSampler, StreamingMaxEnt
 
 __all__ = [
@@ -44,6 +83,13 @@ __all__ = [
     "available_samplers",
     "get_sampler",
     "register_sampler",
+    "CubeSelector",
+    "available_selectors",
+    "get_selector",
+    "register_selector",
+    "RandomCubeSelector",
+    "MaxEntCubeSelector",
+    "EntropyCubeSelector",
     "RandomSampler",
     "LatinHypercubeSampler",
     "StratifiedSampler",
@@ -61,6 +107,14 @@ __all__ = [
     "strength_weights",
     "select_snapshots",
     "js_divergence",
+    "Stage",
+    "PipelineContext",
+    "CubeIndexStage",
+    "Phase1SummarizeStage",
+    "CubeSelectStage",
+    "PointSampleStage",
+    "GatherStage",
+    "SubsamplePipeline",
     "SubsampleResult",
     "run_subsample",
     "subsample",

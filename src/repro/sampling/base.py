@@ -33,6 +33,13 @@ class Sampler(abc.ABC):
     #: registry name, set by the @register_sampler decorator
     name: str = ""
 
+    #: virtual-clock work units charged per candidate point scanned by the
+    #: pipeline (clustering-based methods revisit each point ~n_cluster-ish
+    #: times; calibrated, not measured).  Safe default for third-party
+    #: samplers, so anything registered via :func:`register_sampler` flows
+    #: through the pipeline without a cost-table entry.
+    cost_per_point: float = 1.0
+
     def sample(
         self,
         features: np.ndarray,

@@ -64,6 +64,8 @@ class MaxEntSampler(Sampler):
     the first column (the designated cluster variable).
     """
 
+    cost_per_point = 10.0
+
     def __init__(
         self,
         n_clusters: int = 20,

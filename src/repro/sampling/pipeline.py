@@ -7,17 +7,28 @@ Runs SPMD over a :class:`~repro.parallel.comm.Communicator`, mirroring
     snapshots and takes its block of the cube list;
 2.  **phase 1** — each rank summarizes its cubes (moments + histogram of the
     cluster variable on globally agreed edges); summaries are gathered to
-    rank 0, which runs Hmaxent (cluster → KL adjacency → node strengths →
-    entropy-weighted draw) or Hrandom and broadcasts the selected cube ids;
+    rank 0, which runs the registered
+    :class:`~repro.sampling.selectors.CubeSelector` named by the case's
+    ``hypercubes:`` key (Hmaxent / Hrandom / entropy / anything third-party)
+    and broadcasts the selected cube ids;
 3.  **phase 2** — each rank runs the configured point sampler (Xmaxent /
     UIPS / random / LHS / stratified) inside its share of the selected cubes,
     or keeps the cubes fully dense (``method='full'``);
 4.  results are gathered to rank 0 and concatenated.
 
+Since this repo's API redesign the pipeline itself lives in
+:mod:`repro.sampling.stages` as composable :class:`~repro.sampling.stages.Stage`
+objects (CubeIndex → Phase1Summarize → CubeSelect → PointSample → Gather)
+driven by :class:`~repro.sampling.stages.SubsamplePipeline`; this module
+keeps the historical entry points ``run_subsample`` / ``subsample`` as thin
+seed-for-seed-equivalent wrappers over the default stage list.
+
 Each rank meters its own energy (thread-local
 :class:`~repro.energy.meter.EnergyMeter`) and charges compute work to its
 virtual clock, so the same run yields Fig 7's scalability numbers (virtual
-makespan vs rank count) and Fig 8's energy numbers.
+makespan vs rank count) and Fig 8's energy numbers.  Per-method work-unit
+costs come from the ``cost_per_point`` attribute on the sampler/selector
+classes, so registered third-party strategies need no cost-table entry.
 
 Note: with the thread-backed communicator all ranks share the dataset
 read-only in memory; on a real cluster each rank would read its slice from
@@ -27,113 +38,15 @@ region to keep the cache warm.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
 from repro.data.dataset import TurbulenceDataset
-from repro.data.hypercubes import Hypercube, extract_hypercube, hypercube_origins
-from repro.data.points import PointSet
 from repro.energy.meter import EnergyMeter
 from repro.parallel.comm import Communicator
-from repro.parallel.partition import block_bounds
 from repro.parallel.perfmodel import PerfModel
 from repro.parallel.spmd import run_spmd
-from repro.sampling.base import get_sampler
-from repro.sampling.maxent import maxent_cluster_weights
-from repro.cluster.kmeans import MiniBatchKMeans
+from repro.sampling.stages import SubsamplePipeline, SubsampleResult
 from repro.utils.config import CaseConfig
-from repro.utils.rng import spawn_rngs
 
-__all__ = ["SubsampleResult", "run_subsample", "subsample"]
-
-#: point-sampler cost in work units per point, by method (clustering-based
-#: methods scan each point ~n_cluster-ish times; calibrated, not measured).
-_METHOD_COST = {
-    "random": 1.0,
-    "lhs": 4.0,
-    "stratified": 8.0,
-    "uips": 6.0,
-    "maxent": 10.0,
-    "full": 0.5,
-}
-
-
-@dataclass
-class SubsampleResult:
-    """Output of one pipeline run (complete only on rank 0)."""
-
-    points: PointSet | None
-    cubes: list[Hypercube] | None
-    selected_cube_ids: np.ndarray
-    n_candidate_cubes: int
-    n_points_scanned: int
-    energy: EnergyMeter | None
-    virtual_time: float
-    meta: dict = field(default_factory=dict)
-
-    @property
-    def n_samples(self) -> int:
-        if self.points is not None:
-            return len(self.points)
-        if self.cubes is not None:
-            return sum(c.n_points for c in self.cubes)
-        return 0
-
-
-def _cube_index(dataset: TurbulenceDataset, cube_shape: tuple[int, ...]) -> list[tuple[int, tuple[int, ...]]]:
-    """Deterministic global list of (snapshot_idx, origin) cube coordinates."""
-    origins = hypercube_origins(dataset.grid_shape, cube_shape)
-    return [(s, o) for s in range(dataset.n_snapshots) for o in origins]
-
-
-def _features_for(method: str, cube: Hypercube, cluster_var: str, input_vars: list[str]) -> np.ndarray:
-    """Feature table the point sampler sees, per the paper's conventions."""
-    if method == "uips":
-        return cube.point_table(input_vars)
-    return cube.point_table([cluster_var])
-
-
-def _phase1_select(
-    comm: Communicator,
-    mode: str,
-    summaries: np.ndarray,
-    histograms: np.ndarray,
-    n_cubes: int,
-    num_hypercubes: int,
-    num_clusters: int,
-    rng: np.random.Generator,
-) -> np.ndarray:
-    """Gather per-cube stats and select cubes on rank 0; bcast ids."""
-    gathered_s = comm.gather(summaries, root=0)
-    gathered_h = comm.gather(histograms, root=0)
-    chosen: np.ndarray | None = None
-    if comm.rank == 0:
-        all_s = np.concatenate([g for g in gathered_s if len(g)], axis=0)
-        all_h = np.concatenate([g for g in gathered_h if len(g)], axis=0)
-        if all_s.shape[0] != n_cubes:
-            raise AssertionError("cube summary count mismatch after gather")
-        if mode == "random":
-            chosen = np.sort(rng.choice(n_cubes, size=num_hypercubes, replace=False))
-        else:
-            k = min(num_clusters, max(2, n_cubes // 2), n_cubes)
-            km = MiniBatchKMeans(n_clusters=k, batch_size=min(256, n_cubes), rng=rng).fit(all_s)
-            labels = km.labels_
-            k_eff = km.cluster_centers_.shape[0]
-            # Per-cluster distribution = mean histogram of member cubes.
-            dists = np.stack([
-                all_h[labels == c].mean(axis=0) if np.any(labels == c) else
-                np.full(all_h.shape[1], 1.0 / all_h.shape[1])
-                for c in range(k_eff)
-            ])
-            from repro.sampling.entropy import entropy_adjacency, node_strengths, strength_weights
-
-            weights_by_cluster = strength_weights(node_strengths(entropy_adjacency(dists)))
-            cluster_sizes = np.bincount(labels, minlength=k_eff).astype(np.float64)
-            per_cube = weights_by_cluster[labels] / np.maximum(cluster_sizes[labels], 1.0)
-            per_cube = per_cube / per_cube.sum()
-            chosen = np.sort(rng.choice(n_cubes, size=num_hypercubes, replace=False, p=per_cube))
-    return comm.bcast(chosen, root=0)
+__all__ = ["SubsampleResult", "SubsamplePipeline", "run_subsample", "subsample"]
 
 
 def run_subsample(
@@ -143,146 +56,11 @@ def run_subsample(
     seed: int = 0,
     hist_bins: int = 50,
 ) -> SubsampleResult:
-    """Execute the two-phase pipeline on one rank of an SPMD run."""
-    sub = config.subsample
-    cube_shape = sub.hypercube_shape[: dataset.ndim]
-    cluster_var = dataset.cluster_var
-    input_vars = dataset.input_vars
-    point_vars = list(dict.fromkeys([*input_vars, *dataset.output_vars, cluster_var]))
+    """Execute the two-phase pipeline on one rank of an SPMD run.
 
-    rank_rng = spawn_rngs(seed, comm.size + 1)
-    rng = rank_rng[comm.rank + 1]
-    root_rng = rank_rng[0]  # identical on all ranks; used for rank-0 decisions
-
-    index = _cube_index(dataset, cube_shape)
-    n_cubes = len(index)
-    if sub.num_hypercubes > n_cubes:
-        raise ValueError(
-            f"num_hypercubes={sub.num_hypercubes} exceeds available cubes ({n_cubes})"
-        )
-
-    with EnergyMeter() as meter:
-        lo, hi = block_bounds(n_cubes, comm.size, comm.rank)
-        my_cubes = index[lo:hi]
-
-        # Global histogram edges for the cluster variable.
-        local_vals = [
-            dataset.snapshots[s].get(cluster_var)[
-                tuple(slice(o, o + c) for o, c in zip(origin, cube_shape))
-            ]
-            for s, origin in my_cubes
-        ]
-        local_min = min((float(v.min()) for v in local_vals), default=np.inf)
-        local_max = max((float(v.max()) for v in local_vals), default=-np.inf)
-        gmin = comm.allreduce(local_min, op="min")
-        gmax = comm.allreduce(local_max, op="max")
-        if gmin == gmax:
-            gmax = gmin + 1.0
-        edges = np.linspace(gmin, gmax, hist_bins + 1)
-
-        # Phase-1 statistics for my cubes.
-        summaries = np.zeros((len(my_cubes), 4))
-        histograms = np.zeros((len(my_cubes), hist_bins))
-        scanned = 0
-        for i, vals in enumerate(local_vals):
-            flat = vals.reshape(-1)
-            scanned += flat.size
-            mean, std = flat.mean(), flat.std()
-            centred = flat - mean
-            summaries[i] = [
-                mean,
-                std,
-                (centred**3).mean() / max(std**3, 1e-12),
-                (centred**4).mean() / max(std**4, 1e-12),
-            ]
-            counts, _ = np.histogram(flat, bins=edges)
-            total = counts.sum()
-            histograms[i] = counts / total if total > 0 else 1.0 / hist_bins
-        comm.account_compute(float(scanned))
-        meter.record(flops=3.0 * scanned, nbytes=8.0 * scanned, device="cpu")
-
-        selected = _phase1_select(
-            comm,
-            sub.hypercubes,
-            summaries,
-            histograms,
-            n_cubes,
-            sub.num_hypercubes,
-            sub.num_clusters,
-            root_rng,
-        )
-
-        # Phase 2 over my share of the selected cubes.
-        slo, shi = block_bounds(len(selected), comm.size, comm.rank)
-        my_selected = selected[slo:shi]
-        my_points: list[PointSet] = []
-        my_full: list[Hypercube] = []
-        phase2_scanned = 0
-        sampler = None
-        if sub.method not in ("full",):
-            kwargs = {}
-            if sub.method in ("maxent", "stratified"):
-                kwargs["n_clusters"] = sub.num_clusters
-            sampler = get_sampler(sub.method, **kwargs)
-        for cube_id in my_selected:
-            s_idx, origin = index[int(cube_id)]
-            cube = extract_hypercube(dataset.snapshots[s_idx], origin, cube_shape, point_vars)
-            cube.meta["snapshot"] = s_idx
-            cube.meta["cube_id"] = int(cube_id)
-            phase2_scanned += cube.n_points
-            if sub.method == "full":
-                my_full.append(cube)
-                continue
-            assert sampler is not None
-            features = _features_for(sub.method, cube, cluster_var, input_vars)
-            n_draw = min(sub.num_samples, cube.n_points)
-            idx = sampler.sample(features, n_draw, rng)
-            ps = cube.select_points(idx, point_vars)
-            ps.meta.update(
-                method=sub.method,
-                snapshot=s_idx,
-                cube_id=int(cube_id),
-                cube_shape=list(cube_shape),
-            )
-            my_points.append(ps)
-        comm.account_compute(_METHOD_COST[sub.method] * float(phase2_scanned))
-        meter.record(
-            flops=_METHOD_COST[sub.method] * 2.0 * phase2_scanned,
-            nbytes=8.0 * phase2_scanned * len(point_vars),
-            device="cpu",
-        )
-        scanned += phase2_scanned
-
-        # Gather results on rank 0.
-        gathered_pts = comm.gather(my_points, root=0)
-        gathered_full = comm.gather(my_full, root=0)
-        total_scanned = comm.allreduce(scanned, op="sum")
-        meter.add_elapsed(comm.clock.t)
-
-    points: PointSet | None = None
-    cubes: list[Hypercube] | None = None
-    if comm.rank == 0:
-        if sub.method == "full":
-            cubes = [c for chunk in gathered_full for c in chunk]
-        else:
-            flat = [p for chunk in gathered_pts for p in chunk]
-            points = PointSet.concatenate(flat) if flat else None
-    return SubsampleResult(
-        points=points,
-        cubes=cubes,
-        selected_cube_ids=np.asarray(selected),
-        n_candidate_cubes=n_cubes,
-        n_points_scanned=int(total_scanned),
-        energy=meter,
-        virtual_time=comm.clock.t,
-        meta={
-            "method": sub.method,
-            "hypercubes": sub.hypercubes,
-            "num_samples": sub.num_samples,
-            "rank": comm.rank,
-            "size": comm.size,
-        },
-    )
+    Thin wrapper over the default :class:`SubsamplePipeline` stage list.
+    """
+    return SubsamplePipeline().run(comm, dataset, config, seed=seed, hist_bins=hist_bins)
 
 
 def subsample(

@@ -20,6 +20,8 @@ __all__ = ["RandomSampler", "LatinHypercubeSampler"]
 class RandomSampler(Sampler):
     """Uniform sampling without replacement."""
 
+    cost_per_point = 1.0
+
     def select(self, features: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
         return rng.choice(features.shape[0], size=n, replace=False)
 
@@ -35,6 +37,8 @@ class LatinHypercubeSampler(Sampler):
     Marginal stratification is preserved approximately — exactly in the limit
     of dense data.
     """
+
+    cost_per_point = 4.0
 
     def select(self, features: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
         n_points, d = features.shape

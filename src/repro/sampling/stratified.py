@@ -56,6 +56,8 @@ def allocate_counts(
 class StratifiedSampler(Sampler):
     """K-means strata + per-stratum random draws."""
 
+    cost_per_point = 8.0
+
     def __init__(self, n_clusters: int = 20, allocation: str = "equal") -> None:
         if allocation not in ("equal", "proportional"):
             raise ValueError("allocation must be 'equal' or 'proportional'")

@@ -32,6 +32,8 @@ __all__ = ["UIPSSampler"]
 class UIPSSampler(Sampler):
     """Binned inverse-density sampling with iterative refinement."""
 
+    cost_per_point = 6.0
+
     def __init__(self, bins: int = 20, n_iterations: int = 2, max_dims: int = 4) -> None:
         if bins < 2:
             raise ValueError("bins must be >= 2")

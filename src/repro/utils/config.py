@@ -27,6 +27,33 @@ _POINT_METHODS = ("maxent", "uips", "random", "lhs", "stratified", "full")
 _ARCHS = ("lstm", "mlp_transformer", "cnn_transformer", "matey")
 
 
+def _known_hypercube_methods() -> tuple[str, ...]:
+    """Live phase-1 selector registry, falling back to the static builtins.
+
+    Imported lazily so that third-party ``register_selector`` calls are
+    honoured by YAML validation without making this module depend on
+    :mod:`repro.sampling` at import time (the pipeline imports us).
+    """
+    try:
+        from repro.sampling.selectors import available_selectors
+
+        dynamic: tuple[str, ...] = tuple(available_selectors())
+    except Exception:
+        dynamic = ()
+    return tuple(dict.fromkeys((*_HYPERCUBE_METHODS, *dynamic)))
+
+
+def _known_point_methods() -> tuple[str, ...]:
+    """Live phase-2 sampler registry plus ``full``, with static fallback."""
+    try:
+        from repro.sampling import available_samplers
+
+        dynamic: tuple[str, ...] = tuple(available_samplers())
+    except Exception:
+        dynamic = ()
+    return tuple(dict.fromkeys((*_POINT_METHODS, *dynamic)))
+
+
 def _as_list(value: Any) -> list[str]:
     """Normalize 'u v w r' / ['u','v'] / 'u' to a list of variable names."""
     if value is None:
@@ -91,12 +118,14 @@ class SubsampleConfig:
     sampling_rate: float | None = None
 
     def __post_init__(self) -> None:
-        if self.hypercubes not in _HYPERCUBE_METHODS:
+        hypercube_methods = _known_hypercube_methods()
+        if self.hypercubes not in hypercube_methods:
             raise ValueError(
-                f"hypercubes must be one of {_HYPERCUBE_METHODS}, got {self.hypercubes!r}"
+                f"hypercubes must be one of {hypercube_methods}, got {self.hypercubes!r}"
             )
-        if self.method not in _POINT_METHODS:
-            raise ValueError(f"method must be one of {_POINT_METHODS}, got {self.method!r}")
+        point_methods = _known_point_methods()
+        if self.method not in point_methods:
+            raise ValueError(f"method must be one of {point_methods}, got {self.method!r}")
         if self.num_hypercubes < 1:
             raise ValueError("num_hypercubes must be >= 1")
         if self.num_samples < 1:

@@ -21,7 +21,9 @@ def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
     return grad
 
 
-def gradcheck(build, x: np.ndarray, rtol: float = 1e-4, atol: float = 1e-6) -> None:
+def gradcheck(
+    build, x: np.ndarray, rtol: float = 1e-4, atol: float = 1e-6, eps: float = 1e-6
+) -> None:
     """Compare autograd's gradient against finite differences.
 
     ``build(tensor) -> Tensor`` must return a scalar tensor.
@@ -37,5 +39,20 @@ def gradcheck(build, x: np.ndarray, rtol: float = 1e-4, atol: float = 1e-6) -> N
     def scalar_fn(arr: np.ndarray) -> float:
         return float(build(Tensor(arr.copy())).data)
 
-    numeric = numeric_grad(scalar_fn, x.copy())
-    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+    numeric = numeric_grad(scalar_fn, x.copy(), eps=eps)
+    # Central differences cannot resolve partials below the cancellation
+    # floor ~ulp(|f|)/eps: for chains whose output is huge (e.g. stacked
+    # exp/square), f(x±eps) rounds to f(x) and the FD reference reads 0 even
+    # though the analytic gradient is correct.  Only the elements whose FD
+    # value sits below that floor get the relaxed tolerance; resolvable
+    # elements keep the caller's rtol/atol.
+    f0 = abs(scalar_fn(x.copy()))
+    fd_floor = 4.0 * f0 * np.finfo(np.float64).eps / eps
+    unresolvable = np.abs(numeric) < fd_floor
+    np.testing.assert_allclose(
+        analytic[~unresolvable], numeric[~unresolvable], rtol=rtol, atol=atol
+    )
+    np.testing.assert_allclose(
+        analytic[unresolvable], numeric[unresolvable],
+        rtol=rtol, atol=max(atol, fd_floor),
+    )

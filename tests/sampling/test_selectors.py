@@ -1,0 +1,199 @@
+"""Tests for the phase-1 CubeSelector registry and the pluggable pipeline.
+
+Covers the selector registry contract (mirroring the Sampler registry), the
+three built-in selectors, the `hypercubes: entropy` bug fix (a genuinely
+distinct selector rather than a silent alias of maxent), and the regression
+for third-party registered strategies flowing through the full pipeline
+without a cost-table KeyError.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset
+from repro.sampling import (
+    CubeSelector,
+    Sampler,
+    available_selectors,
+    get_selector,
+    register_sampler,
+    register_selector,
+    subsample,
+)
+from repro.sampling import base as sampler_base
+from repro.sampling import selectors as selector_mod
+from repro.utils.config import CaseConfig, SharedConfig, SubsampleConfig, TrainConfig
+
+
+@pytest.fixture(scope="module")
+def sst():
+    return build_dataset("SST-P1F4", scale=1.0, rng=0, n_snapshots=2)
+
+
+def make_case(method="maxent", hypercubes="maxent", num_hypercubes=3,
+              num_samples=32, cube=16):
+    return CaseConfig(
+        shared=SharedConfig(dims=3),
+        subsample=SubsampleConfig(
+            hypercubes=hypercubes,
+            method=method,
+            num_hypercubes=num_hypercubes,
+            num_samples=num_samples,
+            num_clusters=5,
+            nxsl=cube, nysl=cube, nzsl=cube,
+        ),
+        train=TrainConfig(arch="mlp_transformer"),
+    )
+
+
+def stats(n_cubes=20, bins=16, rng=0):
+    """Synthetic gathered phase-1 statistics."""
+    r = np.random.default_rng(rng)
+    summaries = r.normal(size=(n_cubes, 4))
+    histograms = r.random((n_cubes, bins))
+    histograms /= histograms.sum(axis=1, keepdims=True)
+    return summaries, histograms
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"maxent", "random", "entropy"} <= set(available_selectors())
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown selector"):
+            get_selector("psychic")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_selector("maxent")
+            class Dup(CubeSelector):
+                def select_cubes(self, summaries, histograms, n, num_clusters, rng):
+                    return np.arange(n)
+
+    def test_non_subclass_rejected(self):
+        with pytest.raises(TypeError):
+            register_selector("notacube")(object)
+
+    def test_default_cost(self):
+        class Plain(CubeSelector):
+            def select_cubes(self, summaries, histograms, n, num_clusters, rng):
+                return np.arange(n)
+
+        assert Plain().cost_per_point == 1.0
+
+
+class TestBuiltinSelectors:
+    @pytest.mark.parametrize("name", ["maxent", "random", "entropy"])
+    def test_sorted_unique_in_range(self, name):
+        s, h = stats()
+        sel = get_selector(name)
+        idx = sel.select(s, h, 6, num_clusters=4, rng=0)
+        assert idx.shape == (6,)
+        assert np.all(np.diff(idx) > 0)
+        assert idx.min() >= 0 and idx.max() < s.shape[0]
+
+    def test_validation_errors(self):
+        s, h = stats()
+        sel = get_selector("random")
+        with pytest.raises(ValueError, match="n must be"):
+            sel.select(s, h, 0)
+        with pytest.raises(ValueError, match="n must be"):
+            sel.select(s, h, s.shape[0] + 1)
+        with pytest.raises(ValueError, match="disagree"):
+            sel.select(s, h[:-1], 3)
+        with pytest.raises(ValueError, match="non-finite"):
+            bad = s.copy()
+            bad[0, 0] = np.nan
+            sel.select(bad, h, 3)
+        with pytest.raises(ValueError, match="no candidate"):
+            sel.select(s[:0], h[:0], 1)
+
+    def test_entropy_prefers_high_entropy_cubes(self):
+        """The entropy selector is genuinely distinct: it keeps cubes with
+        broad per-cube histograms and suppresses near-constant ones."""
+        bins, n_cubes = 16, 20
+        histograms = np.zeros((n_cubes, bins))
+        histograms[:, 0] = 1.0                    # 15 delta (zero-entropy) cubes
+        rich = [2, 5, 9, 13, 17]
+        histograms[rich] = 1.0 / bins             # 5 maximum-entropy cubes
+        summaries = np.zeros((n_cubes, 4))
+        sel = get_selector("entropy")
+        idx = sel.select(summaries, histograms, 5, rng=0)
+        assert set(idx.tolist()) == set(rich)
+
+    def test_entropy_runs_through_pipeline(self, sst):
+        """`hypercubes: entropy` is a real registered selector end to end
+        (previously it validated in config but silently ran the maxent path)."""
+        cfg = make_case(hypercubes="entropy")
+        res = subsample(sst, cfg, nranks=2, seed=0)
+        assert res.points is not None and len(res.points) == 3 * 32
+        assert res.meta["hypercubes"] == "entropy"
+
+    def test_entropy_selector_differs_from_maxent_weights(self):
+        """On stats where histogram entropy and cluster KL structure disagree,
+        entropy and maxent must not collapse to the same policy."""
+        bins, n_cubes = 16, 24
+        r = np.random.default_rng(42)
+        summaries = r.normal(size=(n_cubes, 4))
+        histograms = np.zeros((n_cubes, bins))
+        histograms[:, 0] = 1.0
+        rich = np.arange(4)
+        histograms[rich] = 1.0 / bins
+        ent_pick = get_selector("entropy").select(
+            summaries, histograms, 4, num_clusters=4, rng=np.random.default_rng(0))
+        max_pick = get_selector("maxent").select(
+            summaries, histograms, 4, num_clusters=4, rng=np.random.default_rng(0))
+        assert set(ent_pick.tolist()) == set(rich.tolist())
+        # maxent spreads mass across KL-derived clusters, so (with these
+        # degenerate histograms) it cannot reproduce the pure-entropy pick.
+        assert set(max_pick.tolist()) != set(ent_pick.tolist())
+
+
+class TestThirdPartyPlugins:
+    def test_custom_selector_through_pipeline(self, sst):
+        @register_selector("first-cubes-test")
+        class FirstCubes(CubeSelector):
+            def select_cubes(self, summaries, histograms, n, num_clusters, rng):
+                return np.arange(n)
+
+        try:
+            cfg = make_case(hypercubes="first-cubes-test")
+            res = subsample(sst, cfg, nranks=2, seed=0)
+            assert res.selected_cube_ids.tolist() == [0, 1, 2]
+        finally:
+            selector_mod._REGISTRY.pop("first-cubes-test", None)
+
+    def test_custom_sampler_through_pipeline(self, sst):
+        """Regression: a registered sampler absent from any cost table used to
+        crash run_subsample with KeyError; cost now lives on the class."""
+
+        @register_sampler("take-first-test")
+        class TakeFirst(Sampler):
+            # deliberately NOT setting cost_per_point: the default must hold
+            def select(self, features, n, rng):
+                return np.arange(n)
+
+        try:
+            cfg = make_case(method="take-first-test")
+            res = subsample(sst, cfg, nranks=2, seed=0)
+            assert res.points is not None
+            assert len(res.points) == 3 * 32
+            assert res.meta["method"] == "take-first-test"
+            assert TakeFirst().cost_per_point == 1.0
+        finally:
+            sampler_base._REGISTRY.pop("take-first-test", None)
+
+    def test_builtin_sampler_costs_on_classes(self):
+        from repro.sampling import (
+            LatinHypercubeSampler,
+            MaxEntSampler,
+            RandomSampler,
+            StratifiedSampler,
+            UIPSSampler,
+        )
+
+        assert RandomSampler.cost_per_point == 1.0
+        assert LatinHypercubeSampler.cost_per_point == 4.0
+        assert StratifiedSampler.cost_per_point == 8.0
+        assert UIPSSampler.cost_per_point == 6.0
+        assert MaxEntSampler.cost_per_point == 10.0
