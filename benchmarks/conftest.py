@@ -38,10 +38,16 @@ def tc2d_dataset():
     return build_dataset("TC2D", scale=0.75, rng=0)
 
 
+#: CI's benchmark smoke step sets this to run reduced configurations.
+BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
 @pytest.fixture(scope="session")
 def sst_p1f4_dataset():
-    """SST-P1F4 at 32x32x16, 6 snapshots of the TG transition."""
-    return build_dataset("SST-P1F4", scale=1.0, rng=0, n_snapshots=6)
+    """SST-P1F4 at 32x32x16, 6 snapshots of the TG transition (3 in the
+    REPRO_BENCH_SMOKE=1 reduced configuration)."""
+    return build_dataset("SST-P1F4", scale=1.0, rng=0,
+                         n_snapshots=3 if BENCH_SMOKE else 6)
 
 
 @pytest.fixture(scope="session")

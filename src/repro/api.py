@@ -14,16 +14,35 @@ One fluent chain drives the paper's whole T1 → T2 workflow::
     )
 
 ``from_case`` accepts a YAML path, a raw dict, or a built
-:class:`~repro.utils.config.CaseConfig`.  Every stage call records a
-first-class artifact — :class:`SubsampleArtifact` / :class:`TrainArtifact` —
-that can be persisted with ``save(path)`` and resurrected with
-``Artifact.load(path)``; saved artifacts embed the seed and a full config
-snapshot, so a stored result is reproducible from its metadata alone.
+:class:`~repro.utils.config.CaseConfig`.
+
+Data enters through the stream-first :class:`~repro.data.sources.SnapshotSource`
+protocol — one ``with_source`` for all three ingestion modes::
+
+    exp = Experiment.from_case("case.yaml")
+
+    exp.with_source(build_dataset("SST-P1F4"))          # batch (in-memory)
+    exp.with_source(ShardedNpzSource("snapshots/"))      # out-of-core shards
+    exp.with_source(stream_dataset("sst-binary"))        # in-situ simulation
+
+(a bare :class:`~repro.data.dataset.TurbulenceDataset` or a shard-directory
+path is coerced automatically; ``with_dataset`` remains as sugar).  The
+two-phase pipeline fetches snapshots through the source on demand, so
+out-of-core and in-situ runs never hold the dataset resident;
+``subsample(mode="stream")`` switches to the single-pass streaming samplers
+(reservoir / online MaxEnt) for true sampling-while-the-simulation-runs.
+
+Every stage call records a first-class artifact —
+:class:`SubsampleArtifact` / :class:`TrainArtifact` — that can be persisted
+with ``save(path)`` and resurrected with ``Artifact.load(path)``; saved
+artifacts embed the seed and a full config snapshot, so a stored result is
+reproducible from its metadata alone.
 
 The CLI (:mod:`repro.cli`) and the examples are thin shells over this
 facade; under the hood each stage runs the composable
 :class:`~repro.sampling.stages.SubsamplePipeline`, so anything registered
-with ``register_sampler`` / ``register_selector`` is available here too.
+with ``register_sampler`` / ``register_selector`` /
+``register_stream_sampler`` is available here too.
 """
 
 from __future__ import annotations
@@ -38,6 +57,7 @@ import numpy as np
 from repro.data import load_dataset
 from repro.data.dataset import TurbulenceDataset
 from repro.data.points import PointSet
+from repro.data.sources import InMemorySource, SnapshotSource, as_source
 from repro.data.store import META_KEY as _META_KEY
 from repro.data.store import points_from_npz, points_payload
 from repro.energy.meter import EnergyMeter
@@ -289,8 +309,8 @@ class Experiment:
         self.scale = 1.0
         self.epochs: int | None = None
         self.artifacts: dict[str, Artifact] = {}
-        self._dataset: TurbulenceDataset | None = None
-        self._dataset_explicit = False
+        self._source: SnapshotSource | None = None
+        self._source_explicit = False
 
     # ---- construction -----------------------------------------------------
 
@@ -335,8 +355,9 @@ class Experiment:
         return self
 
     def _invalidate_dataset(self) -> None:
-        """Drop a lazily-loaded dataset (it depends on seed and scale);
-        a dataset supplied via with_dataset is the user's and is kept.
+        """Drop a lazily-loaded source (it depends on seed and scale);
+        a source supplied via with_source/with_dataset is the user's and
+        is kept.
 
         Refuses outright once a stage has run: recorded artifacts were
         produced under the old dataset, and silently pairing them with a
@@ -350,8 +371,8 @@ class Experiment:
                 f"(recorded: {sorted(self.artifacts)}); start a new "
                 "Experiment via Experiment.from_case(...)"
             )
-        if not self._dataset_explicit:
-            self._dataset = None
+        if not self._source_explicit:
+            self._source = None
 
     def with_epochs(self, epochs: int | None) -> "Experiment":
         """Override the case's epoch budget (None keeps the case value)."""
@@ -360,38 +381,76 @@ class Experiment:
         self.epochs = epochs
         return self
 
-    def with_dataset(self, dataset: TurbulenceDataset) -> "Experiment":
-        """Use a pre-built dataset instead of loading from the case."""
+    def with_source(self, source: "SnapshotSource | TurbulenceDataset | str") -> "Experiment":
+        """Drive the experiment from any :class:`SnapshotSource`.
+
+        Accepts an in-memory / sharded / simulation source, a bare
+        :class:`TurbulenceDataset`, or a shard-directory path (coerced via
+        :func:`~repro.data.sources.as_source`) — the single entry point for
+        batch, out-of-core, and in-situ ingestion.
+        """
         if self.artifacts:
             raise RuntimeError(
                 "cannot change seed/scale/dataset after a stage has run "
                 f"(recorded: {sorted(self.artifacts)}); start a new "
                 "Experiment via Experiment.from_case(...)"
             )
-        self._dataset = dataset
-        self._dataset_explicit = True
+        self._source = as_source(source)
+        self._source_explicit = True
         return self
+
+    def with_dataset(self, dataset: TurbulenceDataset) -> "Experiment":
+        """Use a pre-built dataset instead of loading from the case
+        (sugar for ``with_source(dataset)``)."""
+        return self.with_source(dataset)
 
     # ---- execution --------------------------------------------------------
 
     @property
-    def dataset(self) -> TurbulenceDataset:
-        """The case's dataset, loaded lazily and cached."""
-        if self._dataset is None:
-            self._dataset = load_dataset(
+    def source(self) -> SnapshotSource:
+        """The experiment's snapshot source, built lazily from the case
+        (an in-memory source over the catalog dataset) unless supplied via
+        ``with_source``/``with_dataset``."""
+        if self._source is None:
+            self._source = InMemorySource(load_dataset(
                 self.case.shared.dtype,
                 path=self.case.subsample.path or None,
                 scale=self.scale,
                 rng=self.seed,
-            )
-        return self._dataset
+            ))
+        return self._source
 
-    def subsample(self) -> "Experiment":
-        """Run the two-phase subsampling pipeline and record its artifact."""
-        result = subsample(self.dataset, self.case, nranks=self.ranks, seed=self.seed)
+    @property
+    def dataset(self) -> TurbulenceDataset:
+        """The resident dataset behind an in-memory source.
+
+        Raises for out-of-core / in-situ sources, whose whole point is that
+        no resident dataset exists — use :attr:`source` instead.
+        """
+        source = self.source
+        if isinstance(source, InMemorySource):
+            return source.dataset
+        raise RuntimeError(
+            f"experiment is driven by a {type(source).__name__}, which never "
+            "materializes a resident dataset; use .source"
+        )
+
+    def subsample(self, mode: str = "batch") -> "Experiment":
+        """Run the subsampling pipeline and record its artifact.
+
+        ``mode="batch"`` is the two-phase SPMD pipeline; ``mode="stream"``
+        is the single-pass streaming path (reservoir / online MaxEnt over
+        chunks as the source produces them — in-situ, single-producer, so
+        it requires ``with_ranks(1)``, the default).
+        """
+        if mode == "stream" and self.ranks != 1:
+            raise ValueError("mode='stream' is single-producer; use with_ranks(1)")
+        result = subsample(self.source, self.case, nranks=self.ranks,
+                           seed=self.seed, mode=mode)
         self.artifacts["subsample"] = SubsampleArtifact(
             meta={"seed": self.seed, "case": self.case.to_dict(),
-                  "ranks": self.ranks, "scale": self.scale},
+                  "ranks": self.ranks, "scale": self.scale, "mode": mode,
+                  "source": type(self.source).__name__},
             result=result,
         )
         return self
@@ -401,15 +460,22 @@ class Experiment:
         if "subsample" not in self.artifacts:
             self.subsample()
         result: SubsampleResult = self.subsample_artifact.result
+        if result.meta.get("mode") == "stream":
+            raise ValueError(
+                "training from a stream-mode subsample is not supported: "
+                "streaming results carry no hypercube structure to build "
+                "windows from; run subsample() in batch mode (or persist "
+                "the stream and train offline)"
+            )
         case = self.case
         epochs = self.epochs if self.epochs is not None else min(case.train.epochs, 100)
 
         if case.train.arch == "lstm":
-            x, y = build_drag_data(self.dataset, result, window=case.train.window,
+            x, y = build_drag_data(self.source, result, window=case.train.window,
                                    horizon=case.train.horizon)
             model = build_model_for_case(case, None, input_dim=x.shape[2], rng=self.seed)
         else:
-            data = build_reconstruction_data(self.dataset, result,
+            data = build_reconstruction_data(self.source, result,
                                              window=case.train.window,
                                              horizon=case.train.horizon)
             x, y = data.x, data.y

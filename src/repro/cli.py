@@ -11,8 +11,11 @@ threads.  Both commands are thin shells over the
 :class:`repro.api.Experiment` facade — the same fluent chain available from
 Python (``Experiment.from_case(path).with_ranks(32).subsample().train()``)
 — so anything registered with ``register_sampler`` / ``register_selector``
-is reachable from YAML.  Outputs keep the paper's greppable log contract
-(``CPU Energy``, ``Total Energy Consumed``, ``Evaluation on test set``).
+is reachable from YAML.  ``--source`` picks the ingestion mode (catalog
+in-memory, out-of-core shard directory, or ``sim`` for in-situ generation)
+and ``--stream`` switches the subsample to the single-pass streaming
+samplers.  Outputs keep the paper's greppable log contract (``CPU Energy``,
+``Total Energy Consumed``, ``Evaluation on test set``).
 """
 
 from __future__ import annotations
@@ -26,6 +29,22 @@ from repro.data import SubsampleStore
 __all__ = ["main", "subsample_main", "train_main", "build_model_for_case"]
 
 
+def _resolve_source(args, case) -> "object | None":
+    """Build the SnapshotSource named by ``--source`` (None = case default)."""
+    if not args.source:
+        return None
+    if args.source == "sim":
+        from repro.data import stream_dataset
+
+        return stream_dataset(
+            case.shared.dtype, scale=args.scale, seed=args.seed,
+            max_cached=args.max_cached_shards,
+        )
+    from repro.data import ShardedNpzSource
+
+    return ShardedNpzSource(args.source, max_cached=args.max_cached_shards)
+
+
 def subsample_main(argv: list[str] | None = None) -> int:
     """``subsample.py case.yaml`` equivalent."""
     parser = argparse.ArgumentParser(prog="repro-subsample", description=subsample_main.__doc__)
@@ -34,6 +53,21 @@ def subsample_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scale", type=float, default=1.0, help="dataset resolution scale")
     parser.add_argument("--output_dir", default=None, help="store the subsample here")
+    parser.add_argument(
+        "--source", default=None,
+        help="ingestion source: 'sim' (in-situ generation from the case "
+             "dtype) or a path to a shard directory written by "
+             "save_dataset(); default generates the catalog dataset in memory",
+    )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="single-pass streaming subsample (reservoir / online MaxEnt) "
+             "instead of the two-phase pipeline",
+    )
+    parser.add_argument(
+        "--max-cached-shards", type=int, default=2,
+        help="decoded snapshots resident at once for out-of-core/in-situ sources",
+    )
     args = parser.parse_args(argv)
 
     exp = (
@@ -41,8 +75,11 @@ def subsample_main(argv: list[str] | None = None) -> int:
         .with_ranks(args.ranks)
         .with_seed(args.seed)
         .with_scale(args.scale)
-        .subsample()
     )
+    source = _resolve_source(args, exp.case)
+    if source is not None:
+        exp.with_source(source)
+    exp.subsample(mode="stream" if args.stream else "batch")
     result = exp.subsample_artifact.result
     print(exp.subsample_artifact.summary())
     if args.output_dir and result.points is not None:
@@ -50,7 +87,7 @@ def subsample_main(argv: list[str] | None = None) -> int:
         name = exp.case.shared.fileprefix.replace("/", "_") or "subsample"
         path = store.save(name, result.points)
         print(f"Saved subsample to {path} "
-              f"({store.reduction_factor(name, exp.dataset.nbytes()):.0f}x reduction)")
+              f"({store.reduction_factor(name, exp.source.nbytes()):.0f}x reduction)")
     return 0
 
 

@@ -12,6 +12,9 @@ Maps the paper's data handling onto the synthetic substrates:
   (scaled-down) resolution,
 * :mod:`repro.data.loaders` — dtype-keyed loaders mirroring the paper's
   ``--dtype openfoam|sst-binary|gests`` flags, with npz persistence,
+* :mod:`repro.data.sources` — the stream-first :class:`SnapshotSource`
+  ingestion protocol (in-memory / out-of-core sharded / in-situ simulated),
+  the single abstraction the sampling pipeline consumes,
 * :mod:`repro.data.store` — saving feature-rich subsampled datasets and the
   storage-reduction accounting the paper advertises.
 """
@@ -25,7 +28,14 @@ from repro.data.hypercubes import (
 )
 from repro.data.dataset import TurbulenceDataset
 from repro.data.catalog import CATALOG, build_dataset, dataset_summary
-from repro.data.loaders import load_dataset, save_dataset
+from repro.data.sources import (
+    SnapshotSource,
+    InMemorySource,
+    ShardedNpzSource,
+    SimulationSource,
+    as_source,
+)
+from repro.data.loaders import load_dataset, save_dataset, stream_dataset
 from repro.data.store import SubsampleStore
 
 __all__ = [
@@ -38,7 +48,13 @@ __all__ = [
     "CATALOG",
     "build_dataset",
     "dataset_summary",
+    "SnapshotSource",
+    "InMemorySource",
+    "ShardedNpzSource",
+    "SimulationSource",
+    "as_source",
     "load_dataset",
     "save_dataset",
+    "stream_dataset",
     "SubsampleStore",
 ]

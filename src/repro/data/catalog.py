@@ -21,10 +21,16 @@ from repro.data.dataset import TurbulenceDataset
 from repro.sim.combustion import generate_combustion
 from repro.sim.cylinder import CylinderConfig, generate_cylinder
 from repro.sim.isotropic import generate_isotropic
-from repro.sim.stratified import generate_stratified
+from repro.sim.stratified import generate_stratified, stream_stratified
 from repro.utils.rng import resolve_rng
 
-__all__ = ["CATALOG", "CatalogEntry", "build_dataset", "dataset_summary"]
+__all__ = [
+    "CATALOG",
+    "CatalogEntry",
+    "build_dataset",
+    "dataset_summary",
+    "snapshot_stream_factory",
+]
 
 
 def _even(n: float, minimum: int = 8) -> int:
@@ -34,7 +40,15 @@ def _even(n: float, minimum: int = 8) -> int:
 
 @dataclass(frozen=True)
 class CatalogEntry:
-    """One row of Table 1 plus the builder that regenerates it."""
+    """One row of Table 1 plus the builder that regenerates it.
+
+    ``output_vars`` is Table 1's output column; for OF2D that is the drag
+    series ``D`` — a per-*snapshot* target, not a field variable — so
+    ``field_output_vars`` records the per-point output variables the built
+    dataset actually carries (defaults to ``output_vars``).
+    ``default_snapshots`` / ``gravity`` mirror the builder's defaults so
+    streaming consumers need no parallel bookkeeping.
+    """
 
     label: str
     description: str
@@ -45,9 +59,17 @@ class CatalogEntry:
     input_vars: tuple[str, ...]
     output_vars: tuple[str, ...]
     builder: Callable[..., TurbulenceDataset]
+    default_snapshots: int = 1
+    gravity: str = "none"
+    field_output_vars: tuple[str, ...] | None = None
 
     def build(self, scale: float = 1.0, rng=None, **overrides) -> TurbulenceDataset:
         return self.builder(scale=scale, rng=resolve_rng(rng), **overrides)
+
+    @property
+    def point_output_vars(self) -> tuple[str, ...]:
+        """Per-point output variables of the built dataset's snapshots."""
+        return self.output_vars if self.field_output_vars is None else self.field_output_vars
 
 
 def _build_tc2d(scale: float = 1.0, rng=None, **_) -> TurbulenceDataset:
@@ -79,11 +101,20 @@ def _build_of2d(scale: float = 1.0, rng=None, n_snapshots: int = 100, **_) -> Tu
     )
 
 
+def _sst_sim_params(label: str, scale: float) -> tuple[tuple[int, int, int], dict]:
+    """Grid + solver kwargs for the SST entries — the single source of truth
+    shared by the batch builders and the in-situ stream factory, so the two
+    ingestion paths cannot diverge."""
+    if label == "SST-P1F4":
+        shape = (_even(32 * scale), _even(32 * scale), _even(16 * scale))
+        return shape, dict(gravity="z", forced=False)
+    shape = (_even(32 * scale), _even(8 * scale), _even(32 * scale))
+    return shape, dict(gravity="y", forced=True, n_buoyancy=3.0)
+
+
 def _build_sst_p1f4(scale: float = 1.0, rng=None, n_snapshots: int = 8, **_) -> TurbulenceDataset:
-    shape = (_even(32 * scale), _even(32 * scale), _even(16 * scale))
-    snaps = generate_stratified(
-        shape=shape, n_snapshots=n_snapshots, gravity="z", forced=False, rng=rng
-    )
+    shape, kwargs = _sst_sim_params("SST-P1F4", scale)
+    snaps = generate_stratified(shape=shape, n_snapshots=n_snapshots, rng=rng, **kwargs)
     return TurbulenceDataset(
         label="SST-P1F4",
         snapshots=snaps,
@@ -97,10 +128,8 @@ def _build_sst_p1f4(scale: float = 1.0, rng=None, n_snapshots: int = 8, **_) -> 
 
 
 def _build_sst_p1f100(scale: float = 1.0, rng=None, n_snapshots: int = 4, **_) -> TurbulenceDataset:
-    shape = (_even(32 * scale), _even(8 * scale), _even(32 * scale))
-    snaps = generate_stratified(
-        shape=shape, n_snapshots=n_snapshots, gravity="y", forced=True, n_buoyancy=3.0, rng=rng
-    )
+    shape, kwargs = _sst_sim_params("SST-P1F100", scale)
+    snaps = generate_stratified(shape=shape, n_snapshots=n_snapshots, rng=rng, **kwargs)
     return TurbulenceDataset(
         label="SST-P1F100",
         snapshots=snaps,
@@ -142,14 +171,17 @@ CATALOG: dict[str, CatalogEntry] = {
     "OF2D": CatalogEntry(
         "OF2D", "2D Laminar Flow Over Cylinder", "10800", 100, "300MB",
         "p", ("u", "v"), ("D",), _build_of2d,
+        default_snapshots=100, field_output_vars=(),  # D is the drag target
     ),
     "SST-P1F4": CatalogEntry(
         "SST-P1F4", "3D T-G[i] time evolving Pr=1", "512x512x256", 125, "376GB",
         "pv", ("u", "v", "w"), ("p",), _build_sst_p1f4,
+        default_snapshots=8, gravity="z",
     ),
     "SST-P1F100": CatalogEntry(
         "SST-P1F100", "3D Forced stratified turbulence", "4096x1024x4096", 10, "5TB",
         "rhoy", ("u", "v", "w", "r"), ("ee",), _build_sst_p1f100,
+        default_snapshots=4, gravity="y",
     ),
     "GESTS-2048": CatalogEntry(
         "GESTS-2048", "3D Forced isotropic turbulence", "2048x2048x2048", 1, "188GB",
@@ -160,6 +192,55 @@ CATALOG: dict[str, CatalogEntry] = {
         "enstrophy", ("u", "v", "w", "e"), ("p",), _build_gests("GESTS-8192", 48),
     ),
 }
+
+
+def snapshot_stream_factory(
+    label: str,
+    scale: float = 1.0,
+    seed: int | None = 0,
+    n_snapshots: int | None = None,
+    **overrides,
+):
+    """A replayable per-snapshot producer for one catalog entry.
+
+    Returns ``(n_snapshots, factory)`` where ``factory()`` yields the
+    entry's snapshots one at a time from a fresh deterministic simulation
+    run.  The SST entries step the pseudo-spectral solver and hand over
+    each snapshot as it is computed (true in-situ), sharing their geometry
+    with the batch builders via :func:`_sst_sim_params`; entries whose
+    generator is single-shot (TC2D, GESTS) or globally coupled (OF2D's
+    drag series) generate inside the factory and iterate, so the caller's
+    residency policy still applies downstream.
+
+    ``seed`` must be an int or None (not a live Generator): replaying the
+    stream after eviction re-seeds from it to reproduce identical fields.
+    """
+    if isinstance(seed, np.random.Generator):
+        raise TypeError("seed must be an int or None; a live Generator cannot be replayed")
+    try:
+        entry = CATALOG[label]
+    except KeyError:
+        raise KeyError(f"unknown dataset {label!r}; available: {sorted(CATALOG)}") from None
+    n = n_snapshots if n_snapshots is not None else entry.default_snapshots
+
+    if label in ("SST-P1F4", "SST-P1F100"):
+        # Solver parameters follow the catalog configuration exactly — the
+        # batch builders ignore solver overrides, so honouring them here
+        # would silently break the batch/stream field equivalence.
+        shape, kwargs = _sst_sim_params(label, scale)
+
+        def factory():
+            return stream_stratified(
+                shape=shape, n_snapshots=n, rng=resolve_rng(seed), **kwargs
+            )
+
+    else:
+        def factory():
+            ds = build_dataset(label, scale=scale, rng=resolve_rng(seed),
+                               n_snapshots=n, **overrides)
+            return iter(ds.snapshots)
+
+    return n, factory
 
 
 def build_dataset(label: str, scale: float = 1.0, rng=None, **overrides) -> TurbulenceDataset:

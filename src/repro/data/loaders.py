@@ -15,11 +15,12 @@ import os
 
 import numpy as np
 
-from repro.data.catalog import build_dataset
+from repro.data.catalog import CATALOG, build_dataset, snapshot_stream_factory
 from repro.data.dataset import TurbulenceDataset
-from repro.data.store import load_field, save_field
+from repro.data.sources import SimulationSource
+from repro.data.store import MANIFEST, load_field, save_field
 
-__all__ = ["DTYPE_TO_LABEL", "load_dataset", "save_dataset"]
+__all__ = ["DTYPE_TO_LABEL", "load_dataset", "save_dataset", "stream_dataset"]
 
 #: --dtype flag -> default catalog label
 DTYPE_TO_LABEL = {
@@ -32,7 +33,7 @@ DTYPE_TO_LABEL = {
     "gests-8192": "GESTS-8192",
 }
 
-_MANIFEST = "manifest.json"
+_MANIFEST = MANIFEST
 
 
 def save_dataset(dataset: TurbulenceDataset, path: str) -> None:
@@ -89,3 +90,40 @@ def load_dataset(
     except KeyError:
         raise KeyError(f"unknown dtype {dtype!r}; available: {sorted(DTYPE_TO_LABEL)}") from None
     return build_dataset(label, scale=scale, rng=rng, **overrides)
+
+
+def stream_dataset(
+    dtype: str,
+    scale: float = 1.0,
+    seed: int | None = 0,
+    n_snapshots: int | None = None,
+    max_cached: int = 1,
+    **overrides,
+) -> SimulationSource:
+    """An in-situ :class:`SimulationSource` for a dtype — nothing materialized.
+
+    The returned source generates snapshots on demand from the catalog's
+    deterministic simulation (seeded by `seed`, so replays after eviction
+    reproduce the same fields) and keeps at most ``max_cached`` of them.
+    Per-snapshot global targets (OF2D's drag series) are a whole-run
+    property and stay None here; drag workflows need the batch loader.
+    """
+    try:
+        label = DTYPE_TO_LABEL[dtype]
+    except KeyError:
+        raise KeyError(f"unknown dtype {dtype!r}; available: {sorted(DTYPE_TO_LABEL)}") from None
+    entry = CATALOG[label]
+    n, factory = snapshot_stream_factory(
+        label, scale=scale, seed=seed, n_snapshots=n_snapshots, **overrides
+    )
+    return SimulationSource(
+        factory,
+        n,
+        label=label,
+        input_vars=list(entry.input_vars),
+        output_vars=list(entry.point_output_vars),
+        cluster_var=entry.kcv,
+        gravity=entry.gravity,
+        description=entry.description,
+        max_cached=max_cached,
+    )

@@ -1,0 +1,428 @@
+"""Snapshot sources: one ingestion abstraction for batch, out-of-core, and
+in-situ data.
+
+The paper's first future-work item is "integration with in-situ, streaming,
+and online training frameworks": sampling while the simulation runs, without
+ever materializing the full dataset.  A :class:`SnapshotSource` is the
+stream-first answer — every consumer (the stage pipeline, the streaming
+samplers, the training data builders, the CLI) asks a source for snapshots
+one at a time and never requires the whole dataset to be resident.  Three
+implementations cover the ingestion spectrum:
+
+* :class:`InMemorySource` — wraps a fully resident
+  :class:`~repro.data.dataset.TurbulenceDataset` (today's batch path;
+  produces byte-identical pipeline results).
+* :class:`ShardedNpzSource` — lazily loads per-snapshot npz shards written
+  by :func:`repro.data.loaders.save_dataset`, keeping at most ``max_cached``
+  decoded shards in a thread-safe LRU (out-of-core: the working set is
+  bounded no matter how many shards the dataset has).
+* :class:`SimulationSource` — generates snapshots on demand from a
+  replayable simulation factory (true in-situ: nothing is ever written to
+  disk or held beyond a small rolling window; revisiting an earlier
+  snapshot re-runs the deterministic simulation).
+
+:func:`as_source` coerces a ``TurbulenceDataset`` (→ ``InMemorySource``), a
+shard-directory path (→ ``ShardedNpzSource``), or a source (identity), so
+``subsample()`` / ``Experiment`` accept all three kinds interchangeably.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.data.dataset import TurbulenceDataset
+from repro.data.store import MANIFEST, load_field
+from repro.sim.fields import FlowField
+
+__all__ = [
+    "SnapshotSource",
+    "InMemorySource",
+    "ShardedNpzSource",
+    "SimulationSource",
+    "as_source",
+]
+
+
+class SnapshotSource(abc.ABC):
+    """Sequential-access view of a snapshot sequence plus its Table 1 roles.
+
+    Subclasses provide :meth:`snapshot` (random access; may be lazy,
+    cached, or regenerating) and the dataset metadata the pipeline needs
+    (variable roles, grid geometry, snapshot count).  Consumers that stream
+    should prefer :meth:`iter_snapshots` / :meth:`iter_tables`, which visit
+    snapshots in index order — the access pattern every implementation
+    serves with bounded memory.
+    """
+
+    label: str = ""
+    description: str = ""
+    input_vars: list[str]
+    output_vars: list[str]
+    cluster_var: str
+    gravity: str = "none"
+    #: optional (n_snapshots,) per-snapshot global target (e.g. OF2D drag)
+    target: np.ndarray | None = None
+
+    # ---- geometry ---------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def n_snapshots(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def grid_shape(self) -> tuple[int, ...]: ...
+
+    @property
+    def ndim(self) -> int:
+        return len(self.grid_shape)
+
+    @property
+    def n_points_per_snapshot(self) -> int:
+        return int(np.prod(self.grid_shape))
+
+    # ---- access -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def snapshot(self, i: int) -> FlowField:
+        """Fetch snapshot `i`.  May load, generate, or return a cached one;
+        the returned field must not be assumed to stay resident after the
+        next :meth:`snapshot` call (bounded sources evict)."""
+
+    def iter_snapshots(self) -> Iterator[tuple[int, FlowField]]:
+        """Yield ``(index, snapshot)`` in index order (the streaming order)."""
+        for i in range(self.n_snapshots):
+            yield i, self.snapshot(i)
+
+    @property
+    def times(self) -> np.ndarray:
+        """(n_snapshots,) snapshot times.  The default walks the source."""
+        return np.array([snap.time for _, snap in self.iter_snapshots()])
+
+    def iter_tables(
+        self, variables: list[str], chunk_rows: int = 65536
+    ) -> Iterator[tuple[int, float, np.ndarray, np.ndarray]]:
+        """Stream the source as flat row blocks of bounded size.
+
+        Yields ``(snapshot_index, time, coords_block, table_block)`` where
+        ``coords_block`` is (rows, ndim) global grid coordinates and
+        ``table_block`` is (rows, len(variables)).  At most one snapshot
+        (plus ``chunk_rows`` rows of coordinates) is touched at a time, so
+        memory stays bounded by the source's own residency policy.
+        """
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        grid = self.grid_shape
+        n = int(np.prod(grid))
+        for s, snap in self.iter_snapshots():
+            flats = [snap.get(v).reshape(-1) for v in variables]
+            for lo in range(0, n, chunk_rows):
+                hi = min(lo + chunk_rows, n)
+                coords = np.column_stack(
+                    np.unravel_index(np.arange(lo, hi), grid)
+                ).astype(np.float64)
+                table = np.column_stack([f[lo:hi] for f in flats])
+                yield s, snap.time, coords, table
+
+    # ---- accounting / hints ----------------------------------------------
+
+    def nbytes(self) -> int:
+        """Decoded footprint of the full snapshot sequence (estimate for
+        lazy sources: first snapshot × count, grids are homogeneous)."""
+        return self.snapshot(0).nbytes() * self.n_snapshots
+
+    def value_range_hint(self, var: str) -> tuple[float, float] | None:
+        """Optional global (min, max) of a variable, if knowable without an
+        extra pass.  Streaming samplers fall back to estimating from the
+        first chunk when this returns None."""
+        return None
+
+    def summary_row(self) -> dict:
+        return {
+            "label": self.label,
+            "description": self.description,
+            "space": "x".join(str(n) for n in self.grid_shape),
+            "time": self.n_snapshots,
+            "size_bytes": self.nbytes(),
+            "kcv": self.cluster_var,
+            "input": ", ".join(self.input_vars),
+            "output": ", ".join(self.output_vars) if self.output_vars else "-",
+        }
+
+
+class InMemorySource(SnapshotSource):
+    """A fully resident :class:`TurbulenceDataset` as a source (batch mode).
+
+    The pipeline consumes every source through the same chunked interface;
+    wrapping a dataset here reproduces the pre-source-API results
+    byte-for-byte (pinned by the golden pipeline tests).
+    """
+
+    def __init__(self, dataset: TurbulenceDataset) -> None:
+        if not isinstance(dataset, TurbulenceDataset):
+            raise TypeError(f"expected TurbulenceDataset, got {type(dataset).__name__}")
+        self.dataset = dataset
+        self.label = dataset.label
+        self.description = dataset.description
+        self.input_vars = list(dataset.input_vars)
+        self.output_vars = list(dataset.output_vars)
+        self.cluster_var = dataset.cluster_var
+        self.gravity = dataset.gravity
+        self.target = dataset.target
+
+    @property
+    def n_snapshots(self) -> int:
+        return self.dataset.n_snapshots
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        return self.dataset.grid_shape
+
+    def snapshot(self, i: int) -> FlowField:
+        return self.dataset.snapshots[i]
+
+    @property
+    def times(self) -> np.ndarray:
+        return self.dataset.times
+
+    def nbytes(self) -> int:
+        return self.dataset.nbytes()
+
+    def value_range_hint(self, var: str) -> tuple[float, float] | None:
+        # Everything is resident anyway; the exact range is one cheap scan.
+        lo = min(float(s.get(var).min()) for s in self.dataset.snapshots)
+        hi = max(float(s.get(var).max()) for s in self.dataset.snapshots)
+        return (lo, hi)
+
+
+class ShardedNpzSource(SnapshotSource):
+    """Out-of-core source over per-snapshot npz shards on disk.
+
+    Reads a directory written by :func:`repro.data.loaders.save_dataset`
+    (``manifest.json`` + ``snapshot_XXXXX.npz``).  Decoded shards live in a
+    thread-safe LRU holding at most ``max_cached`` snapshots, so subsampling
+    an N-shard dataset never resides more than ``max_cached`` shards in
+    memory regardless of N.  :meth:`cache_info` exposes the counters the
+    boundedness tests assert on.
+    """
+
+    def __init__(self, path: str, max_cached: int = 2) -> None:
+        if max_cached < 1:
+            raise ValueError("max_cached must be >= 1")
+        manifest_path = os.path.join(path, MANIFEST)
+        if not os.path.isfile(manifest_path):
+            raise FileNotFoundError(
+                f"no {MANIFEST} under {path!r} — not a save_dataset() directory"
+            )
+        with open(manifest_path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        self.path = path
+        self.max_cached = int(max_cached)
+        self.label = manifest["label"]
+        self.description = manifest.get("description", "")
+        self.input_vars = list(manifest["input_vars"])
+        self.output_vars = list(manifest["output_vars"])
+        self.cluster_var = manifest["cluster_var"]
+        self.gravity = manifest.get("gravity", "none")
+        target = manifest.get("target")
+        self.target = np.asarray(target, dtype=np.float64) if target is not None else None
+        self._n = int(manifest["n_snapshots"])
+        self._cache: OrderedDict[int, FlowField] = OrderedDict()
+        self._lock = threading.RLock()
+        self._grid_shape: tuple[int, ...] | None = None
+        self._shard_nbytes: int | None = None
+        self._times: np.ndarray | None = None
+        self._stats = {"hits": 0, "misses": 0, "evictions": 0, "max_resident": 0}
+
+    def shard_path(self, i: int) -> str:
+        if not 0 <= i < self._n:
+            raise IndexError(f"snapshot {i} out of range [0, {self._n})")
+        return os.path.join(self.path, f"snapshot_{i:05d}.npz")
+
+    @property
+    def n_snapshots(self) -> int:
+        return self._n
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        if self._grid_shape is None:
+            self._grid_shape = self.snapshot(0).grid_shape
+        return self._grid_shape
+
+    def snapshot(self, i: int) -> FlowField:
+        path = self.shard_path(i)
+        with self._lock:
+            if i in self._cache:
+                self._cache.move_to_end(i)
+                self._stats["hits"] += 1
+                return self._cache[i]
+            self._stats["misses"] += 1
+            # Evict before decoding so residency never exceeds max_cached.
+            while len(self._cache) >= self.max_cached:
+                self._cache.popitem(last=False)
+                self._stats["evictions"] += 1
+            field = load_field(path)
+            self._cache[i] = field
+            self._stats["max_resident"] = max(self._stats["max_resident"], len(self._cache))
+            if self._grid_shape is None:
+                self._grid_shape = field.grid_shape
+                self._shard_nbytes = field.nbytes()
+            return field
+
+    @property
+    def times(self) -> np.ndarray:
+        if self._times is None:
+            # np.load decompresses entries on access, so reading just the
+            # scalar "time" entry never decodes the field arrays.
+            times = np.empty(self._n)
+            for i in range(self._n):
+                with np.load(self.shard_path(i), allow_pickle=False) as data:
+                    times[i] = float(data["time"])
+            self._times = times
+        return self._times
+
+    def nbytes(self) -> int:
+        """Decoded footprint of all shards (first decode's size × count,
+        cached so repeat queries touch no disk)."""
+        if self._shard_nbytes is None:
+            self.snapshot(0)
+        return self._shard_nbytes * self._n
+
+    def cache_info(self) -> dict:
+        with self._lock:
+            return {**self._stats, "resident": len(self._cache), "max_cached": self.max_cached}
+
+
+class SimulationSource(SnapshotSource):
+    """In-situ source: snapshots are generated on demand, never materialized.
+
+    ``factory`` is a zero-argument callable returning a *fresh* iterator of
+    :class:`FlowField` snapshots (a deterministic simulation run).  Forward
+    access advances the live iterator; only the last ``max_cached``
+    generated snapshots are retained, and stepping *backwards* restarts the
+    factory and replays — the standard in-situ trade of compute for memory.
+    ``restarts`` counts those replays (the two-phase pipeline revisits
+    selected snapshots in phase 2, so expect a couple).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterator[FlowField]],
+        n_snapshots: int,
+        *,
+        label: str = "SIM",
+        input_vars: list[str],
+        output_vars: list[str],
+        cluster_var: str,
+        gravity: str = "none",
+        description: str = "",
+        target: np.ndarray | None = None,
+        max_cached: int = 1,
+    ) -> None:
+        if n_snapshots < 1:
+            raise ValueError("n_snapshots must be >= 1")
+        if max_cached < 1:
+            raise ValueError("max_cached must be >= 1")
+        self.factory = factory
+        self.label = label
+        self.description = description
+        self.input_vars = list(input_vars)
+        self.output_vars = list(output_vars)
+        self.cluster_var = cluster_var
+        self.gravity = gravity
+        self.target = target
+        self.max_cached = int(max_cached)
+        self._n = int(n_snapshots)
+        self._it: Iterator[FlowField] | None = None
+        self._pos = 0  # number of snapshots consumed from the live iterator
+        self._cache: OrderedDict[int, FlowField] = OrderedDict()
+        self._lock = threading.RLock()
+        self._grid_shape: tuple[int, ...] | None = None
+        self._snapshot_nbytes: int | None = None
+        self._seen_times: dict[int, float] = {}
+        self.restarts = 0
+        self.generated = 0
+
+    @property
+    def n_snapshots(self) -> int:
+        return self._n
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        if self._grid_shape is None:
+            self._grid_shape = self.snapshot(0).grid_shape
+        return self._grid_shape
+
+    def snapshot(self, i: int) -> FlowField:
+        if not 0 <= i < self._n:
+            raise IndexError(f"snapshot {i} out of range [0, {self._n})")
+        with self._lock:
+            if i in self._cache:
+                self._cache.move_to_end(i)
+                return self._cache[i]
+            if self._it is None or i < self._pos:
+                # Revisiting a discarded snapshot: replay the simulation.
+                if self._it is not None:
+                    self.restarts += 1
+                self._it = iter(self.factory())
+                self._pos = 0
+                self._cache.clear()
+            field = None
+            while self._pos <= i:
+                try:
+                    field = next(self._it)
+                except StopIteration:
+                    raise RuntimeError(
+                        f"simulation factory yielded only {self._pos} snapshots, "
+                        f"declared n_snapshots={self._n}"
+                    ) from None
+                self._seen_times[self._pos] = field.time
+                self.generated += 1
+                self._pos += 1
+                if self._grid_shape is None:
+                    self._grid_shape = field.grid_shape
+                    self._snapshot_nbytes = field.nbytes()
+            while len(self._cache) >= self.max_cached:
+                self._cache.popitem(last=False)
+            self._cache[i] = field
+            return field
+
+    @property
+    def times(self) -> np.ndarray:
+        """Snapshot times; generating through the stream once if needed."""
+        if len(self._seen_times) < self._n:
+            self.snapshot(self._n - 1)  # advance to the end, recording times
+        return np.array([self._seen_times[i] for i in range(self._n)])
+
+    def nbytes(self) -> int:
+        """Would-be decoded footprint, from the first generated snapshot's
+        size (cached, so asking after a completed pass never replays)."""
+        if self._snapshot_nbytes is None:
+            self.snapshot(0)
+        return self._snapshot_nbytes * self._n
+
+
+def as_source(data) -> SnapshotSource:
+    """Coerce the accepted ingestion kinds to a :class:`SnapshotSource`.
+
+    Accepts a source (identity), a :class:`TurbulenceDataset`
+    (→ :class:`InMemorySource`), or a path to a shard directory written by
+    ``save_dataset`` (→ :class:`ShardedNpzSource`).
+    """
+    if isinstance(data, SnapshotSource):
+        return data
+    if isinstance(data, TurbulenceDataset):
+        return InMemorySource(data)
+    if isinstance(data, (str, os.PathLike)):
+        return ShardedNpzSource(os.fspath(data))
+    raise TypeError(
+        "expected a SnapshotSource, TurbulenceDataset, or shard-directory "
+        f"path, got {type(data).__name__}"
+    )

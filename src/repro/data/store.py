@@ -24,12 +24,17 @@ __all__ = [
     "points_payload",
     "points_from_npz",
     "META_KEY",
+    "MANIFEST",
 ]
 
 #: npz entry holding the JSON-encoded metadata, shared by every serializer
 #: in this repo (SubsampleStore, field snapshots, repro.api artifacts).
 META_KEY = "__meta_json__"
 _META_KEYS = META_KEY
+
+#: dataset-directory manifest name, shared by save_dataset/load_dataset and
+#: the out-of-core :class:`repro.data.sources.ShardedNpzSource`.
+MANIFEST = "manifest.json"
 
 
 def points_payload(points: PointSet) -> dict[str, np.ndarray]:

@@ -23,20 +23,46 @@ more with :func:`register_selector`):
 ``maxent``            entropy-weighted stratified sampling (Xmaxent)
 ====================  ======================================================
 
+**Streaming analogues** (:mod:`repro.sampling.streaming`; register more
+with :func:`register_stream_sampler`) live in a sibling registry under the
+offline names they mirror, so the same case ``method:`` key drives both
+ingestion modes:
+
+====================  ======================================================
+``random``            Algorithm-R reservoir (vectorized per chunk)
+``maxent``            online MaxEnt — mini-batch K-means + per-cluster
+                      histograms/reservoirs, entropy-weighted finalize
+====================  ======================================================
+
 Registered classes carry their own ``cost_per_point`` work-unit cost, so the
 pipeline's virtual-clock/energy accounting covers third-party strategies
 automatically.
 
 The distributed pipeline itself is a composition of named stages
 (:mod:`repro.sampling.stages`: CubeIndex → Phase1Summarize → CubeSelect →
-PointSample → Gather) driven by :class:`SubsamplePipeline`; the historical
-entry points :func:`run_subsample` / :func:`subsample` remain as thin
-wrappers, and :class:`repro.api.Experiment` is the high-level facade over
-the whole subsample → train → report workflow.  Temporal snapshot selection
-(§4.3) is in :mod:`repro.sampling.temporal`.
+PointSample → Gather) driven by :class:`SubsamplePipeline`; every stage
+consumes a :class:`~repro.data.sources.SnapshotSource` chunk-by-chunk, so
+the same pipeline runs batch (in-memory), out-of-core (sharded npz), and
+in-situ (simulation) ingestion — :func:`subsample` is the single entry
+point for all three, with ``mode="stream"`` switching to the single-pass
+streaming samplers.  The historical entry points :func:`run_subsample` /
+:func:`subsample` remain as thin wrappers, and
+:class:`repro.api.Experiment` is the high-level facade over the whole
+subsample → train → report workflow.  Temporal snapshot selection (§4.3)
+is in :mod:`repro.sampling.temporal`.
 """
 
-from repro.sampling.base import Sampler, available_samplers, get_sampler, register_sampler
+from repro.sampling.base import (
+    Sampler,
+    StreamSampler,
+    available_samplers,
+    available_stream_samplers,
+    get_sampler,
+    get_stream_sampler,
+    register_sampler,
+    register_stream_sampler,
+    stream_sampler_cls,
+)
 from repro.sampling.selectors import (
     CubeSelector,
     EntropyCubeSelector,
@@ -76,13 +102,23 @@ from repro.sampling.stages import (
     SubsampleResult,
 )
 from repro.sampling.pipeline import run_subsample, subsample
-from repro.sampling.streaming import ReservoirSampler, StreamingMaxEnt
+from repro.sampling.streaming import (
+    ReservoirSampler,
+    ReservoirStream,
+    StreamingMaxEnt,
+    run_stream_subsample,
+)
 
 __all__ = [
     "Sampler",
+    "StreamSampler",
     "available_samplers",
+    "available_stream_samplers",
     "get_sampler",
+    "get_stream_sampler",
     "register_sampler",
+    "register_stream_sampler",
+    "stream_sampler_cls",
     "CubeSelector",
     "available_selectors",
     "get_selector",
@@ -119,5 +155,7 @@ __all__ = [
     "run_subsample",
     "subsample",
     "ReservoirSampler",
+    "ReservoirStream",
     "StreamingMaxEnt",
+    "run_stream_subsample",
 ]

@@ -1,10 +1,16 @@
-"""Sampler interface and registry — SICKLE's pluggable architecture.
+"""Sampler interfaces and registries — SICKLE's pluggable architecture.
 
 The paper advertises "a pluggable architecture that makes it easy to
 integrate other sampling strategies"; here a sampler is any class
 implementing :meth:`Sampler.select` and registered under a name.  The
 pipeline, benches, and YAML configs refer to samplers by these names
 (``random``, ``lhs``, ``stratified``, ``uips``, ``maxent``).
+
+Streaming (single-pass, in-situ) samplers live in a sibling registry with
+the same naming scheme: :class:`StreamSampler` implementations register via
+:func:`register_stream_sampler` under the offline name they mirror
+(``random`` → reservoir sampling, ``maxent`` → online MaxEnt), so a case's
+``method:`` key resolves in both ``mode="batch"`` and ``mode="stream"``.
 """
 
 from __future__ import annotations
@@ -17,9 +23,20 @@ import numpy as np
 from repro.energy.meter import account
 from repro.utils.rng import resolve_rng
 
-__all__ = ["Sampler", "register_sampler", "get_sampler", "available_samplers"]
+__all__ = [
+    "Sampler",
+    "register_sampler",
+    "get_sampler",
+    "available_samplers",
+    "StreamSampler",
+    "register_stream_sampler",
+    "get_stream_sampler",
+    "stream_sampler_cls",
+    "available_stream_samplers",
+]
 
 _REGISTRY: dict[str, Type["Sampler"]] = {}
+_STREAM_REGISTRY: dict[str, Type["StreamSampler"]] = {}
 
 
 class Sampler(abc.ABC):
@@ -104,3 +121,87 @@ def get_sampler(name: str, **kwargs) -> Sampler:
 
 def available_samplers() -> list[str]:
     return sorted(_REGISTRY)
+
+
+class StreamSampler(abc.ABC):
+    """Single-pass sampler over a chunked stream — the in-situ counterpart
+    of :class:`Sampler`.
+
+    Constructor contract (so registry instantiation is uniform)::
+
+        StreamSamplerSubclass(n_samples, value_range, rng=None, **kwargs)
+
+    where ``value_range`` is the expected (lo, hi) range of the streamed
+    cluster variable (samplers that don't bin values may ignore it).  Feed
+    chunks as they are produced, then :meth:`finalize` once; the result rows
+    are ``[value, payload...]`` like :meth:`StreamingMaxEnt.finalize`.
+    """
+
+    #: registry name, set by the @register_stream_sampler decorator
+    name: str = ""
+
+    #: virtual-clock work units per streamed point (same convention as
+    #: :attr:`Sampler.cost_per_point`).
+    cost_per_point: float = 1.0
+
+    #: whether the sampler bins values and therefore needs a real
+    #: ``value_range`` at construction; samplers that ignore the range keep
+    #: this False so callers can skip computing a range hint entirely.
+    needs_value_range: bool = False
+
+    #: total points fed so far; implementations must keep this current.
+    n_seen: int = 0
+
+    @abc.abstractmethod
+    def feed(self, values: np.ndarray, payload: np.ndarray | None = None) -> None:
+        """Offer one chunk: `values` (n,) cluster variable, optional payload
+        rows (n, d) carried alongside."""
+
+    @abc.abstractmethod
+    def finalize(self) -> np.ndarray:
+        """End of stream: the selected rows ``[value, payload...]``."""
+
+
+def register_stream_sampler(name: str) -> Callable[[Type[StreamSampler]], Type[StreamSampler]]:
+    """Class decorator adding a streaming sampler to the registry under `name`.
+
+    Use the offline sampler name the strategy mirrors, so the same case
+    ``method:`` drives both ingestion modes.
+    """
+
+    def deco(cls: Type[StreamSampler]) -> Type[StreamSampler]:
+        if not issubclass(cls, StreamSampler):
+            raise TypeError(f"{cls.__name__} must subclass StreamSampler")
+        if name in _STREAM_REGISTRY:
+            raise ValueError(f"stream sampler {name!r} already registered")
+        cls.name = name
+        _STREAM_REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def stream_sampler_cls(name: str) -> Type[StreamSampler]:
+    """Resolve a registered streaming sampler class by (offline) name."""
+    try:
+        return _STREAM_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no streaming analogue registered for {name!r}; "
+            f"available: {available_stream_samplers()}"
+        ) from None
+
+
+def get_stream_sampler(
+    name: str,
+    n_samples: int,
+    value_range: tuple[float, float] | None = None,
+    rng: np.random.Generator | int | None = None,
+    **kwargs,
+) -> StreamSampler:
+    """Instantiate a registered streaming sampler by (offline) name."""
+    return stream_sampler_cls(name)(n_samples, value_range, rng=rng, **kwargs)
+
+
+def available_stream_samplers() -> list[str]:
+    return sorted(_STREAM_REGISTRY)

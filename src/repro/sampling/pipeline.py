@@ -16,11 +16,23 @@ Runs SPMD over a :class:`~repro.parallel.comm.Communicator`, mirroring
     or keeps the cubes fully dense (``method='full'``);
 4.  results are gathered to rank 0 and concatenated.
 
-Since this repo's API redesign the pipeline itself lives in
-:mod:`repro.sampling.stages` as composable :class:`~repro.sampling.stages.Stage`
-objects (CubeIndex → Phase1Summarize → CubeSelect → PointSample → Gather)
-driven by :class:`~repro.sampling.stages.SubsamplePipeline`; this module
-keeps the historical entry points ``run_subsample`` / ``subsample`` as thin
+Since the stream-first redesign :func:`subsample` is the single entry point
+for all three ingestion modes: pass a resident
+:class:`~repro.data.dataset.TurbulenceDataset` (or
+:class:`~repro.data.sources.InMemorySource`) for batch, a
+:class:`~repro.data.sources.ShardedNpzSource` for out-of-core shards, or a
+:class:`~repro.data.sources.SimulationSource` for in-situ generation — the
+stage pipeline fetches snapshots through the source on demand and never
+requires the dataset to be resident.  ``mode="stream"`` switches to the
+single-pass streaming samplers (:mod:`repro.sampling.streaming`) registered
+beside the offline ones, which sample while the data streams by without a
+phase-2 revisit.
+
+The stage pipeline itself lives in :mod:`repro.sampling.stages` as
+composable :class:`~repro.sampling.stages.Stage` objects (CubeIndex →
+Phase1Summarize → CubeSelect → PointSample → Gather) driven by
+:class:`~repro.sampling.stages.SubsamplePipeline`; this module keeps the
+historical entry points ``run_subsample`` / ``subsample`` as thin
 seed-for-seed-equivalent wrappers over the default stage list.
 
 Each rank meters its own energy (thread-local
@@ -29,16 +41,12 @@ virtual clock, so the same run yields Fig 7's scalability numbers (virtual
 makespan vs rank count) and Fig 8's energy numbers.  Per-method work-unit
 costs come from the ``cost_per_point`` attribute on the sampler/selector
 classes, so registered third-party strategies need no cost-table entry.
-
-Note: with the thread-backed communicator all ranks share the dataset
-read-only in memory; on a real cluster each rank would read its slice from
-disk.  Derived variables are materialized per snapshot before the parallel
-region to keep the cache warm.
 """
 
 from __future__ import annotations
 
 from repro.data.dataset import TurbulenceDataset
+from repro.data.sources import InMemorySource, SimulationSource, SnapshotSource, as_source
 from repro.energy.meter import EnergyMeter
 from repro.parallel.comm import Communicator
 from repro.parallel.perfmodel import PerfModel
@@ -51,35 +59,69 @@ __all__ = ["SubsampleResult", "SubsamplePipeline", "run_subsample", "subsample"]
 
 def run_subsample(
     comm: Communicator,
-    dataset: TurbulenceDataset,
+    data: "SnapshotSource | TurbulenceDataset",
     config: CaseConfig,
     seed: int = 0,
     hist_bins: int = 50,
 ) -> SubsampleResult:
     """Execute the two-phase pipeline on one rank of an SPMD run.
 
-    Thin wrapper over the default :class:`SubsamplePipeline` stage list.
+    Thin wrapper over the default :class:`SubsamplePipeline` stage list;
+    `data` is any snapshot source or a resident dataset.
     """
-    return SubsamplePipeline().run(comm, dataset, config, seed=seed, hist_bins=hist_bins)
+    return SubsamplePipeline().run(comm, data, config, seed=seed, hist_bins=hist_bins)
 
 
 def subsample(
-    dataset: TurbulenceDataset,
+    data: "SnapshotSource | TurbulenceDataset",
     config: CaseConfig,
     nranks: int = 1,
     seed: int = 0,
     model: PerfModel | None = None,
+    mode: str = "batch",
 ) -> SubsampleResult:
-    """Convenience wrapper: launch the SPMD pipeline and return rank 0's result.
+    """One ``subsample()`` for batch, out-of-core, and in-situ ingestion.
 
-    The returned result's ``virtual_time`` is the makespan (slowest rank) and
-    its energy meter is the merge of all ranks' meters.
+    ``mode="batch"`` (default) launches the two-phase SPMD pipeline over any
+    :class:`~repro.data.sources.SnapshotSource` and returns rank 0's result;
+    the returned ``virtual_time`` is the makespan (slowest rank) and the
+    energy meter is the merge of all ranks' meters.  ``mode="stream"`` runs
+    the single-pass streaming samplers instead (one producer, one pass, no
+    phase-2 revisit — see :func:`repro.sampling.streaming.run_stream_subsample`).
     """
-    # Materialize derived variables once, outside the parallel region.
-    for snap in dataset.snapshots:
-        snap.get(dataset.cluster_var)
+    source = as_source(data)
+    if mode == "stream":
+        from repro.sampling.streaming import run_stream_subsample
 
-    spmd = run_spmd(run_subsample, nranks, dataset, config, seed=seed, model=model)
+        if nranks != 1:
+            raise ValueError(
+                "mode='stream' is a single-producer, single-pass path; "
+                f"nranks must be 1, got {nranks}"
+            )
+        return run_stream_subsample(source, config, seed=seed)
+    if mode != "batch":
+        raise ValueError(f"mode must be 'batch' or 'stream', got {mode!r}")
+
+    if isinstance(source, InMemorySource):
+        # Materialize derived variables once, outside the parallel region
+        # (resident data only — lazy sources stay lazy).
+        for snap in source.dataset.snapshots:
+            snap.get(source.cluster_var)
+    elif (
+        isinstance(source, SimulationSource)
+        and nranks > 1
+        and source.max_cached < source.n_snapshots
+    ):
+        # Thread ranks interleave snapshot requests; a replay-on-backstep
+        # source would re-run the simulation O(ranks * snapshots) times.
+        raise ValueError(
+            "a SimulationSource with max_cached < n_snapshots would replay "
+            "the simulation for nearly every cross-rank access under "
+            f"nranks={nranks}; use nranks=1, raise max_cached to "
+            f">= {source.n_snapshots}, or shard the stream to disk first"
+        )
+
+    spmd = run_spmd(run_subsample, nranks, source, config, seed=seed, model=model)
     root: SubsampleResult = spmd[0]
     merged = EnergyMeter()
     for res in spmd.values:

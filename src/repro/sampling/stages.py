@@ -5,8 +5,8 @@ each an object with a ``run(ctx)`` method satisfying the :class:`Stage`
 protocol and communicating through a shared mutable :class:`PipelineContext`:
 
 ==========================  ================================================
-:class:`CubeIndexStage`     enumerate the global cube tiling, take this
-                            rank's block, slice the cluster-variable values
+:class:`CubeIndexStage`     enumerate the global cube tiling and take this
+                            rank's block (no data touched yet)
 :class:`Phase1SummarizeStage`  agree on global histogram edges, compute
                             per-cube moments + histograms (phase 1 stats)
 :class:`CubeSelectStage`    gather stats to rank 0, run the configured
@@ -25,6 +25,14 @@ the run in per-rank energy metering.  ``run_subsample``/``subsample`` in
 :mod:`repro.sampling.pipeline` stay as thin wrappers over the default
 pipeline, so existing call sites and seeds are unaffected.
 
+Since the stream-first redesign every stage consumes a
+:class:`~repro.data.sources.SnapshotSource` chunk-by-chunk — snapshots are
+fetched on demand and never required to be resident together, so the same
+stage list runs over an in-memory dataset (byte-identical to the
+pre-source-API results), an out-of-core shard directory, or an in-situ
+simulation.  ``run``/``run_subsample`` accept a ``TurbulenceDataset`` too
+and coerce it via :func:`~repro.data.sources.as_source`.
+
 Method work-unit costs live on the sampler/selector classes themselves
 (``cost_per_point``), so third-party strategies registered via
 ``register_sampler``/``register_selector`` flow through the pipeline without
@@ -41,6 +49,7 @@ import numpy as np
 from repro.data.dataset import TurbulenceDataset
 from repro.data.hypercubes import Hypercube, extract_hypercube, hypercube_origins
 from repro.data.points import PointSet
+from repro.data.sources import SnapshotSource, as_source
 from repro.energy.meter import EnergyMeter
 from repro.parallel.comm import Communicator
 from repro.parallel.partition import block_bounds
@@ -54,6 +63,7 @@ __all__ = [
     "SubsampleResult",
     "PipelineContext",
     "Stage",
+    "iter_cube_values",
     "CubeIndexStage",
     "Phase1SummarizeStage",
     "CubeSelectStage",
@@ -90,10 +100,16 @@ class SubsampleResult:
 
 @dataclass
 class PipelineContext:
-    """Mutable state threaded through the pipeline stages on one rank."""
+    """Mutable state threaded through the pipeline stages on one rank.
+
+    ``source`` is any :class:`~repro.data.sources.SnapshotSource`; stages
+    fetch snapshots through it on demand instead of assuming a resident
+    dataset, so the context works identically for in-memory, out-of-core,
+    and in-situ ingestion.
+    """
 
     comm: Communicator
-    dataset: TurbulenceDataset
+    source: SnapshotSource
     config: CaseConfig
     seed: int = 0
     hist_bins: int = 50
@@ -111,7 +127,6 @@ class PipelineContext:
     index: list[tuple[int, tuple[int, ...]]] = field(default_factory=list)
     n_cubes: int = 0
     my_cubes: list[tuple[int, tuple[int, ...]]] = field(default_factory=list)
-    local_vals: list[np.ndarray] = field(default_factory=list)
     edges: np.ndarray | None = None
     summaries: np.ndarray | None = None
     histograms: np.ndarray | None = None
@@ -125,11 +140,11 @@ class PipelineContext:
 
     def __post_init__(self) -> None:
         sub = self.config.subsample
-        self.cube_shape = sub.hypercube_shape[: self.dataset.ndim]
-        self.cluster_var = self.dataset.cluster_var
-        self.input_vars = self.dataset.input_vars
+        self.cube_shape = sub.hypercube_shape[: self.source.ndim]
+        self.cluster_var = self.source.cluster_var
+        self.input_vars = list(self.source.input_vars)
         self.point_vars = list(dict.fromkeys(
-            [*self.input_vars, *self.dataset.output_vars, self.cluster_var]
+            [*self.input_vars, *self.source.output_vars, self.cluster_var]
         ))
         rank_rng = spawn_rngs(self.seed, self.comm.size + 1)
         self.rng = rank_rng[self.comm.rank + 1]
@@ -145,6 +160,24 @@ class Stage(Protocol):
     def run(self, ctx: PipelineContext) -> None: ...
 
 
+def iter_cube_values(ctx: PipelineContext):
+    """Yield ``(position, cluster-variable block)`` for this rank's cubes.
+
+    Cubes arrive in (snapshot, origin) order, so each snapshot is fetched
+    from the source exactly once per contiguous run — chunk-by-chunk
+    consumption with residency bounded by the source, never a resident list
+    of per-cube values.
+    """
+    current = -1
+    snap = None
+    for i, (s, origin) in enumerate(ctx.my_cubes):
+        if s != current:
+            snap = ctx.source.snapshot(s)
+            current = s
+        slicer = tuple(slice(o, o + c) for o, c in zip(origin, ctx.cube_shape))
+        yield i, snap.get(ctx.cluster_var)[slicer]
+
+
 class CubeIndexStage:
     """Enumerate the deterministic global cube tiling and take my block."""
 
@@ -152,8 +185,8 @@ class CubeIndexStage:
 
     def run(self, ctx: PipelineContext) -> None:
         sub = ctx.config.subsample
-        origins = hypercube_origins(ctx.dataset.grid_shape, ctx.cube_shape)
-        ctx.index = [(s, o) for s in range(ctx.dataset.n_snapshots) for o in origins]
+        origins = hypercube_origins(ctx.source.grid_shape, ctx.cube_shape)
+        ctx.index = [(s, o) for s in range(ctx.source.n_snapshots) for o in origins]
         ctx.n_cubes = len(ctx.index)
         if sub.num_hypercubes > ctx.n_cubes:
             raise ValueError(
@@ -161,23 +194,25 @@ class CubeIndexStage:
             )
         lo, hi = block_bounds(ctx.n_cubes, ctx.comm.size, ctx.comm.rank)
         ctx.my_cubes = ctx.index[lo:hi]
-        ctx.local_vals = [
-            ctx.dataset.snapshots[s].get(ctx.cluster_var)[
-                tuple(slice(o, o + c) for o, c in zip(origin, ctx.cube_shape))
-            ]
-            for s, origin in ctx.my_cubes
-        ]
 
 
 class Phase1SummarizeStage:
-    """Per-cube phase-1 statistics on globally agreed histogram edges."""
+    """Per-cube phase-1 statistics on globally agreed histogram edges.
+
+    Two streaming passes over this rank's share of the source: one to agree
+    on global histogram edges (min/max reduction), one to fill the per-cube
+    moments and histograms.  Neither pass materializes more than one
+    snapshot's worth of values at a time.
+    """
 
     name = "phase1-summarize"
 
     def run(self, ctx: PipelineContext) -> None:
         comm, bins = ctx.comm, ctx.hist_bins
-        local_min = min((float(v.min()) for v in ctx.local_vals), default=np.inf)
-        local_max = max((float(v.max()) for v in ctx.local_vals), default=-np.inf)
+        local_min, local_max = np.inf, -np.inf
+        for _, vals in iter_cube_values(ctx):
+            local_min = min(local_min, float(vals.min()))
+            local_max = max(local_max, float(vals.max()))
         gmin = comm.allreduce(local_min, op="min")
         gmax = comm.allreduce(local_max, op="max")
         if gmin == gmax:
@@ -187,7 +222,7 @@ class Phase1SummarizeStage:
         summaries = np.zeros((len(ctx.my_cubes), 4))
         histograms = np.zeros((len(ctx.my_cubes), bins))
         scanned = 0
-        for i, vals in enumerate(ctx.local_vals):
+        for i, vals in iter_cube_values(ctx):
             flat = vals.reshape(-1)
             scanned += flat.size
             mean, std = flat.mean(), flat.std()
@@ -254,10 +289,14 @@ class PointSampleStage:
         cost = FULL_METHOD_COST if sampler is None else float(
             getattr(sampler, "cost_per_point", Sampler.cost_per_point)
         )
+        # CubeSelector.select returns sorted ids (the ABC enforces it), and
+        # the index is snapshot-major — so this loop visits snapshots
+        # monotonically and a replay-on-backstep SimulationSource restarts
+        # at most once for the whole phase.
         for cube_id in my_selected:
             s_idx, origin = ctx.index[int(cube_id)]
             cube = extract_hypercube(
-                ctx.dataset.snapshots[s_idx], origin, ctx.cube_shape, ctx.point_vars
+                ctx.source.snapshot(s_idx), origin, ctx.cube_shape, ctx.point_vars
             )
             cube.meta["snapshot"] = s_idx
             cube.meta["cube_id"] = int(cube_id)
@@ -335,14 +374,18 @@ class SubsamplePipeline:
     def run(
         self,
         comm: Communicator,
-        dataset: TurbulenceDataset,
+        data: "SnapshotSource | TurbulenceDataset",
         config: CaseConfig,
         seed: int = 0,
         hist_bins: int = 50,
     ) -> SubsampleResult:
-        """Execute every stage on one rank of an SPMD run."""
+        """Execute every stage on one rank of an SPMD run.
+
+        `data` may be any :class:`~repro.data.sources.SnapshotSource` or a
+        resident :class:`TurbulenceDataset` (coerced to an in-memory source).
+        """
         ctx = PipelineContext(
-            comm=comm, dataset=dataset, config=config, seed=seed, hist_bins=hist_bins
+            comm=comm, source=as_source(data), config=config, seed=seed, hist_bins=hist_bins
         )
         with EnergyMeter() as meter:
             ctx.meter = meter

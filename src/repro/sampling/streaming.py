@@ -3,16 +3,25 @@
 The paper's outlook calls for "integration with in-situ, streaming, and
 online training frameworks like SmartSim": sampling while the simulation
 runs, without ever materializing the full dataset.  Two single-pass
-samplers:
+samplers, registered in the stream-sampler registry
+(:mod:`repro.sampling.base`) under the offline names they mirror so a
+case's ``method:`` key resolves in both ingestion modes:
 
-* :class:`ReservoirSampler` — classic Algorithm-R reservoir sampling: a
-  uniform random subset of an unbounded stream in O(n) memory.
-* :class:`StreamingMaxEnt` — an online MaxEnt analogue: cluster centroids
-  adapt via mini-batch K-means ``partial_fit`` as chunks stream through,
-  each cluster keeps its own value histogram and reservoir, and on
-  :meth:`finalize` the per-cluster budgets follow the same node-strength
-  weighting as the offline sampler.  One pass, bounded memory, and the same
-  tail-seeking behaviour.
+* ``random`` → :class:`ReservoirStream` /  :class:`ReservoirSampler` —
+  classic Algorithm-R reservoir sampling: a uniform random subset of an
+  unbounded stream in O(capacity) memory, with the per-chunk replacement
+  draws fully vectorized.
+* ``maxent`` → :class:`StreamingMaxEnt` — an online MaxEnt analogue:
+  cluster centroids adapt via mini-batch K-means ``partial_fit`` as chunks
+  stream through, each cluster keeps its own value histogram and reservoir,
+  and on :meth:`finalize` the per-cluster budgets follow the same
+  node-strength weighting as the offline sampler.  One pass, bounded
+  memory, and the same tail-seeking behaviour.
+
+:func:`run_stream_subsample` drives either over any
+:class:`~repro.data.sources.SnapshotSource` — it is what
+``subsample(source, config, mode="stream")`` and
+``Experiment...subsample(mode="stream")`` execute.
 """
 
 from __future__ import annotations
@@ -21,46 +30,137 @@ import numpy as np
 
 from repro.cluster.kmeans import MiniBatchKMeans
 from repro.data.points import PointSet
+from repro.data.sources import SnapshotSource, as_source
+from repro.energy.meter import EnergyMeter
+from repro.parallel.perfmodel import PerfModel
+from repro.sampling.base import (
+    StreamSampler,
+    get_stream_sampler,
+    register_stream_sampler,
+    stream_sampler_cls,
+)
 from repro.sampling.entropy import (
     entropy_adjacency,
     node_strengths,
     strength_weights,
 )
 from repro.sampling.stratified import allocate_counts
+from repro.utils.config import CaseConfig
 from repro.utils.rng import resolve_rng
 
-__all__ = ["ReservoirSampler", "StreamingMaxEnt"]
+__all__ = [
+    "ReservoirSampler",
+    "ReservoirStream",
+    "StreamingMaxEnt",
+    "run_stream_subsample",
+]
 
 
 class ReservoirSampler:
-    """Uniform sampling of a stream with Algorithm R (Vitter 1985)."""
+    """Uniform sampling of a stream with Algorithm R (Vitter 1985).
+
+    ``feed`` is vectorized per chunk: the under-capacity fill is a block
+    copy, and the replacement draws are one batched ``rng.integers`` call
+    (one uniform draw per streamed row, exactly as the scalar algorithm
+    makes), with sequential last-write-wins semantics recovered by keeping
+    each slot's final hit.  The retention distribution is Algorithm R's.
+    """
 
     def __init__(self, capacity: int, rng: np.random.Generator | int | None = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.rng = resolve_rng(rng)
-        self._items: list[np.ndarray] = []
+        self._buf: np.ndarray | None = None
+        self._size = 0
         self.n_seen = 0
+
+    def __len__(self) -> int:
+        """Number of rows currently held (= min(capacity, n_seen))."""
+        return self._size
 
     def feed(self, chunk: np.ndarray) -> None:
         """Offer a chunk of rows (n, d) to the reservoir."""
         chunk = np.atleast_2d(np.asarray(chunk, dtype=np.float64))
-        for row in chunk:
-            self.n_seen += 1
-            if len(self._items) < self.capacity:
-                self._items.append(row.copy())
-            else:
-                j = int(self.rng.integers(self.n_seen))
-                if j < self.capacity:
-                    self._items[j] = row.copy()
+        n = chunk.shape[0]
+        if n == 0:
+            return
+        if self._buf is None:
+            self._buf = np.empty((self.capacity, chunk.shape[1]))
+        elif chunk.shape[1] != self._buf.shape[1]:
+            raise ValueError(
+                f"chunk width {chunk.shape[1]} != reservoir width {self._buf.shape[1]}"
+            )
+        pos = 0
+        if self._size < self.capacity:
+            take = min(self.capacity - self._size, n)
+            self._buf[self._size : self._size + take] = chunk[:take]
+            self._size += take
+            pos = take
+        m = n - pos
+        if m > 0:
+            # Row k of the remainder is stream element number
+            # n_seen + pos + k + 1; Algorithm R draws j ~ U{0..element-1}
+            # and replaces slot j when j < capacity.
+            highs = self.n_seen + pos + 1 + np.arange(m)
+            draws = self.rng.integers(highs)
+            hit = np.nonzero(draws < self.capacity)[0]
+            if hit.size:
+                # Sequential semantics: the last row hitting a slot wins.
+                slots_rev = draws[hit][::-1]
+                rows_rev = hit[::-1]
+                winners, first = np.unique(slots_rev, return_index=True)
+                self._buf[winners] = chunk[pos + rows_rev[first]]
+        self.n_seen += n
 
     @property
     def sample(self) -> np.ndarray:
         """The current reservoir, shape (min(capacity, n_seen), d)."""
-        if not self._items:
+        if self._size == 0:
             raise ValueError("reservoir is empty — feed data first")
-        return np.stack(self._items)
+        return self._buf[: self._size].copy()
+
+
+def _validated_chunk(
+    values: np.ndarray, payload: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared feed() validation: (n,) values + (n, d) payload rows."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if payload is None:
+        payload = values[:, None]
+    payload = np.atleast_2d(np.asarray(payload, dtype=np.float64))
+    if payload.shape[0] != values.size:
+        raise ValueError("payload row count must match values")
+    return values, payload
+
+
+@register_stream_sampler("random")
+class ReservoirStream(StreamSampler):
+    """The ``random`` method's streaming analogue: one shared reservoir
+    holding ``[value, payload...]`` rows — uniform over the whole stream."""
+
+    cost_per_point = 1.0  # mirrors the offline RandomSampler
+
+    def __init__(
+        self,
+        n_samples: int,
+        value_range: tuple[float, float] | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        # value_range is part of the constructor contract but uniform
+        # sampling never bins values, so it is ignored.
+        self.reservoir = ReservoirSampler(n_samples, rng=rng)
+        self.n_seen = 0
+
+    def feed(self, values: np.ndarray, payload: np.ndarray | None = None) -> None:
+        values, payload = _validated_chunk(values, payload)
+        if values.size == 0:
+            return
+        self.reservoir.feed(np.column_stack([values, payload]))
+        self.n_seen = self.reservoir.n_seen
+
+    def finalize(self) -> np.ndarray:
+        return self.reservoir.sample
 
 
 class _ClusterState:
@@ -72,7 +172,8 @@ class _ClusterState:
         self.n_seen = 0
 
 
-class StreamingMaxEnt:
+@register_stream_sampler("maxent")
+class StreamingMaxEnt(StreamSampler):
     """Single-pass MaxEnt sampling over a chunked stream of points.
 
     Parameters
@@ -91,6 +192,9 @@ class StreamingMaxEnt:
         candidates so post-hoc budgets can be met even for skewed streams.
     """
 
+    cost_per_point = 10.0  # mirrors the offline MaxEntSampler
+    needs_value_range = True
+
     def __init__(
         self,
         n_samples: int,
@@ -104,7 +208,7 @@ class StreamingMaxEnt:
             raise ValueError("n_samples must be >= 1")
         if n_clusters < 2:
             raise ValueError("n_clusters must be >= 2")
-        if not value_range[1] > value_range[0]:
+        if value_range is None or not value_range[1] > value_range[0]:
             raise ValueError("value_range must be increasing")
         self.n_samples = n_samples
         self.n_clusters = n_clusters
@@ -121,14 +225,9 @@ class StreamingMaxEnt:
     def feed(self, values: np.ndarray, payload: np.ndarray | None = None) -> None:
         """Stream one chunk: `values` (n,) cluster variable, optional payload
         rows (n, d) carried alongside (defaults to the values themselves)."""
-        values = np.asarray(values, dtype=np.float64).ravel()
+        values, payload = _validated_chunk(values, payload)
         if values.size == 0:
             return
-        if payload is None:
-            payload = values[:, None]
-        payload = np.atleast_2d(np.asarray(payload, dtype=np.float64))
-        if payload.shape[0] != values.size:
-            raise ValueError("payload row count must match values")
         feats = values[:, None]
         self._km.partial_fit(feats)
         labels = self._km.predict(feats)
@@ -157,7 +256,7 @@ class StreamingMaxEnt:
             for s in active
         ])
         weights = strength_weights(node_strengths(entropy_adjacency(dists)))
-        capacities = np.array([len(s.reservoir._items) for s in active])
+        capacities = np.array([len(s.reservoir) for s in active])
         budget = min(self.n_samples, int(capacities.sum()))
         counts = allocate_counts(budget, capacities, weights)
         chosen = []
@@ -180,3 +279,113 @@ class StreamingMaxEnt:
         coords = payload[:, :coords_cols] if coords_cols else np.zeros((len(rows), 1))
         return PointSet(coords=coords, values={"value": values},
                         meta={"method": "streaming-maxent", "n_seen": self.n_seen})
+
+
+def run_stream_subsample(
+    source: SnapshotSource,
+    config: CaseConfig,
+    seed: int = 0,
+    chunk_rows: int = 65536,
+    value_range: tuple[float, float] | None = None,
+    hist_bins: int = 50,
+):
+    """Single-pass streaming subsample over any snapshot source.
+
+    Streams the source as bounded row chunks through the registered
+    streaming analogue of the case's ``method`` (reservoir for ``random``,
+    online MaxEnt for ``maxent``), without cube selection and without a
+    phase-2 revisit — the in-situ path where the data flies by exactly
+    once.  The point budget matches the batch pipeline's total
+    (``num_hypercubes * num_samples``).
+
+    The MaxEnt histogram range comes from `value_range`, the source's
+    :meth:`~repro.data.sources.SnapshotSource.value_range_hint`, or (last
+    resort) the first chunk's span widened 3×; out-of-range values clip to
+    the edge bins.
+
+    Returns a :class:`~repro.sampling.stages.SubsampleResult` whose
+    ``points`` carry per-point times and ``meta["mode"] == "stream"``.
+    """
+    from repro.sampling.stages import SubsampleResult
+
+    source = as_source(source)
+    sub = config.subsample
+    if sub.method == "full":
+        raise ValueError(
+            "method 'full' keeps dense cubes and has no single-pass "
+            "streaming analogue; use mode='batch'"
+        )
+    # Resolve the registry up front so unsupported methods fail before the
+    # source does any work (a SimulationSource would otherwise run the
+    # solver for a whole snapshot first).
+    sampler_cls = stream_sampler_cls(sub.method)
+    cluster_var = source.cluster_var
+    point_vars = list(dict.fromkeys(
+        [*source.input_vars, *source.output_vars, cluster_var]
+    ))
+    vcol = point_vars.index(cluster_var)
+    budget = sub.num_hypercubes * sub.num_samples
+    kwargs = {}
+    if sub.method == "maxent":
+        kwargs = {"n_clusters": sub.num_clusters, "bins": hist_bins}
+    d = source.ndim
+    sampler = None
+    perf = PerfModel()
+    with EnergyMeter() as meter:
+        for _, time, coords, table in source.iter_tables(point_vars, chunk_rows=chunk_rows):
+            values = table[:, vcol]
+            if sampler is None:
+                vr = value_range
+                if vr is None and sampler_cls.needs_value_range:
+                    # Only binning samplers pay for a range (the hint can be
+                    # a full extra scan on in-memory sources).
+                    vr = source.value_range_hint(cluster_var)
+                    if vr is None and values.size:
+                        lo, hi = float(values.min()), float(values.max())
+                        span = (hi - lo) or 1.0
+                        vr = (lo - span, hi + span)
+                sampler = get_stream_sampler(
+                    sub.method, n_samples=budget, value_range=vr, rng=seed, **kwargs
+                )
+            payload = np.column_stack([np.full(values.shape[0], time), coords, table])
+            sampler.feed(values, payload)
+            meter.record(
+                flops=sampler.cost_per_point * 2.0 * values.size,
+                nbytes=float(payload.nbytes),
+                device="cpu",
+            )
+            # Charge the scan to virtual time with the same work-unit model
+            # the batch pipeline's communicator clock uses, so stream-mode
+            # energy/makespan numbers are comparable to batch-mode ones.
+            meter.add_elapsed(perf.compute_time(sampler.cost_per_point * values.size))
+    if sampler is None or sampler.n_seen == 0:
+        raise ValueError("source produced no data to stream")
+    rows = sampler.finalize()
+    points = PointSet(
+        coords=rows[:, 2 : 2 + d],
+        values={v: rows[:, 2 + d + j] for j, v in enumerate(point_vars)},
+        time=rows[:, 1],
+        meta={
+            "method": sub.method,
+            "mode": "stream",
+            "n_seen": int(sampler.n_seen),
+            "source": type(source).__name__,
+        },
+    )
+    return SubsampleResult(
+        points=points,
+        cubes=None,
+        selected_cube_ids=np.empty(0, dtype=np.int64),
+        n_candidate_cubes=0,
+        n_points_scanned=int(sampler.n_seen),
+        energy=meter,
+        virtual_time=meter.elapsed,
+        meta={
+            "method": sub.method,
+            "hypercubes": sub.hypercubes,
+            "num_samples": sub.num_samples,
+            "mode": "stream",
+            "seed": seed,
+            "case": config.to_dict(),
+        },
+    )

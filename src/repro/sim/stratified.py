@@ -23,7 +23,7 @@ from repro.sim.navier_stokes import NSConfig, SpectralNS3D
 from repro.sim.spectral import solenoidal_random_field
 from repro.utils.rng import resolve_rng
 
-__all__ = ["generate_stratified", "taylor_green_velocity"]
+__all__ = ["generate_stratified", "stream_stratified", "taylor_green_velocity"]
 
 _AXES = {"x": 0, "y": 1, "z": 2}
 
@@ -60,9 +60,37 @@ def generate_stratified(
 ) -> list[FlowField]:
     """Evolve TG-initialized stratified turbulence, returning snapshots.
 
-    ``forced=True`` approximates the SST-P1F100 configuration (statistically
-    stationary forced stratified turbulence) by holding low-shell energy
-    constant; ``forced=False`` matches the transient SST-P1F4 run.
+    Materializes :func:`stream_stratified`; in-situ consumers
+    (:class:`repro.data.sources.SimulationSource`) iterate the stream
+    directly and never hold more than a rolling window of snapshots.
+    """
+    return list(stream_stratified(
+        shape=shape, n_snapshots=n_snapshots, steps_per_snapshot=steps_per_snapshot,
+        nu=nu, n_buoyancy=n_buoyancy, gravity=gravity, forced=forced,
+        perturbation=perturbation, dt=dt, rng=rng,
+    ))
+
+
+def stream_stratified(
+    shape: tuple[int, int, int] = (32, 32, 32),
+    n_snapshots: int = 8,
+    steps_per_snapshot: int = 10,
+    nu: float = 8e-3,
+    n_buoyancy: float = 2.0,
+    gravity: str = "z",
+    forced: bool = False,
+    perturbation: float = 0.1,
+    dt: float = 2.5e-3,
+    rng: np.random.Generator | int | None = None,
+):
+    """Yield stratified-turbulence snapshots as the solver advances.
+
+    The in-situ producer: each snapshot is handed to the consumer the moment
+    the solver reaches it, so sampling can run concurrently with the
+    simulation and nothing needs to be materialized.  ``forced=True``
+    approximates the SST-P1F100 configuration (statistically stationary
+    forced stratified turbulence) by holding low-shell energy constant;
+    ``forced=False`` matches the transient SST-P1F4 run.
     """
     if n_snapshots < 1:
         raise ValueError("n_snapshots must be >= 1")
@@ -81,29 +109,25 @@ def generate_stratified(
     )
     solver = SpectralNS3D(cfg, velocity=(u, v, w))
 
-    snapshots: list[FlowField] = []
     for _ in range(n_snapshots):
         solver.step(steps_per_snapshot)
         uu, vv, ww = solver.velocity()
         b = solver.buoyancy()
-        snapshots.append(
-            FlowField(
-                variables={
-                    "u": uu,
-                    "v": vv,
-                    "w": ww,
-                    "r": -b,  # density perturbation is minus buoyancy (scaled)
-                    "rhoy": -b,
-                    "p": solver.pressure(),
-                },
-                time=solver.t,
-                meta={
-                    "nu": nu,
-                    "gravity": gravity,
-                    "background_drho": n_buoyancy**2,
-                    "regime": "stratified",
-                    "label": "SST",
-                },
-            )
+        yield FlowField(
+            variables={
+                "u": uu,
+                "v": vv,
+                "w": ww,
+                "r": -b,  # density perturbation is minus buoyancy (scaled)
+                "rhoy": -b,
+                "p": solver.pressure(),
+            },
+            time=solver.t,
+            meta={
+                "nu": nu,
+                "gravity": gravity,
+                "background_drho": n_buoyancy**2,
+                "regime": "stratified",
+                "label": "SST",
+            },
         )
-    return snapshots

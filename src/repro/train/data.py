@@ -12,6 +12,11 @@
 Targets are the dense fields at the last ``horizon`` steps of each input
 window (same-time reconstruction, which also covers the single-snapshot
 GESTS datasets with window = horizon = 1).
+
+Both builders accept any :class:`~repro.data.sources.SnapshotSource` (or a
+resident dataset, coerced) — snapshots are fetched through the source on
+demand in time order, so training windows can be assembled from out-of-core
+shards or an in-situ simulation without a resident dataset.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import numpy as np
 
 from repro.data.dataset import TurbulenceDataset
 from repro.data.hypercubes import extract_hypercube
+from repro.data.sources import SnapshotSource, as_source
 from repro.sampling.pipeline import SubsampleResult
 
 __all__ = ["ReconstructionData", "build_reconstruction_data", "build_drag_data", "train_test_split"]
@@ -74,9 +80,9 @@ def _cube_shape_of(result: SubsampleResult) -> tuple[int, ...]:
     return tuple(int(c) for c in cube_shape)
 
 
-def _snapshot_index(dataset: TurbulenceDataset, times: np.ndarray) -> np.ndarray:
+def _snapshot_index(source: SnapshotSource, times: np.ndarray) -> np.ndarray:
     """Map per-point snapshot times back to snapshot indices."""
-    ds_times = dataset.times
+    ds_times = source.times
     idx = np.searchsorted(ds_times, times)
     idx = np.clip(idx, 0, len(ds_times) - 1)
     # searchsorted can land one slot right of the match for float times.
@@ -89,7 +95,7 @@ def _snapshot_index(dataset: TurbulenceDataset, times: np.ndarray) -> np.ndarray
 
 
 def _cube_groups(
-    result: SubsampleResult, dataset: TurbulenceDataset
+    result: SubsampleResult, source: SnapshotSource
 ) -> dict[tuple[int, tuple[int, ...]], np.ndarray]:
     """Sampled *relative* coordinates per selected (snapshot, origin) cube."""
     pts = result.points
@@ -98,7 +104,7 @@ def _cube_groups(
     origins = (coords // np.array(cube_shape)) * np.array(cube_shape)
     rel = coords - origins
     times = np.broadcast_to(np.asarray(pts.time, dtype=np.float64), (len(pts),))
-    snaps = _snapshot_index(dataset, times)
+    snaps = _snapshot_index(source, times)
     groups: dict[tuple[int, tuple[int, ...]], np.ndarray] = {}
     keys = np.column_stack([snaps, origins])
     for key in np.unique(keys, axis=0):
@@ -108,35 +114,41 @@ def _cube_groups(
 
 
 def _origin_groups(
-    result: SubsampleResult, dataset: TurbulenceDataset
+    result: SubsampleResult, source: SnapshotSource
 ) -> dict[tuple[int, ...], np.ndarray]:
     """Sensor layout per spatial origin (union over selected snapshots)."""
     merged: dict[tuple[int, ...], np.ndarray] = {}
-    for (_, origin), rel in sorted(_cube_groups(result, dataset).items()):
+    for (_, origin), rel in sorted(_cube_groups(result, source).items()):
         if origin not in merged:
             merged[origin] = rel
     return merged
 
 
 def build_reconstruction_data(
-    dataset: TurbulenceDataset,
+    data: "SnapshotSource | TurbulenceDataset",
     result: SubsampleResult,
     window: int = 1,
     horizon: int = 1,
     structured: bool | None = None,
 ) -> ReconstructionData:
-    """Assemble reconstruction training arrays from a pipeline result."""
-    in_vars = dataset.input_vars
-    out_vars = dataset.output_vars
+    """Assemble reconstruction training arrays from a pipeline result.
+
+    `data` is the snapshot source (or resident dataset) the result was
+    sampled from; windows are fetched through it snapshot-by-snapshot.
+    """
+    source = as_source(data)
+    in_vars = source.input_vars
+    out_vars = source.output_vars
     if not out_vars:
-        raise ValueError(f"dataset {dataset.label} has no output variables")
+        raise ValueError(f"dataset {source.label} has no output variables")
 
     if structured is None:
         structured = result.cubes is not None
 
     def _block(t: int, origin, cube_shape, names) -> np.ndarray:
+        snap = source.snapshot(t)
         return np.stack([
-            extract_hypercube(dataset.snapshots[t], origin, cube_shape, [v]).variables[v]
+            extract_hypercube(snap, origin, cube_shape, [v]).variables[v]
             for v in names
         ])
 
@@ -148,7 +160,7 @@ def build_reconstruction_data(
         for cube in result.cubes:
             s = cube.meta.get("snapshot")
             if s is None:
-                s = int(_snapshot_index(dataset, np.array([cube.time]))[0])
+                s = int(_snapshot_index(source, np.array([cube.time]))[0])
             pair = _window_ending_at(int(s), window, horizon)
             if pair is None:
                 continue  # selected cube lacks temporal history for the window
@@ -162,7 +174,7 @@ def build_reconstruction_data(
             in_channels=len(in_vars), out_channels=len(out_vars), n_points=None,
         )
 
-    groups = _cube_groups(result, dataset)
+    groups = _cube_groups(result, source)
     if not groups:
         raise ValueError("no sampled cubes found in result")
     n_pts = min(len(rel) for rel in groups.values())
@@ -177,7 +189,7 @@ def build_reconstruction_data(
         idx = tuple(rel[:, d] + origin[d] for d in range(len(origin)))
         # Fixed sensors: the same point locations observed at every window step.
         xs.append(np.stack([
-            np.stack([dataset.snapshots[t].get(v)[idx] for v in in_vars]) for t in t_in
+            np.stack([source.snapshot(t).get(v)[idx] for v in in_vars]) for t in t_in
         ]))
         ys.append(np.stack([_block(t, origin, cube_shape, out_vars) for t in t_out]))
     if not xs:
@@ -189,7 +201,7 @@ def build_reconstruction_data(
 
 
 def build_drag_data(
-    dataset: TurbulenceDataset,
+    data: "SnapshotSource | TurbulenceDataset",
     result: SubsampleResult,
     window: int = 3,
     horizon: int = 1,
@@ -198,26 +210,28 @@ def build_drag_data(
     """Sample-single arrays: [B, T, C*N] sequences → [B, T', 1] drag targets.
 
     Uses the sampled point locations of the first cube group as fixed probes
-    across all snapshots (sparse sensors measuring the wake).
+    across all snapshots (sparse sensors measuring the wake); snapshots are
+    streamed through the source in time order.
     """
-    if dataset.target is None:
-        raise ValueError(f"dataset {dataset.label} has no global target")
-    groups = _origin_groups(result, dataset)
+    source = as_source(data)
+    if source.target is None:
+        raise ValueError(f"dataset {source.label} has no global target")
+    groups = _origin_groups(result, source)
     # Concatenate probes from all groups, capped to keep the LSTM input sane.
     rel_all = []
     for origin, rel in sorted(groups.items()):
         for r in rel:
             rel_all.append(tuple(r[d] + origin[d] for d in range(len(origin))))
-    probes = rel_all[: max(1, max_features // max(1, len(dataset.input_vars)))]
-    idx = tuple(np.array([p[d] for p in probes]) for d in range(dataset.ndim))
+    probes = rel_all[: max(1, max_features // max(1, len(source.input_vars)))]
+    idx = tuple(np.array([p[d] for p in probes]) for d in range(source.ndim))
 
     feats = np.stack([
-        np.concatenate([snap.get(v)[idx] for v in dataset.input_vars])
-        for snap in dataset.snapshots
+        np.concatenate([snap.get(v)[idx] for v in source.input_vars])
+        for _, snap in source.iter_snapshots()
     ])  # [T_total, C*N]
-    pairs = _windows(dataset.n_snapshots, window, horizon)
+    pairs = _windows(source.n_snapshots, window, horizon)
     x = np.stack([feats[t_in] for t_in, _ in pairs])
-    y = np.stack([dataset.target[t_out] for _, t_out in pairs])[..., None]
+    y = np.stack([source.target[t_out] for _, t_out in pairs])[..., None]
     return x, y
 
 

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.sampling.streaming import ReservoirSampler, StreamingMaxEnt
+from repro.sampling.streaming import (
+    ReservoirSampler,
+    ReservoirStream,
+    StreamingMaxEnt,
+    run_stream_subsample,
+)
 
 
 class TestReservoir:
@@ -37,6 +42,70 @@ class TestReservoir:
             ReservoirSampler(5).sample
         with pytest.raises(ValueError):
             ReservoirSampler(0)
+
+    def test_len_is_public(self):
+        r = ReservoirSampler(8, rng=0)
+        assert len(r) == 0
+        r.feed(np.arange(3.0)[:, None])
+        assert len(r) == 3
+        r.feed(np.arange(20.0)[:, None])
+        assert len(r) == 8
+
+    def test_width_mismatch_raises(self):
+        r = ReservoirSampler(4, rng=0)
+        r.feed(np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="width"):
+            r.feed(np.zeros((3, 5)))
+
+    def test_reservoir_rows_are_copies(self):
+        chunk = np.arange(6.0).reshape(3, 2)
+        r = ReservoirSampler(5, rng=0)
+        r.feed(chunk)
+        chunk[:] = -1.0
+        assert r.sample.min() >= 0.0
+
+    def test_algorithm_r_distribution_chi_square(self):
+        """Satellite: the vectorized feed must preserve Algorithm R's
+        uniform retention law — chi-square over element retention counts,
+        with ragged chunk sizes so the batched path is exercised."""
+        from scipy import stats
+
+        n, cap, trials = 60, 12, 600
+        chunks = [7, 1, 23, 4, 25]  # sums to 60; crosses the fill boundary
+        hits = np.zeros(n)
+        for seed in range(trials):
+            r = ReservoirSampler(cap, rng=seed)
+            stream = np.arange(float(n))[:, None]
+            lo = 0
+            for c in chunks:
+                r.feed(stream[lo:lo + c])
+                lo += c
+            assert r.n_seen == n and len(r) == cap
+            hits[r.sample[:, 0].astype(int)] += 1
+        # Each element retained with probability cap/n; chi-square GoF.
+        expected = trials * cap / n
+        chi2 = ((hits - expected) ** 2 / expected).sum()
+        p = stats.chi2.sf(chi2, df=n - 1)
+        assert p > 1e-3, f"retention not uniform (chi2={chi2:.1f}, p={p:.2e})"
+
+    def test_single_row_chunks_match_distribution_of_batched(self):
+        """Feeding row-by-row and chunk-at-once draw from the same law."""
+        means = []
+        for chunked in (True, False):
+            keep = []
+            for seed in range(200):
+                r = ReservoirSampler(5, rng=seed)
+                stream = np.arange(50.0)[:, None]
+                if chunked:
+                    r.feed(stream)
+                else:
+                    for row in stream:
+                        r.feed(row[None, :])
+                keep.append(r.sample[:, 0].mean())
+            means.append(np.mean(keep))
+        # Uniform retention ⇒ both means near the stream mean (24.5).
+        assert abs(means[0] - means[1]) < 2.0
+        assert abs(means[0] - 24.5) < 2.0
 
 
 class TestStreamingMaxEnt:
@@ -128,3 +197,204 @@ class TestStreamingMaxEnt:
         # offline sampler's tail enrichment, far above the 2% population share.
         assert stream_share > 0.4 * offline_share
         assert stream_share > 0.05
+
+    def test_no_private_reservoir_access(self):
+        """finalize() goes through the public len(); _items is gone."""
+        r = ReservoirSampler(3, rng=0)
+        assert not hasattr(r, "_items")
+
+
+class TestStreamRegistry:
+    def test_streaming_samplers_registered_under_offline_names(self):
+        from repro.sampling import available_stream_samplers, get_stream_sampler
+
+        names = available_stream_samplers()
+        assert "maxent" in names and "random" in names
+        s = get_stream_sampler("maxent", n_samples=10, value_range=(0, 1),
+                               rng=0, n_clusters=3)
+        assert isinstance(s, StreamingMaxEnt)
+        r = get_stream_sampler("random", n_samples=10, rng=0)
+        assert isinstance(r, ReservoirStream)
+
+    def test_unknown_name_lists_available(self):
+        from repro.sampling import get_stream_sampler
+
+        with pytest.raises(KeyError, match="no streaming analogue"):
+            get_stream_sampler("lhs", n_samples=10)
+
+    def test_reservoir_stream_uniform_rows(self):
+        s = ReservoirStream(20, rng=0)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            vals = rng.random(100)
+            s.feed(vals, np.column_stack([vals * 2, vals * 3]))
+        rows = s.finalize()
+        assert rows.shape == (20, 3)
+        assert np.allclose(rows[:, 1], 2 * rows[:, 0])
+        assert s.n_seen == 1000
+
+    def test_third_party_stream_sampler_registers(self):
+        from repro.sampling import (
+            StreamSampler,
+            get_stream_sampler,
+            register_stream_sampler,
+        )
+        from repro.sampling.base import _STREAM_REGISTRY
+
+        @register_stream_sampler("keep-first")
+        class KeepFirst(StreamSampler):
+            def __init__(self, n_samples, value_range=None, rng=None):
+                self.n_samples, self.rows, self.n_seen = n_samples, [], 0
+
+            def feed(self, values, payload=None):
+                values = np.asarray(values, dtype=float).ravel()
+                self.n_seen += values.size
+                need = self.n_samples - len(self.rows)
+                self.rows.extend(values[:need, None])
+
+            def finalize(self):
+                return np.stack(self.rows)
+
+        try:
+            s = get_stream_sampler("keep-first", n_samples=3)
+            s.feed(np.arange(10.0))
+            assert s.finalize().tolist() == [[0.0], [1.0], [2.0]]
+        finally:
+            del _STREAM_REGISTRY["keep-first"]
+
+
+class TestStreamingOfflineFidelity:
+    def test_sample_histograms_within_ks_bound(self):
+        """Satellite: on a fixed dataset fed chunk-wise, the streaming
+        MaxEnt sample-value distribution must track the offline maxent
+        sampler's within a KS-style bound."""
+        from repro.sampling import MaxEntSampler
+
+        rng = np.random.default_rng(11)
+        values = np.concatenate([
+            rng.standard_normal(9500) * 0.6,
+            6.0 + rng.standard_normal(500) * 0.4,
+        ])
+        values = values[np.random.default_rng(12).permutation(len(values))]
+
+        offline_idx = MaxEntSampler(n_clusters=6).sample(values[:, None], 600, rng=0)
+        offline_vals = np.sort(values[offline_idx])
+
+        s = StreamingMaxEnt(n_samples=600, value_range=(-4, 9), n_clusters=6, rng=0)
+        for lo in range(0, len(values), 500):
+            s.feed(values[lo:lo + 500])
+        stream_vals = np.sort(s.finalize()[:, 0])
+
+        # Two-sample KS distance between the sample-value distributions.
+        grid = np.linspace(values.min(), values.max(), 512)
+        cdf_off = np.searchsorted(offline_vals, grid) / len(offline_vals)
+        cdf_str = np.searchsorted(stream_vals, grid) / len(stream_vals)
+        ks = np.abs(cdf_off - cdf_str).max()
+        assert ks < 0.25, f"KS distance {ks:.3f} exceeds tolerance"
+        # And both enrich the rare mode far beyond its 5% population share.
+        assert (stream_vals > 3.0).mean() > 0.15
+        assert (offline_vals > 3.0).mean() > 0.15
+
+
+class TestStreamSubsample:
+    def _case(self, method="maxent", arch="mlp_transformer", **overrides):
+        from repro.utils.config import (
+            CaseConfig,
+            SharedConfig,
+            SubsampleConfig,
+            TrainConfig,
+        )
+
+        sub = dict(hypercubes="maxent", method=method, num_hypercubes=3,
+                   num_samples=32, num_clusters=4, nxsl=8, nysl=8, nzsl=8)
+        sub.update(overrides)
+        return CaseConfig(
+            shared=SharedConfig(dims=3),
+            subsample=SubsampleConfig(**sub),
+            train=TrainConfig(arch=arch),
+        )
+
+    @pytest.fixture(scope="class")
+    def sst(self):
+        from repro.data import build_dataset
+
+        return build_dataset("SST-P1F4", scale=1.0, rng=0, n_snapshots=3)
+
+    @pytest.mark.parametrize("method", ["maxent", "random"])
+    def test_single_pass_over_in_memory_source(self, sst, method):
+        res = run_stream_subsample(sst, self._case(method), seed=0, chunk_rows=4096)
+        assert res.n_samples == 3 * 32  # num_hypercubes * num_samples
+        assert res.n_points_scanned == sst.n_snapshots * sst.n_points_per_snapshot
+        assert res.meta["mode"] == "stream"
+        assert res.points.meta["mode"] == "stream"
+        assert res.n_candidate_cubes == 0 and len(res.selected_cube_ids) == 0
+        # Per-point times map back to real snapshots.
+        assert set(np.unique(np.asarray(res.points.time))) <= set(sst.times)
+        # Carried variables are genuine field values at the carried coords.
+        coords = res.points.coords.astype(int)
+        t0 = sst.snapshots[0].time
+        at_t0 = np.asarray(res.points.time) == t0
+        if at_t0.any():
+            pv = sst.snapshots[0].get("pv")
+            got = res.points.values["pv"][at_t0]
+            want = pv[tuple(coords[at_t0].T)]
+            assert np.allclose(got, want)
+
+    def test_subsample_mode_stream_entry_point(self, sst):
+        """`subsample(source, case, mode='stream')` is the single entry."""
+        from repro.sampling import subsample
+
+        res = subsample(sst, self._case(), seed=0, mode="stream")
+        assert res.meta["mode"] == "stream"
+        with pytest.raises(ValueError, match="nranks"):
+            subsample(sst, self._case(), nranks=2, seed=0, mode="stream")
+        with pytest.raises(ValueError, match="mode"):
+            subsample(sst, self._case(), seed=0, mode="banana")
+
+    def test_full_method_rejected(self, sst):
+        with pytest.raises(ValueError, match="streaming analogue"):
+            run_stream_subsample(
+                sst, self._case("full", arch="cnn_transformer"), seed=0
+            )
+
+    def test_random_stream_skips_value_range_hint(self, sst, monkeypatch):
+        """Reservoir sampling ignores value ranges; the (potentially full
+        extra scan) hint must not be computed for it."""
+        from repro.data import InMemorySource
+
+        src = InMemorySource(sst)
+        calls = []
+        monkeypatch.setattr(
+            src, "value_range_hint",
+            lambda var: calls.append(var) or (0.0, 1.0),
+        )
+        run_stream_subsample(src, self._case("random"), seed=0)
+        assert calls == []
+        run_stream_subsample(src, self._case("maxent"), seed=0)
+        assert calls == ["pv"]
+
+    def test_unsupported_method_fails_before_source_does_work(self):
+        """Regression: a batch-only method must be rejected before the
+        simulation generates even one snapshot."""
+        from repro.data import stream_dataset
+
+        src = stream_dataset("sst-binary", scale=1.0, seed=0, n_snapshots=2)
+        with pytest.raises(KeyError, match="no streaming analogue"):
+            run_stream_subsample(src, self._case("lhs"), seed=0)
+        assert src.generated == 0
+
+    def test_simulation_source_generates_each_snapshot_once(self):
+        """True in-situ: one pass, nothing regenerated, nothing resident."""
+        from repro.data import stream_dataset
+
+        src = stream_dataset("sst-binary", scale=1.0, seed=0, n_snapshots=2,
+                             max_cached=1)
+        res = run_stream_subsample(src, self._case(), seed=0)
+        assert res.n_samples > 0
+        assert src.generated == 2
+        assert src.restarts == 0
+
+    def test_energy_metered(self, sst):
+        res = run_stream_subsample(sst, self._case(), seed=0)
+        assert res.energy is not None
+        assert res.energy.total_energy > 0.0

@@ -144,6 +144,103 @@ class TestEndToEnd:
         assert res.points is not None
 
 
+class TestSources:
+    """The facade accepts all three SnapshotSource kinds (acceptance)."""
+
+    def _dataset(self):
+        from repro.data import build_dataset
+
+        return build_dataset("SST-P1F4", scale=0.5, rng=0, n_snapshots=4)
+
+    def test_with_source_accepts_all_three_kinds(self, tmp_path):
+        from repro.data import (
+            InMemorySource,
+            ShardedNpzSource,
+            save_dataset,
+            stream_dataset,
+        )
+
+        ds = self._dataset()
+        save_dataset(ds, str(tmp_path))
+        sources = [
+            InMemorySource(ds),
+            ShardedNpzSource(str(tmp_path), max_cached=2),
+            stream_dataset("sst-binary", scale=0.5, seed=0, n_snapshots=4),
+        ]
+        results = []
+        for src in sources:
+            exp = Experiment.from_case(make_case()).with_source(src).subsample()
+            res = exp.subsample_artifact.result
+            results.append(res)
+            assert exp.subsample_artifact.meta["source"] == type(src).__name__
+        # All three ingestion modes agree exactly.
+        for other in results[1:]:
+            assert np.array_equal(results[0].selected_cube_ids, other.selected_cube_ids)
+            assert np.array_equal(results[0].points.coords, other.points.coords)
+
+    def test_with_source_coerces_dataset_and_path(self, tmp_path):
+        from repro.data import save_dataset
+        from repro.data.sources import InMemorySource, ShardedNpzSource
+
+        ds = self._dataset()
+        exp = Experiment.from_case(make_case()).with_source(ds)
+        assert isinstance(exp.source, InMemorySource)
+        assert exp.dataset is ds  # with_dataset sugar keeps working
+        save_dataset(ds, str(tmp_path))
+        exp2 = Experiment.from_case(make_case()).with_source(str(tmp_path))
+        assert isinstance(exp2.source, ShardedNpzSource)
+
+    def test_dataset_property_refuses_non_resident_sources(self, tmp_path):
+        from repro.data import save_dataset
+
+        save_dataset(self._dataset(), str(tmp_path))
+        exp = Experiment.from_case(make_case()).with_source(str(tmp_path))
+        with pytest.raises(RuntimeError, match="never\\s+materializes"):
+            exp.dataset
+
+    def test_with_source_refused_after_stage(self):
+        exp = Experiment.from_case(make_case()).with_scale(0.5).subsample()
+        with pytest.raises(RuntimeError, match="after a stage has run"):
+            exp.with_source(self._dataset())
+
+    def test_stream_mode_records_artifact(self):
+        exp = (Experiment.from_case(make_case())
+               .with_dataset(self._dataset())
+               .subsample(mode="stream"))
+        res = exp.subsample_artifact.result
+        assert res.meta["mode"] == "stream"
+        assert exp.subsample_artifact.meta["mode"] == "stream"
+        n = make_case().subsample
+        assert res.n_samples == n.num_hypercubes * n.num_samples
+        assert "Subsampled" in exp.report()
+
+    def test_train_after_stream_subsample_fails_clearly(self):
+        """Regression: the fluent chain must not die deep in train/data.py
+        with a 'cube_shape' KeyError — stream results have no cubes."""
+        exp = (Experiment.from_case(make_case())
+               .with_dataset(self._dataset())
+               .subsample(mode="stream"))
+        with pytest.raises(ValueError, match="stream-mode subsample"):
+            exp.train()
+
+    def test_stream_mode_rejects_ranks(self):
+        exp = (Experiment.from_case(make_case())
+               .with_dataset(self._dataset()).with_ranks(2))
+        with pytest.raises(ValueError, match="single-producer"):
+            exp.subsample(mode="stream")
+
+    def test_train_from_sharded_source(self, tmp_path):
+        """Training windows assemble straight from an out-of-core source."""
+        from repro.data import ShardedNpzSource, save_dataset
+
+        save_dataset(self._dataset(), str(tmp_path))
+        src = ShardedNpzSource(str(tmp_path), max_cached=2)
+        exp = (Experiment.from_case(make_case())
+               .with_source(src).with_epochs(2).train())
+        assert np.isfinite(exp.train_artifact.result.final_test_loss)
+        assert src.cache_info()["max_resident"] <= 2
+
+
 class TestArtifacts:
     def test_subsample_artifact_roundtrip(self, tmp_path):
         exp = (Experiment.from_case(make_case())

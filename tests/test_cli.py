@@ -89,6 +89,42 @@ class TestSubsampleCli:
         assert "reduction" in out
 
 
+class TestSourceFlags:
+    def test_sharded_source_flag(self, sst_case, tmp_path, capsys):
+        from repro.data import build_dataset, save_dataset
+
+        shard_dir = str(tmp_path / "shards")
+        save_dataset(build_dataset("SST-P1F4", scale=0.5, rng=0, n_snapshots=2),
+                     shard_dir)
+        code = subsample_main([sst_case, "--source", shard_dir,
+                               "--max-cached-shards", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Subsampled" in out
+
+    def test_sim_source_flag(self, sst_case, capsys):
+        code = subsample_main([sst_case, "--scale", "0.5", "--source", "sim"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Subsampled" in out
+
+    def test_stream_flag(self, sst_case, capsys):
+        code = subsample_main([sst_case, "--scale", "0.5", "--stream"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Subsampled" in out
+        assert "Total Energy Consumed" in out
+
+    def test_stream_in_situ_combination(self, sst_case, tmp_path, capsys):
+        """The headline path: sample while the simulation runs, then persist."""
+        out_dir = str(tmp_path / "snapshots")
+        code = subsample_main([sst_case, "--scale", "0.5", "--source", "sim",
+                               "--stream", "--output_dir", out_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Saved subsample" in out
+
+
 class TestTrainCli:
     def test_reconstruction_training(self, sst_case, capsys):
         code = train_main([sst_case, "--scale", "0.5", "--epochs", "2"])
