@@ -8,7 +8,6 @@ overlap, tail coverage of the cluster variable, and pipeline energy.
 
 import numpy as np
 
-from repro.metrics import tail_coverage
 from repro.sampling import subsample
 from repro.utils.config import CaseConfig, SharedConfig, SubsampleConfig, TrainConfig
 from repro.viz import format_table
@@ -45,7 +44,6 @@ def test_fig3_pipeline_combinations(benchmark, sst_p1f4_dataset):
         for h, x in COMBOS:
             res = subsample(ds, _case(h, x), nranks=2, seed=0)
             if res.points is not None:
-                flat_pop_idx = None
                 sampled_vals = res.points.values["pv"]
                 # Tail coverage computed on values: map samples into the
                 # population array by value-histogram (index-free variant).

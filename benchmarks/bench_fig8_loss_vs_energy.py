@@ -15,6 +15,7 @@ the reproduction targets are the *ratios* and the ordering.
 import numpy as np
 
 from repro.nn import CNNTransformer, MLPTransformer
+from repro.parallel.perfmodel import PerfModel
 from repro.sampling import subsample
 from repro.train import Trainer, build_reconstruction_data
 from repro.utils.config import CaseConfig, SharedConfig, SubsampleConfig, TrainConfig
@@ -30,8 +31,6 @@ EPOCHS = 20
 GPU_RATE = 2.0e9
 # Sampling runs on accelerated readers in this scenario (sampling is cheap
 # relative to training, as in the paper's totals).
-from repro.parallel.perfmodel import PerfModel
-
 SAMPLING_MODEL = PerfModel(compute_rate=2.0e7)
 
 SST_COMBOS = [

@@ -15,7 +15,10 @@ ingestion protocol:
      storage reduction.
 
 (For the third ingestion mode — in-situ sampling while the simulation
-runs — see ``examples/streaming_insitu.py``.)
+runs, including the multi-producer ``subsample(mode="stream", ranks=N)``
+path where SPMD ranks stream concurrently and merge by weighted draw —
+see ``examples/streaming_insitu.py`` and the README's "Multi-rank
+streaming" section.)
 
 Run:  python examples/quickstart.py
 """

@@ -435,21 +435,26 @@ class Experiment:
             "materializes a resident dataset; use .source"
         )
 
-    def subsample(self, mode: str = "batch") -> "Experiment":
+    def subsample(self, mode: str = "batch", ranks: int | None = None) -> "Experiment":
         """Run the subsampling pipeline and record its artifact.
 
         ``mode="batch"`` is the two-phase SPMD pipeline; ``mode="stream"``
         is the single-pass streaming path (reservoir / online MaxEnt over
-        chunks as the source produces them — in-situ, single-producer, so
-        it requires ``with_ranks(1)``, the default).
+        chunks as the source produces them).  Both are rank-parallel:
+        ``ranks`` overrides ``with_ranks`` for this call only (the
+        experiment's configured rank count is untouched), and in stream
+        mode each rank streams its own snapshot partition concurrently,
+        with per-rank sampler states recombined by weighted merge.
         """
-        if mode == "stream" and self.ranks != 1:
-            raise ValueError("mode='stream' is single-producer; use with_ranks(1)")
-        result = subsample(self.source, self.case, nranks=self.ranks,
+        if ranks is None:
+            ranks = self.ranks
+        elif ranks < 1:
+            raise ValueError("ranks must be >= 1")
+        result = subsample(self.source, self.case, nranks=int(ranks),
                            seed=self.seed, mode=mode)
         self.artifacts["subsample"] = SubsampleArtifact(
             meta={"seed": self.seed, "case": self.case.to_dict(),
-                  "ranks": self.ranks, "scale": self.scale, "mode": mode,
+                  "ranks": int(ranks), "scale": self.scale, "mode": mode,
                   "source": type(self.source).__name__},
             result=result,
         )

@@ -42,7 +42,10 @@ def _resolve_source(args, case) -> "object | None":
         )
     from repro.data import ShardedNpzSource
 
-    return ShardedNpzSource(args.source, max_cached=args.max_cached_shards)
+    return ShardedNpzSource(
+        args.source, max_cached=args.max_cached_shards,
+        prefetch=getattr(args, "prefetch", 0),
+    )
 
 
 def subsample_main(argv: list[str] | None = None) -> int:
@@ -62,11 +65,18 @@ def subsample_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--stream", action="store_true",
         help="single-pass streaming subsample (reservoir / online MaxEnt) "
-             "instead of the two-phase pipeline",
+             "instead of the two-phase pipeline; with --ranks N each rank "
+             "streams its own snapshot partition and the per-rank samples "
+             "merge by weighted draw",
     )
     parser.add_argument(
         "--max-cached-shards", type=int, default=2,
         help="decoded snapshots resident at once for out-of-core/in-situ sources",
+    )
+    parser.add_argument(
+        "--prefetch", type=int, default=0,
+        help="shards to decode ahead in a background thread (out-of-core "
+             "sources only; overlaps decode with sampling)",
     )
     args = parser.parse_args(argv)
 

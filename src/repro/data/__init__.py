@@ -33,6 +33,7 @@ from repro.data.sources import (
     InMemorySource,
     ShardedNpzSource,
     SimulationSource,
+    PartitionedSource,
     as_source,
 )
 from repro.data.loaders import load_dataset, save_dataset, stream_dataset
@@ -52,6 +53,7 @@ __all__ = [
     "InMemorySource",
     "ShardedNpzSource",
     "SimulationSource",
+    "PartitionedSource",
     "as_source",
     "load_dataset",
     "save_dataset",

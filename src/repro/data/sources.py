@@ -21,6 +21,18 @@ implementations cover the ingestion spectrum:
   disk or held beyond a small rolling window; revisiting an earlier
   snapshot re-runs the deterministic simulation).
 
+:class:`PartitionedSource` is a contiguous snapshot-range *view* of any
+source — the unit of work one SPMD rank streams in the multi-producer
+subsample (``repro.parallel.partition.stream_partitions`` decides the
+spans; per-rank samples are then recombined by weighted reservoir merge).
+
+Sources may also support *asynchronous prefetch*: :meth:`SnapshotSource.prefetch`
+is an advisory look-ahead hint (no-op by default);  ``ShardedNpzSource``
+honours it with a background decode thread so each consumer overlaps shard
+decode with sampling, and decodes npz members per variable on first access
+(members are individually compressed, so touching one variable never pays
+for the rest).
+
 :func:`as_source` coerces a ``TurbulenceDataset`` (→ ``InMemorySource``), a
 shard-directory path (→ ``ShardedNpzSource``), or a source (identity), so
 ``subsample()`` / ``Experiment`` accept all three kinds interchangeably.
@@ -31,14 +43,15 @@ from __future__ import annotations
 import abc
 import json
 import os
+import queue
 import threading
 from collections import OrderedDict
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
 from repro.data.dataset import TurbulenceDataset
-from repro.data.store import MANIFEST, load_field
+from repro.data.store import MANIFEST, load_field, load_field_lazy
 from repro.sim.fields import FlowField
 
 __all__ = [
@@ -46,6 +59,7 @@ __all__ = [
     "InMemorySource",
     "ShardedNpzSource",
     "SimulationSource",
+    "PartitionedSource",
     "as_source",
 ]
 
@@ -133,6 +147,17 @@ class SnapshotSource(abc.ABC):
 
     # ---- accounting / hints ----------------------------------------------
 
+    def prefetch(self, indices: Iterable[int]) -> None:
+        """Advisory hint that `indices` will be fetched soon.
+
+        Default is a no-op; sources with asynchronous readers (e.g.
+        :class:`ShardedNpzSource` with ``prefetch > 0``) start loading the
+        named snapshots in the background so the caller's next
+        :meth:`snapshot` overlaps I/O with its own compute.  Never required
+        for correctness.
+        """
+        return None
+
     def nbytes(self) -> int:
         """Decoded footprint of the full snapshot sequence (estimate for
         lazy sources: first snapshot × count, grids are homogeneous)."""
@@ -211,11 +236,25 @@ class ShardedNpzSource(SnapshotSource):
     an N-shard dataset never resides more than ``max_cached`` shards in
     memory regardless of N.  :meth:`cache_info` exposes the counters the
     boundedness tests assert on.
+
+    ``prefetch=N`` starts one background thread that eagerly decodes up to
+    ``N`` shards ahead of every access (and whatever :meth:`prefetch` names
+    explicitly) into the same bounded LRU, so a streaming consumer overlaps
+    shard decode with its own sampling compute; ``cache_info()`` counts the
+    hits served from prefetched entries.  ``lazy=True`` (the default)
+    decodes npz members per variable on first access — members are
+    individually compressed, so a consumer that reads two of six variables
+    decompresses exactly those two (the prefetcher still materializes whole
+    shards: it exists to move decode off the consumer's thread).
     """
 
-    def __init__(self, path: str, max_cached: int = 2) -> None:
+    def __init__(
+        self, path: str, max_cached: int = 2, prefetch: int = 0, lazy: bool = True
+    ) -> None:
         if max_cached < 1:
             raise ValueError("max_cached must be >= 1")
+        if prefetch < 0:
+            raise ValueError("prefetch must be >= 0")
         manifest_path = os.path.join(path, MANIFEST)
         if not os.path.isfile(manifest_path):
             raise FileNotFoundError(
@@ -225,6 +264,8 @@ class ShardedNpzSource(SnapshotSource):
             manifest = json.load(fh)
         self.path = path
         self.max_cached = int(max_cached)
+        self.prefetch_depth = int(prefetch)
+        self.lazy = bool(lazy)
         self.label = manifest["label"]
         self.description = manifest.get("description", "")
         self.input_vars = list(manifest["input_vars"])
@@ -239,7 +280,14 @@ class ShardedNpzSource(SnapshotSource):
         self._grid_shape: tuple[int, ...] | None = None
         self._shard_nbytes: int | None = None
         self._times: np.ndarray | None = None
-        self._stats = {"hits": 0, "misses": 0, "evictions": 0, "max_resident": 0}
+        self._stats = {
+            "hits": 0, "misses": 0, "evictions": 0, "max_resident": 0,
+            "prefetched": 0, "prefetch_hits": 0,
+        }
+        self._inflight: set[int] = set()
+        self._from_prefetch: set[int] = set()
+        self._queue: queue.Queue[int | None] | None = None
+        self._worker: threading.Thread | None = None
 
     def shard_path(self, i: int) -> str:
         if not 0 <= i < self._n:
@@ -256,25 +304,127 @@ class ShardedNpzSource(SnapshotSource):
             self._grid_shape = self.snapshot(0).grid_shape
         return self._grid_shape
 
-    def snapshot(self, i: int) -> FlowField:
+    # ---- decode / cache internals -----------------------------------------
+
+    def _decode(self, i: int, materialize: bool = False) -> FlowField:
+        """Decode shard `i` (outside the lock, so decodes overlap)."""
         path = self.shard_path(i)
+        if not self.lazy:
+            return load_field(path)
+        field = load_field_lazy(path)
+        if materialize:
+            field.materialize()
+        return field
+
+    def _insert(self, i: int, field: FlowField) -> None:
+        """Add to the LRU under the lock; evict first so residency never
+        exceeds ``max_cached``."""
+        while len(self._cache) >= self.max_cached:
+            old, _ = self._cache.popitem(last=False)
+            self._from_prefetch.discard(old)
+            self._stats["evictions"] += 1
+        self._cache[i] = field
+        self._stats["max_resident"] = max(self._stats["max_resident"], len(self._cache))
+        if self._grid_shape is None:
+            self._grid_shape = field.grid_shape
+            self._shard_nbytes = field.nbytes()
+
+    def snapshot(self, i: int) -> FlowField:
+        self.shard_path(i)  # validate the index before touching the cache
         with self._lock:
-            if i in self._cache:
+            field = self._cache.get(i)
+            if field is not None:
                 self._cache.move_to_end(i)
                 self._stats["hits"] += 1
-                return self._cache[i]
+                if i in self._from_prefetch:
+                    self._from_prefetch.discard(i)
+                    self._stats["prefetch_hits"] += 1
+                self._schedule_lookahead(i)
+                return field
             self._stats["misses"] += 1
-            # Evict before decoding so residency never exceeds max_cached.
-            while len(self._cache) >= self.max_cached:
-                self._cache.popitem(last=False)
-                self._stats["evictions"] += 1
-            field = load_field(path)
-            self._cache[i] = field
-            self._stats["max_resident"] = max(self._stats["max_resident"], len(self._cache))
-            if self._grid_shape is None:
-                self._grid_shape = field.grid_shape
-                self._shard_nbytes = field.nbytes()
+            self._schedule_lookahead(i)
+        # Decode outside the lock: concurrent ranks and the prefetcher make
+        # progress while this thread decompresses.
+        field = self._decode(i)
+        with self._lock:
+            racing = self._cache.get(i)
+            if racing is not None:  # the prefetcher beat us to it
+                self._cache.move_to_end(i)
+                self._from_prefetch.discard(i)
+                return racing
+            self._insert(i, field)
             return field
+
+    # ---- async prefetch ----------------------------------------------------
+
+    def prefetch(self, indices: Iterable[int]) -> None:
+        """Queue explicit shards for background decode (advisory; no-op
+        unless the source was built with ``prefetch > 0``).
+
+        At most ``prefetch_depth`` decodes are outstanding at once — a long
+        hint list is truncated rather than flooding the bounded LRU with
+        shards the consumer won't reach for a while (which would evict the
+        ones it is about to read).
+        """
+        if self.prefetch_depth <= 0:
+            return
+        with self._lock:
+            for i in indices:
+                self._enqueue(int(i))
+
+    def _schedule_lookahead(self, i: int) -> None:
+        """Queue the next ``prefetch_depth`` shards after `i` (lock held)."""
+        for j in range(i + 1, min(i + 1 + self.prefetch_depth, self._n)):
+            self._enqueue(j)
+
+    def _enqueue(self, j: int) -> None:
+        if self.prefetch_depth <= 0 or not 0 <= j < self._n:
+            return
+        if j in self._cache or j in self._inflight:
+            return
+        # Bound outstanding decodes to the look-ahead depth: a long hint
+        # list must not flood the bounded LRU with far-future shards.
+        if len(self._inflight) >= self.prefetch_depth:
+            return
+        if self._worker is None:
+            self._queue = queue.Queue()
+            self._worker = threading.Thread(
+                target=self._prefetch_loop, args=(self._queue,),
+                name="shard-prefetch", daemon=True,
+            )
+            self._worker.start()
+        self._inflight.add(j)
+        assert self._queue is not None
+        self._queue.put(j)
+
+    def _prefetch_loop(self, q: "queue.Queue[int | None]") -> None:
+        while True:
+            j = q.get()
+            if j is None:
+                return
+            try:
+                field = self._decode(j, materialize=True)
+            except Exception:
+                with self._lock:
+                    self._inflight.discard(j)
+                continue
+            with self._lock:
+                self._inflight.discard(j)
+                if j not in self._cache:
+                    self._insert(j, field)
+                    self._from_prefetch.add(j)
+                    self._stats["prefetched"] += 1
+
+    def close(self) -> None:
+        """Stop the prefetch worker (idempotent; the thread is a daemon, so
+        this is a courtesy for long-lived processes, not a requirement)."""
+        with self._lock:
+            worker, q = self._worker, self._queue
+            self._worker = None
+            self._queue = None
+        if worker is not None and q is not None:
+            q.put(None)
+            worker.join(timeout=5.0)
 
     @property
     def times(self) -> np.ndarray:
@@ -297,7 +447,12 @@ class ShardedNpzSource(SnapshotSource):
 
     def cache_info(self) -> dict:
         with self._lock:
-            return {**self._stats, "resident": len(self._cache), "max_cached": self.max_cached}
+            return {
+                **self._stats,
+                "resident": len(self._cache),
+                "max_cached": self.max_cached,
+                "prefetch_depth": self.prefetch_depth,
+            }
 
 
 class SimulationSource(SnapshotSource):
@@ -385,14 +540,21 @@ class SimulationSource(SnapshotSource):
                     ) from None
                 self._seen_times[self._pos] = field.time
                 self.generated += 1
+                # Cache every snapshot generated while advancing, not just
+                # the requested one: interleaved consumers (multi-rank
+                # streaming) revisit the intermediates, and with
+                # max_cached >= n_snapshots this makes the whole stream
+                # resident — zero replays, as the replay guards promise.
+                # The LRU still bounds residency for smaller windows.
+                while len(self._cache) >= self.max_cached:
+                    self._cache.popitem(last=False)
+                self._cache[self._pos] = field
                 self._pos += 1
                 if self._grid_shape is None:
                     self._grid_shape = field.grid_shape
                     self._snapshot_nbytes = field.nbytes()
-            while len(self._cache) >= self.max_cached:
-                self._cache.popitem(last=False)
-            self._cache[i] = field
-            return field
+            self._cache.move_to_end(i)
+            return self._cache[i]
 
     @property
     def times(self) -> np.ndarray:
@@ -407,6 +569,77 @@ class SimulationSource(SnapshotSource):
         if self._snapshot_nbytes is None:
             self.snapshot(0)
         return self._snapshot_nbytes * self._n
+
+
+class PartitionedSource(SnapshotSource):
+    """A contiguous snapshot-range view ``[lo, hi)`` of another source.
+
+    The unit of work one SPMD rank streams in the multi-producer subsample:
+    rank `r` sees its span as snapshots ``0 .. hi-lo`` of an ordinary
+    source, while coordinates, times, and values pass through unchanged from
+    the base.  Views share the base source (and therefore its cache /
+    prefetcher), so K ranks over one :class:`ShardedNpzSource` still respect
+    a single global residency bound.
+    """
+
+    def __init__(self, base: SnapshotSource, lo: int, hi: int) -> None:
+        if not isinstance(base, SnapshotSource):
+            raise TypeError(f"expected SnapshotSource, got {type(base).__name__}")
+        if not (0 <= lo <= hi <= base.n_snapshots):
+            raise ValueError(
+                f"span [{lo}, {hi}) invalid for a {base.n_snapshots}-snapshot source"
+            )
+        self.base = base
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.label = f"{base.label}[{lo}:{hi}]"
+        self.description = base.description
+        self.input_vars = list(base.input_vars)
+        self.output_vars = list(base.output_vars)
+        self.cluster_var = base.cluster_var
+        self.gravity = base.gravity
+        self.target = base.target[lo:hi] if base.target is not None else None
+
+    @classmethod
+    def split(cls, source: SnapshotSource, nranks: int) -> "list[PartitionedSource]":
+        """One contiguous view per rank (sizes differ by at most one
+        snapshot; trailing views are empty when ``nranks > n_snapshots``)."""
+        from repro.parallel.partition import stream_partitions
+
+        return [
+            cls(source, part.lo, part.hi)
+            for part in stream_partitions(source.n_snapshots, nranks)
+        ]
+
+    @property
+    def n_snapshots(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        return self.base.grid_shape
+
+    def snapshot(self, i: int) -> FlowField:
+        if not 0 <= i < self.n_snapshots:
+            raise IndexError(f"snapshot {i} out of range [0, {self.n_snapshots})")
+        return self.base.snapshot(self.lo + i)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self.base.times)[self.lo : self.hi]
+
+    def prefetch(self, indices: Iterable[int]) -> None:
+        self.base.prefetch(self.lo + int(i) for i in indices)
+
+    def nbytes(self) -> int:
+        if self.n_snapshots == 0:
+            return 0
+        return self.snapshot(0).nbytes() * self.n_snapshots
+
+    def value_range_hint(self, var: str) -> tuple[float, float] | None:
+        # The base's global range is valid (if conservative) for any span —
+        # and sharing it keeps every rank's histogram edges identical.
+        return self.base.value_range_hint(var)
 
 
 def as_source(data) -> SnapshotSource:

@@ -11,8 +11,12 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+import zipfile
+from collections.abc import Mapping
 
 import numpy as np
+from numpy.lib import format as _npformat
 
 from repro.data.points import PointSet
 from repro.sim.fields import FlowField
@@ -21,6 +25,8 @@ __all__ = [
     "SubsampleStore",
     "save_field",
     "load_field",
+    "load_field_lazy",
+    "LazyNpzField",
     "points_payload",
     "points_from_npz",
     "META_KEY",
@@ -76,6 +82,137 @@ def load_field(path: str) -> FlowField:
         time = float(data["time"])
         meta = json.loads(str(data[_META_KEYS])) if _META_KEYS in data.files else {}
     return FlowField(variables=variables, time=time, meta=meta)
+
+
+def _npz_member_header(path: str, member: str) -> tuple[tuple[int, ...], np.dtype]:
+    """(shape, dtype) of one npz member from its npy header — the zip entry
+    is opened but the (compressed) array payload is never read."""
+    with zipfile.ZipFile(path) as zf:
+        with zf.open(member + ".npy") as fh:
+            version = _npformat.read_magic(fh)
+            if version == (1, 0):
+                shape, _, dtype = _npformat.read_array_header_1_0(fh)
+            else:
+                shape, _, dtype = _npformat.read_array_header_2_0(fh)
+    return tuple(int(s) for s in shape), dtype
+
+
+class _LazyNpzMembers(Mapping):
+    """Mapping of variable name → array that decodes npz members on first
+    access.
+
+    npz members are individually compressed, so decoding one variable never
+    touches the others — a consumer that only reads the cluster variable
+    pays for exactly that member.  Iteration/`in`/`len` reflect the full
+    member list without decoding; anything that needs the arrays
+    (``[key]``, ``get``, ``values()``, ``items()``, ``dict(...)``) decodes
+    what it touches.  A real :class:`collections.abc.Mapping` (not a dict
+    subclass), so every generic mapping operation routes through
+    ``__getitem__`` — there is no C fast path that could silently skip the
+    decode.
+    """
+
+    def __init__(self, path: str, members: list[str]) -> None:
+        self._path = path
+        self._members = tuple(members)
+        self._decoded: dict[str, np.ndarray] = {}
+        self._decode_lock = threading.Lock()
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        arr = self._decoded.get(key)
+        if arr is not None:
+            return arr
+        if key not in self._members:
+            raise KeyError(key)
+        with self._decode_lock:
+            if key in self._decoded:  # racing thread decoded it
+                return self._decoded[key]
+            with np.load(self._path, allow_pickle=False) as data:
+                arr = data[f"var_{key}"]
+            self._decoded[key] = arr
+            return arr
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._members
+
+    def __iter__(self):
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def decode_all(self) -> None:
+        """Decode every member in one npz open (the prefetcher's path —
+        per-member opens would rescan the zip directory V times)."""
+        with self._decode_lock:
+            missing = [k for k in self._members if k not in self._decoded]
+            if not missing:
+                return
+            with np.load(self._path, allow_pickle=False) as data:
+                for k in missing:
+                    self._decoded[k] = data[f"var_{k}"]
+
+    def decoded(self) -> list[str]:
+        """Members decoded so far (test/diagnostic hook)."""
+        return sorted(self._decoded)
+
+
+class LazyNpzField(FlowField):
+    """A :class:`FlowField` view over one npz shard with per-variable lazy
+    decode: geometry comes from the npy headers, and each stored variable
+    is decompressed only when first read (derived variables still compose
+    on top via :meth:`FlowField.get`)."""
+
+    def __init__(
+        self,
+        path: str,
+        members: list[str],
+        grid_shape: tuple[int, ...],
+        itemsize: int,
+        time: float,
+        meta: dict | None = None,
+    ) -> None:
+        # Deliberately skip FlowField.__init__: nothing is decoded yet, so
+        # there are no arrays to validate against each other.
+        self.variables = _LazyNpzMembers(path, members)
+        self.time = float(time)
+        self.meta = dict(meta or {})
+        self._cache = {}
+        self._lazy_shape = tuple(grid_shape)
+        self._itemsize = int(itemsize)
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        return self._lazy_shape
+
+    def nbytes(self) -> int:
+        """Would-be decoded footprint, from headers alone (no decode)."""
+        return int(np.prod(self._lazy_shape)) * self._itemsize * len(self.variables)
+
+    def materialize(self) -> "LazyNpzField":
+        """Decode every stored member in a single npz open (the
+        prefetcher's eager path)."""
+        self.variables.decode_all()
+        return self
+
+    def decoded_members(self) -> list[str]:
+        return self.variables.decoded()
+
+
+def load_field_lazy(path: str) -> LazyNpzField:
+    """Open a snapshot saved by :func:`save_field` without decoding fields.
+
+    Only the scalar ``time`` and JSON meta members are decompressed (both
+    tiny); array members decode individually on first access.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        members = [k[4:] for k in data.files if k.startswith("var_")]
+        if not members:
+            raise ValueError(f"{path!r} holds no field variables")
+        time = float(data["time"])
+        meta = json.loads(str(data[_META_KEYS])) if _META_KEYS in data.files else {}
+    shape, dtype = _npz_member_header(path, f"var_{members[0]}")
+    return LazyNpzField(path, members, shape, dtype.itemsize, time, meta)
 
 
 class SubsampleStore:

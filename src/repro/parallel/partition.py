@@ -3,11 +3,73 @@
 The subsampling pipeline distributes hypercubes (and within phase 2, points)
 across MPI ranks with a contiguous block partition, the same layout mpi4py
 codes typically use with ``Scatterv``.
+
+:class:`Partition` / :func:`stream_partitions` are the multi-producer
+streaming layer on top of the same block math: they assign each SPMD rank a
+contiguous span of the snapshot sequence (rank ``r`` streams snapshots
+``[lo, hi)``) and carry the bookkeeping the weighted reservoir merge needs
+(each rank's share of the stream, so per-rank samples can be recombined in
+proportion to what each producer actually saw).
 """
 
 from __future__ import annotations
 
-__all__ = ["block_partition", "block_bounds", "owner_of", "partition_list"]
+from dataclasses import dataclass
+
+__all__ = [
+    "block_partition",
+    "block_bounds",
+    "owner_of",
+    "partition_list",
+    "Partition",
+    "stream_partitions",
+]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One rank's contiguous span ``[lo, hi)`` of an ``n``-item sequence."""
+
+    rank: int
+    size: int
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.rank < self.size):
+            raise ValueError(f"rank {self.rank} out of range for size {self.size}")
+        if not (0 <= self.lo <= self.hi):
+            raise ValueError(f"invalid span [{self.lo}, {self.hi})")
+
+    @property
+    def n(self) -> int:
+        """Items owned by this rank (may be 0 when ranks > items)."""
+        return self.hi - self.lo
+
+    @property
+    def empty(self) -> bool:
+        return self.hi == self.lo
+
+    def indices(self) -> range:
+        """The global indices this rank owns, in streaming order."""
+        return range(self.lo, self.hi)
+
+    def __contains__(self, index: int) -> bool:
+        return self.lo <= index < self.hi
+
+
+def stream_partitions(n: int, size: int) -> list[Partition]:
+    """Assign ``range(n)`` to `size` stream producers as contiguous spans.
+
+    Block sizes differ by at most one (same layout as
+    :func:`block_partition`); when ``size > n`` the trailing ranks receive
+    empty spans — their samplers simply see no data and contribute zero
+    weight to the merge.
+    """
+    return [
+        Partition(rank=r, size=size, lo=lo, hi=hi)
+        for r, (lo, hi) in enumerate(block_partition(n, size))
+    ]
 
 
 def block_bounds(n: int, size: int, rank: int) -> tuple[int, int]:

@@ -39,6 +39,42 @@ _REGISTRY: dict[str, Type["Sampler"]] = {}
 _STREAM_REGISTRY: dict[str, Type["StreamSampler"]] = {}
 
 
+def fold_weighted_merge(items: list, weights: "list[float] | None", rng, noun: str):
+    """Fold ``items[1:]`` into ``items[0]`` by repeated weighted ``merge``.
+
+    Shared by every ``merge_all`` flavour (stream samplers, raw reservoirs)
+    so the fold semantics — weights default to each producer's own count,
+    one rng drives every draw, order is the caller's — live in one place.
+
+    ``weights[0]`` reweights the fold *target*: applied via its
+    ``reweight`` method where supported, a validated no-op when it equals
+    the target's own ``n_seen``, and a loud error otherwise — it is never
+    silently dropped.
+    """
+    if not items:
+        raise ValueError(f"merge_all needs at least one {noun}")
+    if weights is not None and len(weights) != len(items):
+        raise ValueError(f"weights must match {noun}s")
+    rng = resolve_rng(rng)
+    merged = items[0]
+    if weights is not None and weights[0] is not None:
+        w0 = float(weights[0])
+        reweight = getattr(merged, "reweight", None)
+        if reweight is not None:
+            reweight(w0)
+        elif w0 != float(merged.n_seen):
+            raise ValueError(
+                f"weights[0]={w0} would reweight the fold target, which "
+                f"{type(merged).__name__} does not support; pass None (or "
+                "its own n_seen) for the first entry"
+            )
+    for k, other in enumerate(items[1:], start=1):
+        merged = merged.merge(
+            other, weight=None if weights is None else float(weights[k]), rng=rng
+        )
+    return merged
+
+
 class Sampler(abc.ABC):
     """Selects `n` point indices from a feature table.
 
@@ -160,6 +196,47 @@ class StreamSampler(abc.ABC):
     @abc.abstractmethod
     def finalize(self) -> np.ndarray:
         """End of stream: the selected rows ``[value, payload...]``."""
+
+    def merge(
+        self,
+        other: "StreamSampler",
+        weight: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> "StreamSampler":
+        """Fold another producer's state into this sampler (multi-producer
+        SPMD streaming: each rank streams its own partition, then rank 0
+        merges).
+
+        ``weight`` is the stream mass `other` represents (defaults to
+        ``other.n_seen``), so the combined state stays distributionally
+        equivalent to a single producer having streamed both partitions.
+        Mutates and returns ``self``.  Optional for implementations —
+        samplers that cannot merge raise ``NotImplementedError`` and stay
+        single-producer.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support multi-producer merging"
+        )
+
+    @classmethod
+    def merge_all(
+        cls,
+        samplers: "list[StreamSampler]",
+        weights: "list[float] | None" = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> "StreamSampler":
+        """Merge per-rank samplers into one by repeated weighted
+        :meth:`merge` (folds into ``samplers[0]`` and returns it).
+
+        ``weights[i]`` defaults to ``samplers[i].n_seen`` — the number of
+        stream rows rank `i` actually saw — which makes the merged sample
+        distributionally equivalent to one producer over the whole stream.
+        Deterministic for a fixed ``rng`` seed, sampler states, and order.
+        """
+        kinds = {type(s) for s in samplers}
+        if len(kinds) > 1:
+            raise TypeError(f"cannot merge mixed sampler types: {sorted(k.__name__ for k in kinds)}")
+        return fold_weighted_merge(samplers, weights, rng, "sampler")
 
 
 def register_stream_sampler(name: str) -> Callable[[Type[StreamSampler]], Type[StreamSampler]]:

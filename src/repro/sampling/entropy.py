@@ -108,7 +108,6 @@ def entropy_adjacency(distributions: np.ndarray) -> np.ndarray:
     dists = np.asarray(distributions, dtype=np.float64)
     if dists.ndim != 2:
         raise ValueError("distributions must be (n_clusters, bins)")
-    k = dists.shape[0]
     # Vectorized: A_ij = sum_b P_ib log(P_ib) - sum_b P_ib log(P_jb).
     p = dists / np.maximum(dists.sum(axis=1, keepdims=True), _EPS)
     logp = np.log(np.maximum(p, _EPS))

@@ -86,19 +86,16 @@ def subsample(
     :class:`~repro.data.sources.SnapshotSource` and returns rank 0's result;
     the returned ``virtual_time`` is the makespan (slowest rank) and the
     energy meter is the merge of all ranks' meters.  ``mode="stream"`` runs
-    the single-pass streaming samplers instead (one producer, one pass, no
-    phase-2 revisit — see :func:`repro.sampling.streaming.run_stream_subsample`).
+    the single-pass streaming samplers instead (no phase-2 revisit; with
+    ``nranks > 1`` each rank streams its own snapshot partition and the
+    per-rank states merge by weighted draw — see
+    :func:`repro.sampling.streaming.run_stream_subsample`).
     """
     source = as_source(data)
     if mode == "stream":
         from repro.sampling.streaming import run_stream_subsample
 
-        if nranks != 1:
-            raise ValueError(
-                "mode='stream' is a single-producer, single-pass path; "
-                f"nranks must be 1, got {nranks}"
-            )
-        return run_stream_subsample(source, config, seed=seed)
+        return run_stream_subsample(source, config, seed=seed, nranks=nranks, model=model)
     if mode != "batch":
         raise ValueError(f"mode must be 'batch' or 'stream', got {mode!r}")
 

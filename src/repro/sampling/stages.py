@@ -209,6 +209,9 @@ class Phase1SummarizeStage:
 
     def run(self, ctx: PipelineContext) -> None:
         comm, bins = ctx.comm, ctx.hist_bins
+        # Advisory: tell an async source which snapshots this rank is about
+        # to walk (twice), so decode overlaps the summarization compute.
+        ctx.source.prefetch(dict.fromkeys(s for s, _ in ctx.my_cubes))
         local_min, local_max = np.inf, -np.inf
         for _, vals in iter_cube_values(ctx):
             local_min = min(local_min, float(vals.min()))
@@ -293,6 +296,9 @@ class PointSampleStage:
         # the index is snapshot-major — so this loop visits snapshots
         # monotonically and a replay-on-backstep SimulationSource restarts
         # at most once for the whole phase.
+        ctx.source.prefetch(dict.fromkeys(
+            ctx.index[int(c)][0] for c in my_selected
+        ))
         for cube_id in my_selected:
             s_idx, origin = ctx.index[int(cube_id)]
             cube = extract_hypercube(

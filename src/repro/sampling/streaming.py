@@ -18,23 +18,46 @@ case's ``method:`` key resolves in both ingestion modes:
   node-strength weighting as the offline sampler.  One pass, bounded
   memory, and the same tail-seeking behaviour.
 
+Both samplers support the multi-producer merge contract
+(:meth:`~repro.sampling.base.StreamSampler.merge` /
+:meth:`~repro.sampling.base.StreamSampler.merge_all`): per-rank states
+combine by weighted draw — reservoirs via the classic distributed
+reservoir merge (each retained row stands for ``n_seen/len`` stream rows;
+slots fill by weighted draw without replacement), MaxEnt by aligning
+clusters on their 1-D centroids and merging per-cluster histograms and
+reservoirs — so a K-producer run is distributionally equivalent to a
+single producer over the whole stream, and bit-deterministic given the
+seed and rank count.
+
 :func:`run_stream_subsample` drives either over any
 :class:`~repro.data.sources.SnapshotSource` — it is what
 ``subsample(source, config, mode="stream")`` and
-``Experiment...subsample(mode="stream")`` execute.
+``Experiment...subsample(mode="stream")`` execute.  With ``nranks > 1`` it
+launches one SPMD producer per rank over a
+:class:`~repro.data.sources.PartitionedSource` snapshot span, gathers the
+per-rank sampler states, and merges on rank 0.
 """
 
 from __future__ import annotations
+
+import copy
 
 import numpy as np
 
 from repro.cluster.kmeans import MiniBatchKMeans
 from repro.data.points import PointSet
-from repro.data.sources import SnapshotSource, as_source
+from repro.data.sources import (
+    PartitionedSource,
+    SimulationSource,
+    SnapshotSource,
+    as_source,
+)
 from repro.energy.meter import EnergyMeter
 from repro.parallel.perfmodel import PerfModel
+from repro.parallel.spmd import run_spmd
 from repro.sampling.base import (
     StreamSampler,
+    fold_weighted_merge,
     get_stream_sampler,
     register_stream_sampler,
     stream_sampler_cls,
@@ -46,14 +69,64 @@ from repro.sampling.entropy import (
 )
 from repro.sampling.stratified import allocate_counts
 from repro.utils.config import CaseConfig
-from repro.utils.rng import resolve_rng
+from repro.utils.rng import resolve_rng, spawn_rngs
 
 __all__ = [
     "ReservoirSampler",
     "ReservoirStream",
     "StreamingMaxEnt",
+    "merge_reservoir_rows",
     "run_stream_subsample",
 ]
+
+
+def merge_reservoir_rows(
+    pools: "list[tuple[np.ndarray, float]]",
+    capacity: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Weighted-draw merge of retained-row pools into one reservoir.
+
+    ``pools`` is ``[(rows_i, weight_i), ...]`` where ``rows_i`` is what
+    producer `i` retained and ``weight_i`` the stream mass it summarizes
+    (its ``n_seen``).  A uniform ``m``-subset of the union stream decomposes
+    exactly into a multivariate-hypergeometric split of `m` across the
+    streams followed by uniform within-stream choice — so the merge draws
+    per-pool counts from that law (population = the stream masses) and
+    takes each pool's share uniformly without replacement from its retained
+    rows.  With true stream counts as weights and per-producer capacity at
+    least `capacity`, every stream row survives with equal probability: the
+    merged reservoir is distributed exactly as a single producer's.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    live = [(np.atleast_2d(np.asarray(r, dtype=np.float64)), float(w))
+            for r, w in pools if len(r) > 0 and w > 0]
+    if not live:
+        return np.empty((0, 1))
+    widths = {r.shape[1] for r, _ in live}
+    if len(widths) != 1:
+        raise ValueError(f"pools disagree on row width: {sorted(widths)}")
+    sizes = np.array([len(r) for r, _ in live], dtype=np.int64)
+    # Integer stream masses for the hypergeometric draw.  A mass below a
+    # pool's row count is a deliberate down-weighting: that pool then
+    # contributes at most `mass` rows, and the output shrinks if the total
+    # declared mass undercuts the capacity.
+    mass = np.maximum(np.rint([w for _, w in live]).astype(np.int64), 1)
+    m = int(min(capacity, sizes.sum(), mass.sum()))
+    counts = rng.multivariate_hypergeometric(mass, m)
+    # A pool can be allotted more than it holds only when its own capacity
+    # was below the merge capacity; clip and hand the deficit to pools with
+    # spare rows (largest spare first — deterministic repair).
+    counts = np.minimum(counts, sizes)
+    while counts.sum() < m:
+        spare = sizes - counts
+        counts[int(np.argmax(spare))] += 1
+    out = np.concatenate([
+        rows[rng.choice(len(rows), size=int(c), replace=False)]
+        for (rows, _), c in zip(live, counts) if c > 0
+    ])
+    return out
 
 
 class ReservoirSampler:
@@ -74,6 +147,10 @@ class ReservoirSampler:
         self._buf: np.ndarray | None = None
         self._size = 0
         self.n_seen = 0
+        #: stream mass this reservoir summarizes — equals ``n_seen`` until a
+        #: weighted merge reweights it; merges draw on (and update) this, so
+        #: chained weighted merges keep their requested proportions.
+        self.stream_mass = 0.0
 
     def __len__(self) -> int:
         """Number of rows currently held (= min(capacity, n_seen))."""
@@ -112,6 +189,7 @@ class ReservoirSampler:
                 winners, first = np.unique(slots_rev, return_index=True)
                 self._buf[winners] = chunk[pos + rows_rev[first]]
         self.n_seen += n
+        self.stream_mass += n
 
     @property
     def sample(self) -> np.ndarray:
@@ -119,6 +197,67 @@ class ReservoirSampler:
         if self._size == 0:
             raise ValueError("reservoir is empty — feed data first")
         return self._buf[: self._size].copy()
+
+    def reweight(self, mass: float) -> None:
+        """Declare the stream mass this reservoir stands for in merges
+        (overrides the count-based default — e.g. importance-reweighting a
+        producer, or down-weighting a partial stream)."""
+        if mass <= 0:
+            raise ValueError("stream mass must be > 0")
+        self.stream_mass = float(mass)
+
+    def merge(
+        self,
+        other: "ReservoirSampler",
+        weight: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> "ReservoirSampler":
+        """Fold another reservoir into this one by weighted draw.
+
+        After the merge this reservoir is distributed as if it had seen both
+        streams itself (``weight`` overrides the stream mass of `other`,
+        default ``other.stream_mass`` = its row count unless it was itself
+        reweighted).  This side's mass is its own ``stream_mass``, and the
+        merged mass is the sum — so chained weighted merges keep their
+        requested proportions.  Mutates and returns ``self``.
+        """
+        if not isinstance(other, ReservoirSampler):
+            raise TypeError(f"cannot merge {type(other).__name__} into a reservoir")
+        if other.n_seen == 0:
+            return self
+        rng = self.rng if rng is None else resolve_rng(rng)
+        w_other = float(other.stream_mass if weight is None else weight)
+        if w_other <= 0:
+            raise ValueError("merge weight must be > 0")
+        if self._buf is not None and other._buf is not None \
+                and self._buf.shape[1] != other._buf.shape[1]:
+            raise ValueError(
+                f"reservoir width {other._buf.shape[1]} != {self._buf.shape[1]}"
+            )
+        pools = []
+        if self._size:
+            pools.append((self._buf[: self._size], float(self.stream_mass)))
+        pools.append((other._buf[: other._size], w_other))
+        merged = merge_reservoir_rows(pools, self.capacity, rng)
+        if self._buf is None or self._buf.shape[1] != merged.shape[1]:
+            self._buf = np.empty((self.capacity, merged.shape[1]))
+        self._buf[: len(merged)] = merged
+        self._size = len(merged)
+        self.n_seen += other.n_seen
+        self.stream_mass += w_other
+        return self
+
+    @classmethod
+    def merge_all(
+        cls,
+        reservoirs: "list[ReservoirSampler]",
+        weights: "list[float] | None" = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> "ReservoirSampler":
+        """Fold K producers' reservoirs into ``reservoirs[0]`` by repeated
+        weighted :meth:`merge` (``weights[i]`` defaults to each reservoir's
+        ``n_seen``).  Deterministic for a fixed `rng` seed and order."""
+        return fold_weighted_merge(reservoirs, weights, rng, "reservoir")
 
 
 def _validated_chunk(
@@ -161,6 +300,22 @@ class ReservoirStream(StreamSampler):
 
     def finalize(self) -> np.ndarray:
         return self.reservoir.sample
+
+    def reweight(self, mass: float) -> None:
+        """See :meth:`ReservoirSampler.reweight`."""
+        self.reservoir.reweight(mass)
+
+    def merge(
+        self,
+        other: "StreamSampler",
+        weight: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> "ReservoirStream":
+        if not isinstance(other, ReservoirStream):
+            raise TypeError(f"cannot merge {type(other).__name__} into ReservoirStream")
+        self.reservoir.merge(other.reservoir, weight=weight, rng=rng)
+        self.n_seen = self.reservoir.n_seen
+        return self
 
 
 class _ClusterState:
@@ -268,6 +423,78 @@ class StreamingMaxEnt(StreamSampler):
             chosen.append(pool[take])
         return np.concatenate(chosen)
 
+    def merge(
+        self,
+        other: "StreamSampler",
+        weight: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> "StreamingMaxEnt":
+        """Fold another producer's online-MaxEnt state into this one.
+
+        Clusters are 1-D (the cluster variable), so the two centroid sets
+        align by sort order: the j-th lowest centroid here absorbs the j-th
+        lowest centroid of `other` — per-cluster histograms add, the
+        per-cluster reservoirs merge by weighted draw, and the centroid
+        moves to the mass-weighted average.  Requires identical histogram
+        geometry (same edges / bins / n_clusters), which every rank of an
+        SPMD stream shares by construction.
+        """
+        if not isinstance(other, StreamingMaxEnt):
+            raise TypeError(f"cannot merge {type(other).__name__} into StreamingMaxEnt")
+        if (
+            self.bins != other.bins
+            or self.n_clusters != other.n_clusters
+            or not np.array_equal(self.edges, other.edges)
+        ):
+            raise ValueError(
+                "merge requires identical histogram geometry "
+                "(same value_range, bins, and n_clusters on every producer)"
+            )
+        if other.n_seen == 0:
+            return self
+        rng = self.rng if rng is None else resolve_rng(rng)
+        scale = 1.0 if weight is None else float(weight) / other.n_seen
+        if scale <= 0:
+            raise ValueError("merge weight must be > 0")
+        if self.n_seen == 0:
+            # Nothing here yet: adopt a copy of the other producer's state
+            # (a copy, so later merges into self never corrupt the donor),
+            # scaling its histogram mass if an explicit weight reweights it.
+            self._km = copy.deepcopy(other._km)
+            self._states = copy.deepcopy(other._states)
+            if scale != 1.0:
+                for st in self._states:
+                    st.counts *= scale
+            self.n_seen = other.n_seen
+            return self
+        c_self = self._km.cluster_centers_
+        c_other = other._km.cluster_centers_
+        if c_self is None or c_other is None or c_self.shape != c_other.shape:
+            raise ValueError("producers disagree on cluster-center shape")
+        counts_self = self._km._counts
+        counts_other = other._km._counts
+        order_self = np.argsort(c_self[:, 0], kind="stable")
+        order_other = np.argsort(c_other[:, 0], kind="stable")
+        for a, b in zip(order_self, order_other):
+            st, ot = self._states[int(a)], other._states[int(b)]
+            st.counts += scale * ot.counts
+            if ot.n_seen > 0:
+                st.reservoir.merge(
+                    ot.reservoir,
+                    weight=scale * ot.reservoir.stream_mass,
+                    rng=rng,
+                )
+                st.n_seen += ot.n_seen
+            total = counts_self[int(a)] + counts_other[int(b)]
+            if total > 0:
+                c_self[int(a)] = (
+                    c_self[int(a)] * counts_self[int(a)]
+                    + c_other[int(b)] * counts_other[int(b)]
+                ) / total
+            counts_self[int(a)] = total
+        self.n_seen += other.n_seen
+        return self
+
     def to_pointset(self, coords_cols: int = 0) -> PointSet:
         """Finalize into a PointSet (first `coords_cols` payload columns are
         coordinates; the value column becomes variable 'value')."""
@@ -281,6 +508,61 @@ class StreamingMaxEnt(StreamSampler):
                         meta={"method": "streaming-maxent", "n_seen": self.n_seen})
 
 
+def _resolve_stream_value_range(
+    source: SnapshotSource,
+    sampler_cls,
+    cluster_var: str,
+    point_vars: list[str],
+    vcol: int,
+    value_range: tuple[float, float] | None,
+    chunk_rows: int,
+) -> tuple[float, float] | None:
+    """Histogram range for binning stream samplers, agreed before streaming.
+
+    Preference order: the caller's `value_range`, the source's
+    :meth:`~repro.data.sources.SnapshotSource.value_range_hint`, or (last
+    resort) the first chunk's span widened 3×.  Non-binning samplers skip
+    the whole question (the hint can cost a full extra scan on in-memory
+    sources).  Resolved once, up front, so every SPMD producer bins on
+    identical edges.
+    """
+    if value_range is not None or not sampler_cls.needs_value_range:
+        return value_range
+    vr = source.value_range_hint(cluster_var)
+    if vr is not None:
+        return vr
+    for _, _, _, table in source.iter_tables(point_vars, chunk_rows=chunk_rows):
+        values = table[:, vcol]
+        if values.size:
+            lo, hi = float(values.min()), float(values.max())
+            span = (hi - lo) or 1.0
+            return (lo - span, hi + span)
+    return None
+
+
+def _feed_stream(
+    sampler: StreamSampler,
+    source: SnapshotSource,
+    point_vars: list[str],
+    vcol: int,
+    chunk_rows: int,
+    meter: EnergyMeter,
+    on_chunk=None,
+) -> None:
+    """Stream one producer's span through its sampler, metering each chunk."""
+    for _, time, coords, table in source.iter_tables(point_vars, chunk_rows=chunk_rows):
+        values = table[:, vcol]
+        payload = np.column_stack([np.full(values.shape[0], time), coords, table])
+        sampler.feed(values, payload)
+        meter.record(
+            flops=sampler.cost_per_point * 2.0 * values.size,
+            nbytes=float(payload.nbytes),
+            device="cpu",
+        )
+        if on_chunk is not None:
+            on_chunk(values.size)
+
+
 def run_stream_subsample(
     source: SnapshotSource,
     config: CaseConfig,
@@ -288,8 +570,10 @@ def run_stream_subsample(
     chunk_rows: int = 65536,
     value_range: tuple[float, float] | None = None,
     hist_bins: int = 50,
+    nranks: int = 1,
+    model: PerfModel | None = None,
 ):
-    """Single-pass streaming subsample over any snapshot source.
+    """Single- or multi-producer streaming subsample over any snapshot source.
 
     Streams the source as bounded row chunks through the registered
     streaming analogue of the case's ``method`` (reservoir for ``random``,
@@ -298,10 +582,20 @@ def run_stream_subsample(
     once.  The point budget matches the batch pipeline's total
     (``num_hypercubes * num_samples``).
 
+    ``nranks > 1`` runs one SPMD producer per rank: the snapshot sequence is
+    block-partitioned (:class:`~repro.data.sources.PartitionedSource`), each
+    rank feeds its own sampler over its span, per-rank states are gathered
+    to rank 0, and :meth:`~repro.sampling.base.StreamSampler.merge_all`
+    recombines them by weighted draw — distributionally equivalent to the
+    single-producer run and bit-deterministic given ``seed`` and ``nranks``.
+    ``virtual_time`` is then the makespan of the slowest rank under the
+    LogGP `model`, and the energy meter merges all ranks.
+
     The MaxEnt histogram range comes from `value_range`, the source's
     :meth:`~repro.data.sources.SnapshotSource.value_range_hint`, or (last
     resort) the first chunk's span widened 3×; out-of-range values clip to
-    the edge bins.
+    the edge bins.  The range is agreed before any rank streams, so all
+    producers bin on identical edges.
 
     Returns a :class:`~repro.sampling.stages.SubsampleResult` whose
     ``points`` carry per-point times and ``meta["mode"] == "stream"``.
@@ -310,6 +604,8 @@ def run_stream_subsample(
 
     source = as_source(source)
     sub = config.subsample
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
     if sub.method == "full":
         raise ValueError(
             "method 'full' keeps dense cubes and has no single-pass "
@@ -319,6 +615,19 @@ def run_stream_subsample(
     # source does any work (a SimulationSource would otherwise run the
     # solver for a whole snapshot first).
     sampler_cls = stream_sampler_cls(sub.method)
+    if (
+        isinstance(source, SimulationSource)
+        and nranks > 1
+        and source.max_cached < source.n_snapshots
+    ):
+        # Producers start at different offsets of the same live iterator; a
+        # replay-on-backstep source would re-run the solver O(ranks) times.
+        raise ValueError(
+            "a SimulationSource with max_cached < n_snapshots would replay "
+            f"the simulation for nearly every producer under nranks={nranks}; "
+            f"use nranks=1, raise max_cached to >= {source.n_snapshots}, or "
+            "shard the stream to disk first"
+        )
     cluster_var = source.cluster_var
     point_vars = list(dict.fromkeys(
         [*source.input_vars, *source.output_vars, cluster_var]
@@ -329,35 +638,65 @@ def run_stream_subsample(
     if sub.method == "maxent":
         kwargs = {"n_clusters": sub.num_clusters, "bins": hist_bins}
     d = source.ndim
-    sampler = None
-    perf = PerfModel()
-    with EnergyMeter() as meter:
-        for _, time, coords, table in source.iter_tables(point_vars, chunk_rows=chunk_rows):
-            values = table[:, vcol]
-            if sampler is None:
-                vr = value_range
-                if vr is None and sampler_cls.needs_value_range:
-                    # Only binning samplers pay for a range (the hint can be
-                    # a full extra scan on in-memory sources).
-                    vr = source.value_range_hint(cluster_var)
-                    if vr is None and values.size:
-                        lo, hi = float(values.min()), float(values.max())
-                        span = (hi - lo) or 1.0
-                        vr = (lo - span, hi + span)
-                sampler = get_stream_sampler(
-                    sub.method, n_samples=budget, value_range=vr, rng=seed, **kwargs
-                )
-            payload = np.column_stack([np.full(values.shape[0], time), coords, table])
-            sampler.feed(values, payload)
-            meter.record(
-                flops=sampler.cost_per_point * 2.0 * values.size,
-                nbytes=float(payload.nbytes),
-                device="cpu",
-            )
+    vr = _resolve_stream_value_range(
+        source, sampler_cls, cluster_var, point_vars, vcol, value_range, chunk_rows
+    )
+
+    if nranks == 1:
+        perf = model or PerfModel()
+        sampler = get_stream_sampler(
+            sub.method, n_samples=budget, value_range=vr, rng=seed, **kwargs
+        )
+        with EnergyMeter() as meter:
             # Charge the scan to virtual time with the same work-unit model
             # the batch pipeline's communicator clock uses, so stream-mode
             # energy/makespan numbers are comparable to batch-mode ones.
-            meter.add_elapsed(perf.compute_time(sampler.cost_per_point * values.size))
+            _feed_stream(
+                sampler, source, point_vars, vcol, chunk_rows, meter,
+                on_chunk=lambda n: meter.add_elapsed(
+                    perf.compute_time(sampler.cost_per_point * n)
+                ),
+            )
+        virtual_time = meter.elapsed
+        energy = meter
+    else:
+        parts = PartitionedSource.split(source, nranks)
+        rngs = spawn_rngs(seed, nranks + 1)  # rngs[0] drives the merge draw
+
+        def _producer(comm):
+            part = parts[comm.rank]
+            sampler = get_stream_sampler(
+                sub.method, n_samples=budget, value_range=vr,
+                rng=rngs[comm.rank + 1], **kwargs,
+            )
+            with EnergyMeter() as meter:
+                _feed_stream(
+                    sampler, part, point_vars, vcol, chunk_rows, meter,
+                    on_chunk=lambda n: comm.account_compute(
+                        sampler.cost_per_point * float(n)
+                    ),
+                )
+                # The merge is a real communication step: per-rank sampler
+                # states travel to rank 0, so the gather (and the weighted
+                # redraw) land on the virtual clock like any collective.
+                gathered = comm.gather(sampler, root=0)
+                merged = None
+                if comm.rank == 0:
+                    fed = [s for s in gathered if s.n_seen > 0]
+                    if fed:
+                        merged = type(fed[0]).merge_all(fed, rng=rngs[0])
+                        comm.account_compute(float(len(fed) * budget))
+                meter.add_elapsed(comm.clock.t)
+            return merged, meter
+
+        spmd = run_spmd(_producer, nranks, model=model)
+        sampler = spmd[0][0]
+        energy = EnergyMeter()
+        for _, rank_meter in spmd.values:
+            energy.merge(rank_meter)
+        virtual_time = spmd.virtual_time
+        energy.elapsed = virtual_time
+
     if sampler is None or sampler.n_seen == 0:
         raise ValueError("source produced no data to stream")
     rows = sampler.finalize()
@@ -369,6 +708,7 @@ def run_stream_subsample(
             "method": sub.method,
             "mode": "stream",
             "n_seen": int(sampler.n_seen),
+            "ranks": nranks,
             "source": type(source).__name__,
         },
     )
@@ -378,13 +718,14 @@ def run_stream_subsample(
         selected_cube_ids=np.empty(0, dtype=np.int64),
         n_candidate_cubes=0,
         n_points_scanned=int(sampler.n_seen),
-        energy=meter,
-        virtual_time=meter.elapsed,
+        energy=energy,
+        virtual_time=virtual_time,
         meta={
             "method": sub.method,
             "hypercubes": sub.hypercubes,
             "num_samples": sub.num_samples,
             "mode": "stream",
+            "ranks": nranks,
             "seed": seed,
             "case": config.to_dict(),
         },

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cluster.histogram import histogram_pdf
 from repro.sampling.entropy import kl_divergence
 from repro.utils.rng import resolve_rng
 

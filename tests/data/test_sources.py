@@ -7,6 +7,7 @@ import pytest
 
 from repro.data import (
     InMemorySource,
+    PartitionedSource,
     ShardedNpzSource,
     SimulationSource,
     as_source,
@@ -138,6 +139,171 @@ class TestShardedNpzSource:
         src = ShardedNpzSource(shard_dir)
         with pytest.raises(IndexError):
             src.snapshot(99)
+
+
+def _wait_for_prefetch(src, n=1, timeout_s=5.0):
+    """Poll until the background worker has decoded >= n shards."""
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while src.cache_info()["prefetched"] < n:
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"prefetcher never reached {n} decodes: {src.cache_info()}"
+            )
+        time.sleep(0.005)
+
+
+class TestShardedPrefetch:
+    def test_prefetch_hits_and_bounded_residency(self, shard_dir, sst):
+        """Satellite: a forward scan with look-ahead serves hits from the
+        background prefetcher while residency stays bounded."""
+        src = ShardedNpzSource(shard_dir, max_cached=3, prefetch=2)
+        try:
+            src.snapshot(0)          # miss; queues shards 1 and 2
+            _wait_for_prefetch(src)  # worker drains the queue in order...
+            src.snapshot(1)          # ...so shard 1 is now a prefetch hit
+            for i in range(2, sst.n_snapshots):
+                src.snapshot(i)
+        finally:
+            src.close()
+        info = src.cache_info()
+        assert info["prefetched"] >= 1
+        assert info["prefetch_hits"] >= 1
+        assert info["max_resident"] <= 3
+        assert info["prefetch_depth"] == 2
+
+    def test_explicit_prefetch_hint(self, shard_dir):
+        src = ShardedNpzSource(shard_dir, max_cached=2, prefetch=1)
+        try:
+            src.prefetch([0, 1])
+            _wait_for_prefetch(src)
+            src.snapshot(0)
+        finally:
+            src.close()
+        info = src.cache_info()
+        assert info["prefetched"] >= 1
+        assert info["prefetch_hits"] >= 1
+
+    def test_prefetch_disabled_is_noop(self, shard_dir):
+        src = ShardedNpzSource(shard_dir, max_cached=2, prefetch=0)
+        src.prefetch([0, 1, 2])
+        src.snapshot(0)
+        info = src.cache_info()
+        assert info["prefetched"] == 0 and info["prefetch_hits"] == 0
+        src.close()  # idempotent even without a worker
+
+    def test_prefetch_validation(self, shard_dir):
+        with pytest.raises(ValueError):
+            ShardedNpzSource(shard_dir, prefetch=-1)
+
+    def test_subsample_with_prefetch_matches_without(self, shard_dir, sst):
+        """Prefetch is a pure performance hint: selections are identical."""
+        plain = subsample(ShardedNpzSource(shard_dir, max_cached=2),
+                          small_case(), nranks=1, seed=0)
+        pre_src = ShardedNpzSource(shard_dir, max_cached=2, prefetch=2)
+        pre = subsample(pre_src, small_case(), nranks=1, seed=0)
+        pre_src.close()
+        assert np.array_equal(plain.selected_cube_ids, pre.selected_cube_ids)
+        assert np.array_equal(plain.points.coords, pre.points.coords)
+
+
+class TestLazyDecode:
+    def test_lazy_field_decodes_members_on_demand(self, shard_dir, sst):
+        src = ShardedNpzSource(shard_dir, max_cached=2, lazy=True)
+        snap = src.snapshot(0)
+        assert snap.decoded_members() == []
+        assert snap.grid_shape == sst.grid_shape  # header-only, no decode
+        assert snap.decoded_members() == []
+        u = snap.get("u")
+        assert snap.decoded_members() == ["u"]
+        assert np.array_equal(u, sst.snapshots[0].get("u"))
+        # Mapping semantics still reflect the full member list.
+        assert sorted(snap.variables) == sorted(sst.snapshots[0].variables)
+        assert "u" in snap.variables and "r" in snap.variables
+
+    def test_lazy_mapping_semantics(self, shard_dir, sst):
+        """Regression: generic mapping idioms (get / dict(...) / **) must
+        decode, never silently return None or a truncated member set."""
+        snap = ShardedNpzSource(shard_dir, lazy=True).snapshot(0)
+        assert snap.variables.get("u") is not None
+        assert snap.variables.get("not-a-var", "sentinel") == "sentinel"
+        full = dict(snap.variables)
+        assert sorted(full) == sorted(sst.snapshots[0].variables)
+        assert all(isinstance(v, np.ndarray) for v in full.values())
+
+    def test_lazy_derived_variables_compose(self, shard_dir, sst):
+        """pv derives from u/v/w/r — lazy members must feed the derived
+        registry exactly like eager ones."""
+        snap = ShardedNpzSource(shard_dir, lazy=True).snapshot(0)
+        assert np.allclose(snap.get("pv"), sst.snapshots[0].get("pv"))
+
+    def test_lazy_nbytes_matches_eager(self, shard_dir):
+        lazy = ShardedNpzSource(shard_dir, lazy=True).snapshot(0)
+        eager = ShardedNpzSource(shard_dir, lazy=False).snapshot(0)
+        assert lazy.nbytes() == eager.nbytes()
+        assert lazy.decoded_members() == []  # estimate came from headers
+
+    def test_eager_mode_still_available(self, shard_dir, sst):
+        snap = ShardedNpzSource(shard_dir, lazy=False).snapshot(0)
+        assert not hasattr(snap, "decoded_members")
+        assert np.array_equal(snap.get("u"), sst.snapshots[0].get("u"))
+
+
+class TestPartitionedSource:
+    def test_span_view_passthrough(self, sst):
+        base = InMemorySource(sst)
+        part = PartitionedSource(base, 2, 5)
+        assert part.n_snapshots == 3
+        assert part.grid_shape == base.grid_shape
+        assert part.input_vars == base.input_vars
+        assert part.cluster_var == base.cluster_var
+        assert part.label.endswith("[2:5]")
+        for i in range(3):
+            assert part.snapshot(i) is sst.snapshots[2 + i]
+        assert np.array_equal(part.times, sst.times[2:5])
+        with pytest.raises(IndexError):
+            part.snapshot(3)
+
+    def test_split_covers_source(self, sst):
+        base = InMemorySource(sst)
+        parts = PartitionedSource.split(base, 4)
+        assert sum(p.n_snapshots for p in parts) == sst.n_snapshots
+        seen = [p.snapshot(i).time for p in parts for i in range(p.n_snapshots)]
+        assert seen == list(sst.times)
+
+    def test_empty_span(self, sst):
+        base = InMemorySource(sst)
+        parts = PartitionedSource.split(base, sst.n_snapshots + 2)
+        tail = parts[-1]
+        assert tail.n_snapshots == 0
+        assert tail.nbytes() == 0
+        assert list(tail.iter_snapshots()) == []
+
+    def test_prefetch_translates_to_base(self, shard_dir):
+        src = ShardedNpzSource(shard_dir, max_cached=4, prefetch=1)
+        try:
+            part = PartitionedSource(src, 2, 4)
+            part.prefetch([0, 1])  # global shards 2, 3
+            _wait_for_prefetch(src)
+            part.snapshot(0)
+            assert src.cache_info()["prefetch_hits"] >= 1
+        finally:
+            src.close()
+
+    def test_validation(self, sst):
+        base = InMemorySource(sst)
+        with pytest.raises(ValueError):
+            PartitionedSource(base, 4, 2)
+        with pytest.raises(ValueError):
+            PartitionedSource(base, 0, sst.n_snapshots + 1)
+        with pytest.raises(TypeError):
+            PartitionedSource(sst, 0, 1)
+
+    def test_value_range_hint_shared_with_base(self, sst):
+        base = InMemorySource(sst)
+        part = PartitionedSource(base, 0, 2)
+        assert part.value_range_hint("pv") == base.value_range_hint("pv")
 
 
 class TestSimulationSource:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.metrics import (
-    ScalingSeries,
     find_knee,
     nrmse,
     pdf_match_js,

@@ -6,7 +6,7 @@ autograd engine can have.
 """
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.nn.tensor import Tensor
 from tests.nn.gradcheck import gradcheck
@@ -42,6 +42,13 @@ def test_random_unary_chains_gradcheck(ops, rows, cols, seed):
             out = _UNARY[i][1](out)
         return (out * out).sum()
 
+    # Chains like exp∘square∘square blow past float range (or into such
+    # violent curvature that central differences are pure truncation error)
+    # within a few ops; a finite-difference reference is only meaningful
+    # where the forward value stays well-scaled, so discard the rest.
+    with np.errstate(over="ignore", invalid="ignore"):
+        f0 = float(build(Tensor(x.copy())).data)
+    assume(np.isfinite(f0) and abs(f0) < 1e4)
     gradcheck(build, x, rtol=5e-3, atol=1e-6)
 
 

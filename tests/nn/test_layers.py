@@ -10,9 +10,7 @@ from repro.nn import (
     LayerNorm,
     Linear,
     LSTM,
-    Module,
     MultiHeadAttention,
-    Parameter,
     Sequential,
     TransformerEncoder,
 )

@@ -3,7 +3,14 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.parallel.partition import block_bounds, block_partition, owner_of, partition_list
+from repro.parallel.partition import (
+    Partition,
+    block_bounds,
+    block_partition,
+    owner_of,
+    partition_list,
+    stream_partitions,
+)
 
 
 class TestBlockPartition:
@@ -52,3 +59,35 @@ class TestBlockPartition:
 
     def test_partition_list(self):
         assert partition_list([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+
+
+class TestStreamPartitions:
+    def test_spans_match_block_partition(self):
+        parts = stream_partitions(10, 4)
+        assert [(p.lo, p.hi) for p in parts] == block_partition(10, 4)
+        assert [p.rank for p in parts] == [0, 1, 2, 3]
+        assert all(p.size == 4 for p in parts)
+
+    def test_span_accessors(self):
+        p = Partition(rank=1, size=3, lo=4, hi=7)
+        assert p.n == 3 and not p.empty
+        assert list(p.indices()) == [4, 5, 6]
+        assert 4 in p and 6 in p and 7 not in p and 3 not in p
+
+    def test_more_ranks_than_items_gives_empty_tails(self):
+        parts = stream_partitions(2, 5)
+        assert [p.n for p in parts] == [1, 1, 0, 0, 0]
+        assert parts[-1].empty
+        assert list(parts[-1].indices()) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Partition(rank=3, size=3, lo=0, hi=1)
+        with pytest.raises(ValueError):
+            Partition(rank=0, size=1, lo=4, hi=2)
+
+    @given(st.integers(0, 300), st.integers(1, 32))
+    def test_spans_cover_exactly(self, n, size):
+        parts = stream_partitions(n, size)
+        seen = [i for p in parts for i in p.indices()]
+        assert seen == list(range(n))

@@ -3,7 +3,7 @@
 import networkx as nx
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.sampling.entropy import (
     adjacency_graph,

@@ -204,6 +204,286 @@ class TestStreamingMaxEnt:
         assert not hasattr(r, "_items")
 
 
+class TestReservoirMerge:
+    def test_merged_k_rank_reservoir_uniform_chi_square(self):
+        """Satellite: a K-producer reservoir merged by weighted draw must
+        retain every element of the union stream with equal probability —
+        chi-square GoF over uneven partitions."""
+        from scipy import stats
+
+        n, cap, trials = 60, 12, 600
+        spans = [(0, 9), (9, 33), (33, 60)]  # deliberately unequal producers
+        hits = np.zeros(n)
+        stream = np.arange(float(n))[:, None]
+        for seed in range(trials):
+            parts = []
+            for k, (lo, hi) in enumerate(spans):
+                r = ReservoirSampler(cap, rng=(seed, k))
+                r.feed(stream[lo:hi])
+                parts.append(r)
+            merged = ReservoirSampler.merge_all(parts, rng=(seed, 99))
+            assert merged is parts[0]
+            assert merged.n_seen == n and len(merged) == cap
+            hits[merged.sample[:, 0].astype(int)] += 1
+        expected = trials * cap / n
+        chi2 = ((hits - expected) ** 2 / expected).sum()
+        p = stats.chi2.sf(chi2, df=n - 1)
+        assert p > 1e-3, f"merged retention not uniform (chi2={chi2:.1f}, p={p:.2e})"
+
+    def test_merge_all_deterministic_for_fixed_seed(self):
+        """Satellite: same per-rank states + same merge seed → bit-identical
+        merged reservoir."""
+        def build():
+            parts = []
+            for k in range(3):
+                r = ReservoirSampler(8, rng=k)
+                r.feed(np.arange(20.0 * k, 20.0 * k + 20.0)[:, None])
+                parts.append(r)
+            return parts
+
+        a = ReservoirSampler.merge_all(build(), rng=42).sample
+        b = ReservoirSampler.merge_all(build(), rng=42).sample
+        assert np.array_equal(a, b)
+        c = ReservoirSampler.merge_all(build(), rng=43).sample
+        assert not np.array_equal(a, c)  # the draw really depends on the seed
+
+    def test_pairwise_merge_counts_and_weights(self):
+        a = ReservoirSampler(4, rng=0)
+        a.feed(np.zeros((100, 2)))
+        b = ReservoirSampler(4, rng=1)
+        b.feed(np.ones((50, 2)))
+        a.merge(b, rng=2)
+        assert a.n_seen == 150
+        assert len(a) == 4
+
+    def test_merge_weight_biases_the_draw(self):
+        """An explicit weight overrides n_seen: weighting one producer
+        ~1000x should dominate the merged reservoir."""
+        ones = 0
+        for seed in range(30):
+            a = ReservoirSampler(10, rng=(seed, 0))
+            a.feed(np.zeros((100, 1)))
+            b = ReservoirSampler(10, rng=(seed, 1))
+            b.feed(np.ones((100, 1)))
+            a.merge(b, weight=1e5, rng=(seed, 2))
+            ones += int(a.sample[:, 0].sum())
+        assert ones > 0.9 * 30 * 10
+
+    def test_merge_all_honors_weight_of_fold_target(self):
+        """Regression: weights[0] reweights the first reservoir (via
+        reweight()) instead of being silently dropped."""
+        ones = 0
+        for seed in range(20):
+            a = ReservoirSampler(10, rng=(seed, 0))
+            a.feed(np.zeros((100, 1)))
+            b = ReservoirSampler(10, rng=(seed, 1))
+            b.feed(np.ones((100, 1)))
+            m = ReservoirSampler.merge_all([a, b], weights=[1.0, 100.0],
+                                           rng=(seed, 2))
+            ones += int(m.sample[:, 0].sum())
+        assert ones / (20 * 10) > 0.9
+
+    def test_chained_weighted_merge_keeps_proportions(self):
+        """Regression: an explicit up-weight survives later merges — the
+        merged mass is tracked as stream_mass, not raw row counts."""
+        twos = 0
+        for seed in range(20):
+            a = ReservoirSampler(10, rng=(seed, 0))
+            a.feed(np.zeros((100, 1)))
+            b = ReservoirSampler(10, rng=(seed, 1))
+            b.feed(np.ones((100, 1)))
+            c = ReservoirSampler(10, rng=(seed, 2))
+            c.feed(np.full((100, 1), 2.0))
+            a.merge(b, weight=1e5, rng=(seed, 3))
+            assert a.stream_mass == 100 + 1e5
+            a.merge(c, rng=(seed, 4))  # c's mass 100 vs accumulated ~1e5
+            twos += int((a.sample[:, 0] == 2.0).sum())
+        assert twos / (20 * 10) < 0.05
+
+    def test_reweight_validation(self):
+        r = ReservoirSampler(4, rng=0)
+        with pytest.raises(ValueError, match="mass"):
+            r.reweight(0.0)
+        r.feed(np.zeros((5, 1)))
+        r.reweight(2.5)
+        assert r.stream_mass == 2.5 and r.n_seen == 5
+
+    def test_merge_empty_other_is_noop(self):
+        a = ReservoirSampler(4, rng=0)
+        a.feed(np.arange(10.0)[:, None])
+        before = a.sample.copy()
+        a.merge(ReservoirSampler(4, rng=1), rng=2)
+        assert np.array_equal(a.sample, before) and a.n_seen == 10
+
+    def test_merge_into_empty_adopts_other(self):
+        a = ReservoirSampler(4, rng=0)
+        b = ReservoirSampler(4, rng=1)
+        b.feed(np.arange(3.0)[:, None])
+        a.merge(b, rng=2)
+        assert a.n_seen == 3 and len(a) == 3
+        assert sorted(a.sample[:, 0]) == [0.0, 1.0, 2.0]
+
+    def test_merge_validation(self):
+        a = ReservoirSampler(4, rng=0)
+        a.feed(np.zeros((5, 2)))
+        b = ReservoirSampler(4, rng=1)
+        b.feed(np.zeros((5, 3)))
+        with pytest.raises(ValueError, match="width"):
+            a.merge(b)
+        with pytest.raises(TypeError):
+            a.merge(object())
+        c = ReservoirSampler(4, rng=2)
+        c.feed(np.zeros((5, 2)))
+        with pytest.raises(ValueError, match="weight"):
+            a.merge(c, weight=0.0)
+
+    def test_under_capacity_merge_keeps_everything(self):
+        """Two producers that together fit in capacity lose nothing."""
+        a = ReservoirSampler(20, rng=0)
+        a.feed(np.arange(5.0)[:, None])
+        b = ReservoirSampler(20, rng=1)
+        b.feed(np.arange(5.0, 12.0)[:, None])
+        a.merge(b, rng=2)
+        assert sorted(a.sample[:, 0]) == list(np.arange(12.0))
+
+
+class TestStreamSamplerMergeContract:
+    def test_base_merge_raises_not_implemented(self):
+        from repro.sampling import StreamSampler
+
+        class NoMerge(StreamSampler):
+            def __init__(self):
+                self.n_seen = 1
+
+            def feed(self, values, payload=None):
+                pass
+
+            def finalize(self):
+                return np.zeros((1, 1))
+
+        with pytest.raises(NotImplementedError, match="multi-producer"):
+            NoMerge().merge(NoMerge())
+
+    def test_merge_all_validation(self):
+        from repro.sampling import StreamSampler
+
+        with pytest.raises(ValueError, match="at least one"):
+            StreamSampler.merge_all([])
+        a = ReservoirStream(4, rng=0)
+        a.feed(np.arange(5.0))
+        m = StreamingMaxEnt(n_samples=4, value_range=(0, 1), rng=0)
+        with pytest.raises(TypeError, match="mixed"):
+            StreamSampler.merge_all([a, m])
+        b = ReservoirStream(4, rng=1)
+        b.feed(np.arange(5.0))
+        with pytest.raises(ValueError, match="weights"):
+            StreamSampler.merge_all([a, b], weights=[1.0])
+
+    def test_reservoir_stream_merge(self):
+        a = ReservoirStream(8, rng=0)
+        b = ReservoirStream(8, rng=1)
+        rng = np.random.default_rng(2)
+        va, vb = rng.random(30), rng.random(50)
+        a.feed(va, np.column_stack([va * 2, va * 3]))
+        b.feed(vb, np.column_stack([vb * 2, vb * 3]))
+        merged = a.merge(b, rng=3)
+        assert merged is a and a.n_seen == 80
+        rows = a.finalize()
+        assert rows.shape == (8, 3)
+        assert np.allclose(rows[:, 1], 2 * rows[:, 0])  # payload stays paired
+
+
+class TestStreamingMaxEntMerge:
+    def _feed(self, sampler, values, chunk=500):
+        for lo in range(0, len(values), chunk):
+            sampler.feed(values[lo:lo + chunk])
+        return sampler
+
+    def test_merged_keeps_budget_and_both_modes(self):
+        rng = np.random.default_rng(0)
+        lowv = rng.standard_normal(6000) * 0.5
+        rare = 8.0 + rng.standard_normal(150) * 0.5
+        all_vals = np.concatenate([lowv, rare])
+        all_vals = all_vals[np.random.default_rng(1).permutation(len(all_vals))]
+        half = len(all_vals) // 2
+        a = self._feed(StreamingMaxEnt(300, (-4, 11), n_clusters=6, rng=2),
+                       all_vals[:half])
+        b = self._feed(StreamingMaxEnt(300, (-4, 11), n_clusters=6, rng=3),
+                       all_vals[half:])
+        merged = StreamingMaxEnt.merge_all([a, b], rng=4)
+        assert merged.n_seen == len(all_vals)
+        out = merged.finalize()
+        assert out.shape[0] == 300
+        # Tail-seeking behaviour survives the merge.
+        assert (out[:, 0] > 4.0).mean() > 0.1
+
+    def test_merge_matches_single_producer_distribution(self):
+        """Acceptance-style: merged two-producer MaxEnt tracks the single
+        producer's sample-value distribution within a KS bound."""
+        rng = np.random.default_rng(7)
+        values = np.concatenate([
+            rng.standard_normal(9500) * 0.6,
+            6.0 + rng.standard_normal(500) * 0.4,
+        ])
+        values = values[np.random.default_rng(8).permutation(len(values))]
+
+        single = self._feed(StreamingMaxEnt(600, (-4, 9), n_clusters=6, rng=0),
+                            values)
+        sv = np.sort(single.finalize()[:, 0])
+
+        half = len(values) // 2
+        a = self._feed(StreamingMaxEnt(600, (-4, 9), n_clusters=6, rng=1),
+                       values[:half])
+        b = self._feed(StreamingMaxEnt(600, (-4, 9), n_clusters=6, rng=2),
+                       values[half:])
+        merged = StreamingMaxEnt.merge_all([a, b], rng=3)
+        mv = np.sort(merged.finalize()[:, 0])
+
+        grid = np.linspace(values.min(), values.max(), 512)
+        cdf_s = np.searchsorted(sv, grid) / len(sv)
+        cdf_m = np.searchsorted(mv, grid) / len(mv)
+        ks = np.abs(cdf_s - cdf_m).max()
+        assert ks < 0.25, f"KS distance {ks:.3f} exceeds tolerance"
+
+    def test_merge_into_empty_adopts_state(self):
+        a = StreamingMaxEnt(50, (0, 1), n_clusters=3, rng=0)
+        b = self._feed(StreamingMaxEnt(50, (0, 1), n_clusters=3, rng=1),
+                       np.random.default_rng(2).random(400))
+        a.merge(b, rng=3)
+        assert a.n_seen == 400
+        assert a.finalize().shape[0] == 50
+
+    def test_merge_into_empty_copies_not_aliases(self):
+        """Adopting a donor's state must not alias it: later merges into
+        the adopter leave the donor intact."""
+        a = StreamingMaxEnt(50, (0, 1), n_clusters=3, rng=0)
+        b = self._feed(StreamingMaxEnt(50, (0, 1), n_clusters=3, rng=1),
+                       np.random.default_rng(2).random(400))
+        c = self._feed(StreamingMaxEnt(50, (0, 1), n_clusters=3, rng=3),
+                       np.random.default_rng(4).random(400))
+        b_counts = [st.counts.copy() for st in b._states]
+        b_seen = b.n_seen
+        merged = StreamingMaxEnt.merge_all([a, b, c], rng=5)
+        assert merged is a and merged.n_seen == 800
+        assert b.n_seen == b_seen
+        for st, before in zip(b._states, b_counts):
+            assert np.array_equal(st.counts, before)
+        assert b.finalize().shape[0] == 50  # donor still fully usable
+
+    def test_geometry_mismatch_raises(self):
+        a = StreamingMaxEnt(10, (0, 1), n_clusters=3, rng=0)
+        b = StreamingMaxEnt(10, (0, 2), n_clusters=3, rng=1)
+        b.feed(np.random.default_rng(2).random(50))
+        with pytest.raises(ValueError, match="geometry"):
+            a.merge(b)
+        c = StreamingMaxEnt(10, (0, 1), n_clusters=4, rng=3)
+        c.feed(np.random.default_rng(4).random(50))
+        with pytest.raises(ValueError, match="geometry"):
+            a.merge(c)
+        with pytest.raises(TypeError):
+            a.merge(ReservoirStream(10, rng=5))
+
+
 class TestStreamRegistry:
     def test_streaming_samplers_registered_under_offline_names(self):
         from repro.sampling import available_stream_samplers, get_stream_sampler
@@ -346,8 +626,11 @@ class TestStreamSubsample:
 
         res = subsample(sst, self._case(), seed=0, mode="stream")
         assert res.meta["mode"] == "stream"
-        with pytest.raises(ValueError, match="nranks"):
-            subsample(sst, self._case(), nranks=2, seed=0, mode="stream")
+        assert res.meta["ranks"] == 1
+        multi = subsample(sst, self._case(), nranks=2, seed=0, mode="stream")
+        assert multi.meta["ranks"] == 2
+        assert multi.n_points_scanned == res.n_points_scanned
+        assert multi.n_samples == res.n_samples
         with pytest.raises(ValueError, match="mode"):
             subsample(sst, self._case(), seed=0, mode="banana")
 
@@ -398,3 +681,125 @@ class TestStreamSubsample:
         res = run_stream_subsample(sst, self._case(), seed=0)
         assert res.energy is not None
         assert res.energy.total_energy > 0.0
+
+
+class TestMultiProducerStream:
+    """SPMD streaming: per-rank partitions, weighted merge on rank 0."""
+
+    def _case(self, method="maxent", **overrides):
+        from repro.utils.config import (
+            CaseConfig,
+            SharedConfig,
+            SubsampleConfig,
+            TrainConfig,
+        )
+
+        sub = dict(hypercubes="maxent", method=method, num_hypercubes=6,
+                   num_samples=100, num_clusters=4, nxsl=8, nysl=8, nzsl=8)
+        sub.update(overrides)
+        return CaseConfig(
+            shared=SharedConfig(dims=3),
+            subsample=SubsampleConfig(**sub),
+            train=TrainConfig(arch="mlp_transformer"),
+        )
+
+    @pytest.fixture(scope="class")
+    def sst(self):
+        from repro.data import build_dataset
+
+        return build_dataset("SST-P1F4", scale=1.0, rng=0, n_snapshots=4)
+
+    def test_four_ranks_match_single_rank_within_ks_bound(self, sst):
+        """Acceptance: the merged 4-producer sample tracks the single-rank
+        stream's sample-value distribution within the KS-style bound."""
+        single = run_stream_subsample(sst, self._case(), seed=0)
+        multi = run_stream_subsample(sst, self._case(), seed=0, nranks=4)
+        assert multi.n_samples == single.n_samples == 600
+        assert multi.n_points_scanned == single.n_points_scanned
+        assert multi.meta["ranks"] == 4
+
+        sv = np.sort(single.points.values["pv"])
+        mv = np.sort(multi.points.values["pv"])
+        pop = np.concatenate([s.get("pv").ravel() for s in sst.snapshots])
+        grid = np.linspace(pop.min(), pop.max(), 512)
+        cdf_s = np.searchsorted(sv, grid) / len(sv)
+        cdf_m = np.searchsorted(mv, grid) / len(mv)
+        ks = np.abs(cdf_s - cdf_m).max()
+        assert ks < 0.25, f"KS distance {ks:.3f} exceeds tolerance"
+
+    def test_multirank_deterministic_for_seed_and_rank_count(self, sst):
+        """Bit-determinism: fixed (seed, nranks) → identical PointSets."""
+        a = run_stream_subsample(sst, self._case(), seed=7, nranks=3)
+        b = run_stream_subsample(sst, self._case(), seed=7, nranks=3)
+        assert np.array_equal(a.points.coords, b.points.coords)
+        assert np.array_equal(np.asarray(a.points.time), np.asarray(b.points.time))
+        for var in a.points.values:
+            assert np.array_equal(a.points.values[var], b.points.values[var])
+        c = run_stream_subsample(sst, self._case(), seed=8, nranks=3)
+        assert not np.array_equal(a.points.coords, c.points.coords)
+
+    @pytest.mark.parametrize("method", ["maxent", "random"])
+    def test_carried_values_genuine_at_coords(self, sst, method):
+        """Multi-producer rows still map back to real field values."""
+        res = run_stream_subsample(sst, self._case(method), seed=0, nranks=2)
+        assert res.n_points_scanned == sst.n_snapshots * sst.n_points_per_snapshot
+        coords = res.points.coords.astype(int)
+        times = np.asarray(res.points.time)
+        assert set(np.unique(times)) <= set(sst.times)
+        t0 = sst.snapshots[0].time
+        at_t0 = times == t0
+        if at_t0.any():
+            pv = sst.snapshots[0].get("pv")
+            assert np.allclose(
+                res.points.values["pv"][at_t0], pv[tuple(coords[at_t0].T)]
+            )
+
+    def test_more_ranks_than_snapshots(self, sst):
+        """Empty partitions contribute zero weight, nothing breaks."""
+        res = run_stream_subsample(
+            sst, self._case(), seed=0, nranks=sst.n_snapshots + 3
+        )
+        assert res.n_points_scanned == sst.n_snapshots * sst.n_points_per_snapshot
+        assert res.n_samples == 600
+
+    def test_virtual_time_speedup_over_single_rank(self, sst):
+        """The partitioned scan parallelizes: 4-rank makespan undercuts the
+        single producer in virtual time."""
+        from repro.parallel.perfmodel import PerfModel
+
+        model = PerfModel(compute_rate=2.5e4)
+        t1 = run_stream_subsample(sst, self._case(), seed=0, model=model).virtual_time
+        t4 = run_stream_subsample(
+            sst, self._case(), seed=0, nranks=4, model=model
+        ).virtual_time
+        assert t4 < t1
+        assert t1 / t4 > 1.5
+
+    def test_sim_source_replay_guard(self):
+        from repro.data import stream_dataset
+
+        src = stream_dataset("sst-binary", scale=1.0, seed=0, n_snapshots=2,
+                             max_cached=1)
+        with pytest.raises(ValueError, match="replay"):
+            run_stream_subsample(src, self._case(), seed=0, nranks=2)
+        src2 = stream_dataset("sst-binary", scale=1.0, seed=0, n_snapshots=2,
+                              max_cached=2)
+        res = run_stream_subsample(src2, self._case(), seed=0, nranks=2)
+        assert res.n_samples > 0
+
+    def test_sim_source_full_window_really_avoids_replays(self):
+        """Regression: the remedy the guard recommends (max_cached >=
+        n_snapshots) must actually work — intermediates generated while
+        advancing are cached, so interleaved producers never restart the
+        solver."""
+        from repro.data import stream_dataset
+
+        src = stream_dataset("sst-binary", scale=0.5, seed=0, n_snapshots=6,
+                             max_cached=6)
+        run_stream_subsample(src, self._case(), seed=0, nranks=3)
+        assert src.generated == 6
+        assert src.restarts == 0
+
+    def test_invalid_nranks(self, sst):
+        with pytest.raises(ValueError, match="nranks"):
+            run_stream_subsample(sst, self._case(), seed=0, nranks=0)

@@ -223,11 +223,25 @@ class TestSources:
         with pytest.raises(ValueError, match="stream-mode subsample"):
             exp.train()
 
-    def test_stream_mode_rejects_ranks(self):
+    def test_stream_mode_multirank(self):
+        """Stream mode is rank-parallel: with_ranks / the ranks= override
+        both drive the multi-producer merge path."""
         exp = (Experiment.from_case(make_case())
-               .with_dataset(self._dataset()).with_ranks(2))
-        with pytest.raises(ValueError, match="single-producer"):
-            exp.subsample(mode="stream")
+               .with_dataset(self._dataset()).with_ranks(2)
+               .subsample(mode="stream"))
+        res = exp.subsample_artifact.result
+        assert res.meta["mode"] == "stream" and res.meta["ranks"] == 2
+        assert exp.subsample_artifact.meta["ranks"] == 2
+        n = make_case().subsample
+        assert res.n_samples == n.num_hypercubes * n.num_samples
+
+        exp2 = (Experiment.from_case(make_case())
+                .with_dataset(self._dataset())
+                .subsample(mode="stream", ranks=3))
+        assert exp2.subsample_artifact.result.meta["ranks"] == 3
+        assert exp2.ranks == 1  # per-call override leaves the config alone
+        with pytest.raises(ValueError, match="ranks"):
+            Experiment.from_case(make_case()).subsample(mode="stream", ranks=0)
 
     def test_train_from_sharded_source(self, tmp_path):
         """Training windows assemble straight from an out-of-core source."""

@@ -124,6 +124,28 @@ class TestSourceFlags:
         assert code == 0
         assert "Saved subsample" in out
 
+    def test_stream_multirank_flag(self, sst_case, capsys):
+        """--stream --ranks N drives the multi-producer merge path."""
+        code = subsample_main([sst_case, "--scale", "0.5", "--stream",
+                               "--ranks", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Subsampled" in out
+        assert "Total Energy Consumed" in out
+
+    def test_stream_sharded_prefetch(self, sst_case, tmp_path, capsys):
+        """Sharded source + --prefetch + multi-rank stream, end to end."""
+        from repro.data import load_dataset, save_dataset
+
+        shard_dir = str(tmp_path / "shards")
+        save_dataset(load_dataset("sst-binary", scale=0.5, rng=0), shard_dir)
+        code = subsample_main([sst_case, "--scale", "0.5", "--stream",
+                               "--ranks", "2", "--source", shard_dir,
+                               "--max-cached-shards", "4", "--prefetch", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Subsampled" in out
+
 
 class TestTrainCli:
     def test_reconstruction_training(self, sst_case, capsys):
