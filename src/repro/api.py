@@ -435,7 +435,14 @@ class Experiment:
             "materializes a resident dataset; use .source"
         )
 
-    def subsample(self, mode: str = "batch", ranks: int | None = None) -> "Experiment":
+    def subsample(
+        self,
+        mode: str = "batch",
+        ranks: int | None = None,
+        owned_shards: bool = False,
+        on_rank_failure: str = "raise",
+        fault_hook=None,
+    ) -> "Experiment":
         """Run the subsampling pipeline and record its artifact.
 
         ``mode="batch"`` is the two-phase SPMD pipeline; ``mode="stream"``
@@ -445,16 +452,26 @@ class Experiment:
         experiment's configured rank count is untouched), and in stream
         mode each rank streams its own snapshot partition concurrently,
         with per-rank sampler states recombined by weighted merge.
+
+        Stream-only knobs (see :func:`repro.sampling.pipeline.subsample`):
+        ``owned_shards`` isolates per-rank shard I/O behind an
+        :class:`~repro.data.store.OwnedShardLayout`; ``on_rank_failure``
+        picks the partial-stream policy (``"reweight"`` merges what failed
+        producers delivered, ``"raise"`` fails the draw); ``fault_hook``
+        injects producer deaths for testing.
         """
         if ranks is None:
             ranks = self.ranks
         elif ranks < 1:
             raise ValueError("ranks must be >= 1")
         result = subsample(self.source, self.case, nranks=int(ranks),
-                           seed=self.seed, mode=mode)
+                           seed=self.seed, mode=mode, owned_shards=owned_shards,
+                           on_rank_failure=on_rank_failure, fault_hook=fault_hook)
         self.artifacts["subsample"] = SubsampleArtifact(
             meta={"seed": self.seed, "case": self.case.to_dict(),
                   "ranks": int(ranks), "scale": self.scale, "mode": mode,
+                  "owned_shards": bool(owned_shards),
+                  "on_rank_failure": on_rank_failure,
                   "source": type(self.source).__name__},
             result=result,
         )

@@ -28,24 +28,80 @@ from repro.data import SubsampleStore
 
 __all__ = ["main", "subsample_main", "train_main", "build_model_for_case"]
 
+#: sentinel for "--max-cached-shards not given" (the resolved default is 2)
+_DEFAULT_MAX_CACHED = 2
+
 
 def _resolve_source(args, case) -> "object | None":
     """Build the SnapshotSource named by ``--source`` (None = case default)."""
     if not args.source:
         return None
+    max_cached = (
+        _DEFAULT_MAX_CACHED if args.max_cached_shards is None
+        else args.max_cached_shards
+    )
     if args.source == "sim":
         from repro.data import stream_dataset
 
         return stream_dataset(
             case.shared.dtype, scale=args.scale, seed=args.seed,
-            max_cached=args.max_cached_shards,
+            max_cached=max_cached,
         )
     from repro.data import ShardedNpzSource
 
     return ShardedNpzSource(
-        args.source, max_cached=args.max_cached_shards,
+        args.source, max_cached=max_cached,
         prefetch=getattr(args, "prefetch", 0),
     )
+
+
+def _validate_subsample_args(parser: argparse.ArgumentParser, args) -> None:
+    """Reject flag combinations that would otherwise be silently ignored.
+
+    Every rejected combination here used to be dropped on the floor —
+    ``--prefetch`` against an in-memory source, stream-only policies in
+    batch mode — which made typos look like successful runs.
+    """
+    sharded = bool(args.source) and args.source != "sim"
+    if args.prefetch and not sharded:
+        parser.error(
+            "--prefetch applies only to shard-directory sources; the "
+            f"{'in-situ simulation' if args.source == 'sim' else 'in-memory catalog'}"
+            " source has no shards to decode ahead (drop --prefetch or add "
+            "--source <shard-dir>)"
+        )
+    if args.max_cached_shards is not None and not args.source:
+        print(
+            "warning: --max-cached-shards has no effect on the in-memory "
+            "catalog source (everything is resident); add --source "
+            "<shard-dir> or --source sim",
+            file=sys.stderr,
+        )
+    if args.owned_shards and not args.stream:
+        parser.error("--owned-shards requires --stream (the two-phase batch "
+                     "pipeline has no per-rank shard ownership)")
+    if args.owned_shards and not sharded:
+        parser.error("--owned-shards requires --source <shard-dir> (only "
+                     "npz shard directories can be split into owned sets)")
+    if args.owned_shards and args.ranks < 2:
+        parser.error("--owned-shards requires --ranks >= 2 (a single "
+                     "producer already owns every shard)")
+    if args.on_rank_failure is not None:
+        if not args.stream:
+            parser.error("--on-rank-failure requires --stream (batch mode "
+                         "has no partial-stream merge)")
+        if args.ranks < 2:
+            parser.error("--on-rank-failure requires --ranks >= 2 (a single "
+                         "producer has no rank to lose)")
+    if args.inject_rank_failure is not None:
+        if not args.stream or args.ranks < 2:
+            parser.error("--inject-rank-failure requires --stream and "
+                         "--ranks >= 2")
+        if not 0 <= args.inject_rank_failure < args.ranks:
+            parser.error(
+                f"--inject-rank-failure rank {args.inject_rank_failure} out "
+                f"of range for --ranks {args.ranks}"
+            )
 
 
 def subsample_main(argv: list[str] | None = None) -> int:
@@ -70,15 +126,43 @@ def subsample_main(argv: list[str] | None = None) -> int:
              "merge by weighted draw",
     )
     parser.add_argument(
-        "--max-cached-shards", type=int, default=2,
-        help="decoded snapshots resident at once for out-of-core/in-situ sources",
+        "--max-cached-shards", type=int, default=None,
+        help="decoded snapshots resident at once for out-of-core/in-situ "
+             f"sources (default {_DEFAULT_MAX_CACHED})",
     )
     parser.add_argument(
         "--prefetch", type=int, default=0,
-        help="shards to decode ahead in a background thread (out-of-core "
+        help="shards to decode ahead in a background thread (shard-directory "
              "sources only; overlaps decode with sampling)",
     )
+    parser.add_argument(
+        "--owned-shards", action="store_true",
+        help="with --stream --ranks N over a shard directory: give each "
+             "rank its own disjoint shard set (private LRU + prefetcher) "
+             "instead of one shared cache",
+    )
+    parser.add_argument(
+        "--on-rank-failure", choices=("reweight", "raise"), default=None,
+        help="stream-mode policy when a producer rank dies mid-span: "
+             "'reweight' merges the partial streams by delivered mass, "
+             "'raise' (default) fails the draw",
+    )
+    parser.add_argument(
+        "--inject-rank-failure", type=int, default=None, metavar="RANK",
+        help="testing: kill stream producer RANK after its first chunk "
+             "(exercises --on-rank-failure)",
+    )
     args = parser.parse_args(argv)
+    _validate_subsample_args(parser, args)
+
+    fault_hook = None
+    if args.inject_rank_failure is not None:
+        victim = args.inject_rank_failure
+
+        def _kill_after_first_chunk(rank, snapshots_done=0, rows_fed=0):
+            return rank == victim and rows_fed > 0
+
+        fault_hook = _kill_after_first_chunk
 
     exp = (
         Experiment.from_case(args.case)
@@ -89,15 +173,29 @@ def subsample_main(argv: list[str] | None = None) -> int:
     source = _resolve_source(args, exp.case)
     if source is not None:
         exp.with_source(source)
-    exp.subsample(mode="stream" if args.stream else "batch")
-    result = exp.subsample_artifact.result
-    print(exp.subsample_artifact.summary())
-    if args.output_dir and result.points is not None:
-        store = SubsampleStore(args.output_dir)
-        name = exp.case.shared.fileprefix.replace("/", "_") or "subsample"
-        path = store.save(name, result.points)
-        print(f"Saved subsample to {path} "
-              f"({store.reduction_factor(name, exp.source.nbytes()):.0f}x reduction)")
+    try:
+        exp.subsample(
+            mode="stream" if args.stream else "batch",
+            owned_shards=args.owned_shards,
+            on_rank_failure=args.on_rank_failure or "raise",
+            fault_hook=fault_hook,
+        )
+        result = exp.subsample_artifact.result
+        print(exp.subsample_artifact.summary())
+        failed = result.meta.get("failed_ranks") or []
+        if failed:
+            print(f"Merged partial streams: rank(s) {failed} died mid-span; "
+                  "allocation reweighted by delivered mass")
+        if args.output_dir and result.points is not None:
+            store = SubsampleStore(args.output_dir)
+            name = exp.case.shared.fileprefix.replace("/", "_") or "subsample"
+            path = store.save(name, result.points)
+            print(f"Saved subsample to {path} "
+                  f"({store.reduction_factor(name, exp.source.nbytes()):.0f}x reduction)")
+    finally:
+        # Teardown: join any background prefetch thread the source owns.
+        if source is not None and hasattr(source, "close"):
+            source.close()
     return 0
 
 

@@ -34,10 +34,11 @@ from repro.data.sources import (
     ShardedNpzSource,
     SimulationSource,
     PartitionedSource,
+    aggregate_cache_info,
     as_source,
 )
 from repro.data.loaders import load_dataset, save_dataset, stream_dataset
-from repro.data.store import SubsampleStore
+from repro.data.store import OwnedShardLayout, SubsampleStore
 
 __all__ = [
     "PointSet",
@@ -54,9 +55,11 @@ __all__ = [
     "ShardedNpzSource",
     "SimulationSource",
     "PartitionedSource",
+    "aggregate_cache_info",
     "as_source",
     "load_dataset",
     "save_dataset",
     "stream_dataset",
+    "OwnedShardLayout",
     "SubsampleStore",
 ]

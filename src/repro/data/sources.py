@@ -61,6 +61,7 @@ __all__ = [
     "SimulationSource",
     "PartitionedSource",
     "as_source",
+    "aggregate_cache_info",
 ]
 
 
@@ -133,6 +134,11 @@ class SnapshotSource(abc.ABC):
         """
         if chunk_rows < 1:
             raise ValueError("chunk_rows must be >= 1")
+        if self.n_snapshots == 0:
+            # An empty span (e.g. a trailing rank when ranks > snapshots)
+            # streams nothing; asking for the grid would force a decode the
+            # source cannot serve.
+            return
         grid = self.grid_shape
         n = int(np.prod(grid))
         for s, snap in self.iter_snapshots():
@@ -161,6 +167,8 @@ class SnapshotSource(abc.ABC):
     def nbytes(self) -> int:
         """Decoded footprint of the full snapshot sequence (estimate for
         lazy sources: first snapshot × count, grids are homogeneous)."""
+        if self.n_snapshots == 0:
+            return 0
         return self.snapshot(0).nbytes() * self.n_snapshots
 
     def value_range_hint(self, var: str) -> tuple[float, float] | None:
@@ -416,8 +424,14 @@ class ShardedNpzSource(SnapshotSource):
                     self._stats["prefetched"] += 1
 
     def close(self) -> None:
-        """Stop the prefetch worker (idempotent; the thread is a daemon, so
-        this is a courtesy for long-lived processes, not a requirement)."""
+        """Stop and join the prefetch worker (idempotent).
+
+        Call when done with the source — directly, via the context manager,
+        or through the pipeline/CLI teardown — so long-lived processes (and
+        the thread-leak tests) never accumulate idle decode threads.  The
+        worker is a daemon, so even an unclosed source cannot block
+        interpreter exit.
+        """
         with self._lock:
             worker, q = self._worker, self._queue
             self._worker = None
@@ -425,6 +439,12 @@ class ShardedNpzSource(SnapshotSource):
         if worker is not None and q is not None:
             q.put(None)
             worker.join(timeout=5.0)
+
+    def __enter__(self) -> "ShardedNpzSource":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     @property
     def times(self) -> np.ndarray:
@@ -441,6 +461,8 @@ class ShardedNpzSource(SnapshotSource):
     def nbytes(self) -> int:
         """Decoded footprint of all shards (first decode's size × count,
         cached so repeat queries touch no disk)."""
+        if self._n == 0:
+            return 0
         if self._shard_nbytes is None:
             self.snapshot(0)
         return self._shard_nbytes * self._n
@@ -640,6 +662,35 @@ class PartitionedSource(SnapshotSource):
         # The base's global range is valid (if conservative) for any span —
         # and sharing it keeps every rank's histogram edges identical.
         return self.base.value_range_hint(var)
+
+
+#: the cache_info() entries that are true event counters — additive across
+#: disjoint caches.  Gauges and configuration (``resident``, ``max_cached``,
+#: ``max_resident``, ``prefetch_depth``) are deliberately NOT aggregated:
+#: their sums would masquerade as fleet totals while meaning nothing.
+_ADDITIVE_CACHE_COUNTERS = (
+    "hits", "misses", "evictions", "prefetched", "prefetch_hits"
+)
+
+
+def aggregate_cache_info(infos: "Iterable[dict | None]") -> dict:
+    """Sum per-rank :meth:`ShardedNpzSource.cache_info` event counters.
+
+    The owned-shard benchmarks account total I/O across ranks with this:
+    only the additive counters are summed, ``decodes`` is the derived total
+    shard-decode count (``misses + prefetched`` — each a real
+    decompression), and ``ranks`` counts the caches aggregated.  ``None``
+    entries (ranks without a sharded source) are skipped.
+    """
+    total: dict = {"ranks": 0, **{k: 0 for k in _ADDITIVE_CACHE_COUNTERS}}
+    for info in infos:
+        if info is None:
+            continue
+        total["ranks"] += 1
+        for key in _ADDITIVE_CACHE_COUNTERS:
+            total[key] += info.get(key, 0)
+    total["decodes"] = total["misses"] + total["prefetched"]
+    return total
 
 
 def as_source(data) -> SnapshotSource:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import threading
 import zipfile
 from collections.abc import Mapping
@@ -27,6 +28,7 @@ __all__ = [
     "load_field",
     "load_field_lazy",
     "LazyNpzField",
+    "OwnedShardLayout",
     "points_payload",
     "points_from_npz",
     "META_KEY",
@@ -213,6 +215,125 @@ def load_field_lazy(path: str) -> LazyNpzField:
         meta = json.loads(str(data[_META_KEYS])) if _META_KEYS in data.files else {}
     shape, dtype = _npz_member_header(path, f"var_{members[0]}")
     return LazyNpzField(path, members, shape, dtype.itemsize, time, meta)
+
+
+class OwnedShardLayout:
+    """Disjoint per-rank ownership of one ``save_dataset`` shard directory.
+
+    Distributed shard *ownership*: instead of every SPMD rank reading
+    through one shared :class:`~repro.data.sources.ShardedNpzSource` cache,
+    each rank gets its own shard directory holding exactly its contiguous
+    snapshot span — so each rank runs a private bounded LRU and a private
+    prefetch thread over a disjoint file set, with zero cross-rank cache
+    traffic.
+
+    :meth:`build` materializes the layout in a fresh run-scoped temp
+    directory (or an explicit ``dest``) — never inside the base directory,
+    which may be a read-only dataset mount: one subdirectory per rank,
+    shards hardlinked (copied when the filesystem refuses links) and
+    renumbered ``snapshot_00000.npz ...`` within the rank's span, plus a
+    per-rank manifest — each rank directory is itself a valid
+    ``save_dataset`` directory, so an ordinary ``ShardedNpzSource`` opens
+    it directly, and :meth:`remove` cleans the whole layout up.  Spans
+    follow
+    :func:`repro.parallel.partition.stream_partitions` (sizes differ by at
+    most one; trailing ranks own empty directories when
+    ``nranks > n_snapshots``).
+    """
+
+    def __init__(self, root: str, base_path: str, spans: list[tuple[int, int]]) -> None:
+        self.root = root
+        self.base_path = base_path
+        self.spans = [(int(lo), int(hi)) for lo, hi in spans]
+
+    @property
+    def nranks(self) -> int:
+        return len(self.spans)
+
+    def rank_dir(self, rank: int) -> str:
+        if not 0 <= rank < self.nranks:
+            raise IndexError(f"rank {rank} out of range [0, {self.nranks})")
+        return os.path.join(self.root, f"rank_{rank:03d}")
+
+    def rank_span(self, rank: int) -> tuple[int, int]:
+        if not 0 <= rank < self.nranks:
+            raise IndexError(f"rank {rank} out of range [0, {self.nranks})")
+        return self.spans[rank]
+
+    @classmethod
+    def build(
+        cls, path: str, nranks: int, dest: str | None = None
+    ) -> "OwnedShardLayout":
+        """Split the shard directory at `path` into `nranks` owned sets.
+
+        The layout lands in a fresh unique temp directory by default (never
+        inside `path` — the base directory may be a read-only dataset
+        mount, and concurrent runs must not clobber each other), so call
+        :meth:`remove` when done.  An explicit `dest` is rebuilt from
+        scratch (any stale layout there is removed).  Hardlinks keep the
+        build O(nranks) in disk regardless of shard sizes (falling back to
+        copies when `dest` is on a different filesystem).
+        """
+        import tempfile
+
+        from repro.parallel.partition import stream_partitions
+
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        manifest_path = os.path.join(path, MANIFEST)
+        if not os.path.isfile(manifest_path):
+            raise FileNotFoundError(
+                f"no {MANIFEST} under {path!r} — not a save_dataset() directory"
+            )
+        with open(manifest_path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        n = int(manifest["n_snapshots"])
+        if dest is None:
+            root = tempfile.mkdtemp(prefix=f"owned_r{nranks}_")
+        else:
+            root = dest
+            if os.path.isdir(root):
+                shutil.rmtree(root)
+            os.makedirs(root)
+        target = manifest.get("target")
+        spans = []
+        for part in stream_partitions(n, nranks):
+            rank_dir = os.path.join(root, f"rank_{part.rank:03d}")
+            os.makedirs(rank_dir)
+            for j, i in enumerate(part.indices()):
+                src = os.path.join(path, f"snapshot_{i:05d}.npz")
+                dst = os.path.join(rank_dir, f"snapshot_{j:05d}.npz")
+                try:
+                    os.link(src, dst)
+                except OSError:
+                    shutil.copy2(src, dst)
+            rank_manifest = {
+                **manifest,
+                "n_snapshots": part.n,
+                "target": target[part.lo : part.hi] if target is not None else None,
+            }
+            with open(os.path.join(rank_dir, MANIFEST), "w", encoding="utf-8") as fh:
+                json.dump(rank_manifest, fh, indent=2)
+            spans.append((part.lo, part.hi))
+        return cls(root, path, spans)
+
+    def rank_source(
+        self, rank: int, max_cached: int = 2, prefetch: int = 0, lazy: bool = True
+    ):
+        """Open rank `rank`'s owned directory as a private
+        :class:`~repro.data.sources.ShardedNpzSource` (its own LRU and, with
+        ``prefetch > 0``, its own background decode thread — close it when
+        the rank is done)."""
+        from repro.data.sources import ShardedNpzSource
+
+        return ShardedNpzSource(
+            self.rank_dir(rank), max_cached=max_cached, prefetch=prefetch, lazy=lazy
+        )
+
+    def remove(self) -> None:
+        """Delete the materialized layout (the base directory is untouched)."""
+        if os.path.isdir(self.root):
+            shutil.rmtree(self.root)
 
 
 class SubsampleStore:

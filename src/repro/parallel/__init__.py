@@ -20,15 +20,23 @@ package provides:
 """
 
 from repro.parallel.comm import Communicator, SerialComm
-from repro.parallel.threadcomm import ThreadComm
+from repro.parallel.threadcomm import RankFailure, ThreadComm
 from repro.parallel.spmd import run_spmd
 from repro.parallel.perfmodel import PerfModel, VirtualClock, CommStats
-from repro.parallel.partition import block_partition, block_bounds, owner_of
+from repro.parallel.partition import (
+    Partition,
+    ProducerReport,
+    block_bounds,
+    block_partition,
+    owner_of,
+    stream_partitions,
+)
 
 __all__ = [
     "Communicator",
     "SerialComm",
     "ThreadComm",
+    "RankFailure",
     "run_spmd",
     "PerfModel",
     "VirtualClock",
@@ -36,4 +44,7 @@ __all__ = [
     "block_partition",
     "block_bounds",
     "owner_of",
+    "Partition",
+    "ProducerReport",
+    "stream_partitions",
 ]

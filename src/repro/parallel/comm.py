@@ -116,6 +116,13 @@ class Communicator(abc.ABC):
         """Charge `work` units of local computation to the virtual clock."""
         self.clock.add_compute(work)
 
+    def maybe_fail(self, **context: Any) -> None:
+        """Fault-injection checkpoint; a no-op unless the communicator
+        carries an armed fault hook (see
+        :meth:`repro.parallel.threadcomm.ThreadComm.maybe_fail`).  Serial
+        runs never inject faults — there is no peer to survive them."""
+        return None
+
     def _check_root(self, root: int) -> None:
         if not (0 <= root < self.size):
             raise ValueError(f"root {root} out of range for size {self.size}")

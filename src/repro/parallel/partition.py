@@ -10,11 +10,17 @@ contiguous span of the snapshot sequence (rank ``r`` streams snapshots
 ``[lo, hi)``) and carry the bookkeeping the weighted reservoir merge needs
 (each rank's share of the stream, so per-rank samples can be recombined in
 proportion to what each producer actually saw).
+
+:class:`ProducerReport` is the partial-stream extension of that
+bookkeeping: what one producer *actually delivered* from its span — covered
+snapshots, delivered row count / stream mass, and whether it died mid-span
+— so rank 0 can reweight the merge by delivered (not nominal) mass when a
+producer fails.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = [
     "block_partition",
@@ -23,6 +29,7 @@ __all__ = [
     "partition_list",
     "Partition",
     "stream_partitions",
+    "ProducerReport",
 ]
 
 
@@ -70,6 +77,62 @@ def stream_partitions(n: int, size: int) -> list[Partition]:
         Partition(rank=r, size=size, lo=lo, hi=hi)
         for r, (lo, hi) in enumerate(block_partition(n, size))
     ]
+
+
+@dataclass
+class ProducerReport:
+    """What one stream producer delivered from its :class:`Partition` span.
+
+    ``snapshots_done`` counts span snapshots the producer *fully* streamed
+    (a mid-snapshot death leaves its partial rows in ``n_seen`` but not in
+    ``snapshots_done``); ``stream_mass`` is the delivered mass the merge
+    should weight this producer by (defaults to its delivered row count).
+    A failed producer reports ``failed=True`` with the error message — its
+    partial state still merges under the ``"reweight"`` policy.
+    """
+
+    partition: Partition
+    snapshots_done: int = 0
+    n_seen: int = 0
+    stream_mass: float = 0.0
+    failed: bool = False
+    error: str | None = None
+    #: per-rank source cache counters (owned-shard runs), for aggregation
+    cache_info: dict | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.snapshots_done <= self.partition.n):
+            raise ValueError(
+                f"snapshots_done {self.snapshots_done} outside span of "
+                f"{self.partition.n} snapshots"
+            )
+
+    @property
+    def rank(self) -> int:
+        return self.partition.rank
+
+    @property
+    def covered(self) -> tuple[int, int]:
+        """Global ``[lo, hi)`` span of fully delivered snapshots."""
+        return (self.partition.lo, self.partition.lo + self.snapshots_done)
+
+    @property
+    def complete(self) -> bool:
+        """Did this producer stream its whole span?"""
+        return not self.failed and self.snapshots_done == self.partition.n
+
+    def to_meta(self) -> dict:
+        """JSON-serializable summary for result metadata."""
+        return {
+            "rank": self.rank,
+            "span": [self.partition.lo, self.partition.hi],
+            "covered": list(self.covered),
+            "snapshots_done": self.snapshots_done,
+            "n_seen": self.n_seen,
+            "stream_mass": self.stream_mass,
+            "failed": self.failed,
+            "error": self.error,
+        }
 
 
 def block_bounds(n: int, size: int, rank: int) -> tuple[int, int]:

@@ -42,12 +42,19 @@ def run_spmd(
     nranks: int,
     *args: Any,
     model: PerfModel | None = None,
+    fault_hook: Callable[..., bool] | None = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on `nranks` ranks; gather results.
 
     For ``nranks == 1`` the function runs inline on a :class:`SerialComm`
     (easier debugging, no thread overhead).
+
+    ``fault_hook(rank, **context) -> bool`` arms fault injection: ranks that
+    call :meth:`~repro.parallel.threadcomm.ThreadComm.maybe_fail` die with
+    :class:`~repro.parallel.threadcomm.RankFailure` when the hook returns
+    True.  Serial runs ignore the hook — a single producer has no peers to
+    survive it.
     """
     if nranks < 1:
         raise ValueError("nranks must be >= 1")
@@ -56,7 +63,7 @@ def run_spmd(
         value = fn(comm, *args, **kwargs)
         return SpmdResult([value], [comm.clock])
 
-    world = CommWorld(nranks, model=model)
+    world = CommWorld(nranks, model=model, fault_hook=fault_hook)
     values: list[Any] = [None] * nranks
     clocks: list[VirtualClock] = [VirtualClock(model=world.model)] * nranks
     errors: list[BaseException | None] = [None] * nranks

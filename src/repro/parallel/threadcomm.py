@@ -10,20 +10,32 @@ Alongside the real data exchange, every collective advances each rank's
 :class:`~repro.parallel.perfmodel.VirtualClock` to
 ``max(arrival times) + modeled cost``, so speedup measured in virtual time is
 meaningful even though the host serializes threads through the GIL.
+
+For fault-tolerance testing a :class:`CommWorld` can carry a *fault hook*:
+long-running rank loops call :meth:`ThreadComm.maybe_fail` at convenient
+checkpoints, and when the hook fires the rank dies with :class:`RankFailure`
+— the injected equivalent of a node loss mid-computation.  Callers that can
+recover a partial result (e.g. the partial-stream merge in
+:mod:`repro.sampling.streaming`) catch it; everything else propagates it
+like any rank error.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.parallel.comm import Communicator, payload_nbytes
 from repro.parallel.perfmodel import PerfModel, VirtualClock
 
-__all__ = ["ThreadComm", "CommWorld"]
+__all__ = ["ThreadComm", "CommWorld", "RankFailure"]
+
+
+class RankFailure(RuntimeError):
+    """A rank died mid-computation (raised by an armed fault hook)."""
 
 
 def _copy_arrays(obj: Any) -> Any:
@@ -42,11 +54,19 @@ def _copy_arrays(obj: Any) -> Any:
 class CommWorld:
     """Shared state for one group of thread ranks."""
 
-    def __init__(self, size: int, model: PerfModel | None = None) -> None:
+    def __init__(
+        self,
+        size: int,
+        model: PerfModel | None = None,
+        fault_hook: "Callable[..., bool] | None" = None,
+    ) -> None:
         if size < 1:
             raise ValueError("size must be >= 1")
         self.size = size
         self.model = model or PerfModel()
+        #: ``fault_hook(rank, **context) -> bool`` — True kills the calling
+        #: rank at its next :meth:`ThreadComm.maybe_fail` checkpoint.
+        self.fault_hook = fault_hook
         self.barrier = threading.Barrier(size)
         self.slots: list[Any] = [None] * size
         self.arrivals: list[float] = [0.0] * size
@@ -92,6 +112,21 @@ class ThreadComm(Communicator):
     @property
     def clock(self) -> VirtualClock:
         return self._clock
+
+    def maybe_fail(self, **context: Any) -> None:
+        """Fault-injection checkpoint: die if the world's hook says so.
+
+        Long-running rank loops call this at natural progress boundaries
+        (e.g. once per streamed chunk) with whatever `context` describes the
+        progress — the hook receives ``(rank, **context)`` and returning
+        True raises :class:`RankFailure` on this rank.  No-op without a
+        hook, so production paths pay one attribute check.
+        """
+        hook = self._world.fault_hook
+        if hook is not None and hook(self._rank, **context):
+            raise RankFailure(
+                f"rank {self._rank} killed by fault hook at {context!r}"
+            )
 
     # Rendezvous machinery -----------------------------------------------------
 

@@ -39,6 +39,18 @@ _REGISTRY: dict[str, Type["Sampler"]] = {}
 _STREAM_REGISTRY: dict[str, Type["StreamSampler"]] = {}
 
 
+def failed_producers_error(dead: list) -> RuntimeError:
+    """The one error for dead stream producers under the ``"raise"`` policy
+    (shared by :meth:`StreamSampler.merge_partial` and the streaming
+    pipeline, so the message — including the remedy — cannot drift)."""
+    detail = "; ".join(f"rank {r.rank}: {r.error or 'died mid-span'}" for r in dead)
+    return RuntimeError(
+        f"{len(dead)} stream producer(s) failed ({detail}); rerun with the "
+        "'reweight' policy (on_rank_failure='reweight') to merge the "
+        "partial streams"
+    )
+
+
 def fold_weighted_merge(items: list, weights: "list[float] | None", rng, noun: str):
     """Fold ``items[1:]`` into ``items[0]`` by repeated weighted ``merge``.
 
@@ -237,6 +249,45 @@ class StreamSampler(abc.ABC):
         if len(kinds) > 1:
             raise TypeError(f"cannot merge mixed sampler types: {sorted(k.__name__ for k in kinds)}")
         return fold_weighted_merge(samplers, weights, rng, "sampler")
+
+    @classmethod
+    def merge_partial(
+        cls,
+        samplers: "list[StreamSampler]",
+        reports: "list | None" = None,
+        on_failure: str = "reweight",
+        rng: np.random.Generator | int | None = None,
+    ) -> "StreamSampler":
+        """Merge per-rank states whose producers may not have finished.
+
+        The fault-tolerant flavour of :meth:`merge_all`: ``reports[i]`` is
+        rank `i`'s :class:`~repro.parallel.partition.ProducerReport` (or any
+        object with ``failed`` / ``rank`` / ``error``), describing what the
+        producer actually delivered.  Under ``on_failure="reweight"`` the
+        partial states of failed producers merge like any other — each
+        state's own delivered mass drives the multivariate-hypergeometric
+        allocation, so the merged sample is reweighted by *delivered*, not
+        nominal, mass.  Under ``on_failure="raise"`` any failed producer
+        aborts the merge.  Empty states (empty spans, or producers that died
+        before their first chunk) carry zero mass and are skipped, so
+        ``nranks > n_snapshots`` and early deaths merge cleanly.
+        """
+        if on_failure not in ("reweight", "raise"):
+            raise ValueError(
+                f"on_failure must be 'reweight' or 'raise', got {on_failure!r}"
+            )
+        if not samplers:
+            raise ValueError("merge_partial needs at least one sampler")
+        if reports is not None:
+            if len(reports) != len(samplers):
+                raise ValueError("reports must match samplers")
+            dead = [r for r in reports if r.failed]
+            if dead and on_failure == "raise":
+                raise failed_producers_error(dead)
+        live = [s for s in samplers if s.n_seen > 0]
+        if not live:
+            raise ValueError("no stream producer delivered any data")
+        return cls.merge_all(live, rng=rng)
 
 
 def register_stream_sampler(name: str) -> Callable[[Type[StreamSampler]], Type[StreamSampler]]:

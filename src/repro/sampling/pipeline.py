@@ -79,6 +79,9 @@ def subsample(
     seed: int = 0,
     model: PerfModel | None = None,
     mode: str = "batch",
+    owned_shards: bool = False,
+    on_rank_failure: str = "raise",
+    fault_hook=None,
 ) -> SubsampleResult:
     """One ``subsample()`` for batch, out-of-core, and in-situ ingestion.
 
@@ -90,14 +93,31 @@ def subsample(
     ``nranks > 1`` each rank streams its own snapshot partition and the
     per-rank states merge by weighted draw — see
     :func:`repro.sampling.streaming.run_stream_subsample`).
+
+    The stream-only knobs: ``owned_shards`` gives each rank a private
+    :class:`~repro.data.sources.ShardedNpzSource` over a disjoint shard set
+    (per-rank LRU + prefetcher, no shared cache), ``on_rank_failure``
+    chooses between reweighting the merge by delivered mass
+    (``"reweight"``) and failing the draw (``"raise"``) when a producer
+    dies mid-span, and ``fault_hook`` injects such deaths for testing.
     """
     source = as_source(data)
     if mode == "stream":
         from repro.sampling.streaming import run_stream_subsample
 
-        return run_stream_subsample(source, config, seed=seed, nranks=nranks, model=model)
+        return run_stream_subsample(
+            source, config, seed=seed, nranks=nranks, model=model,
+            owned_shards=owned_shards, on_rank_failure=on_rank_failure,
+            fault_hook=fault_hook,
+        )
     if mode != "batch":
         raise ValueError(f"mode must be 'batch' or 'stream', got {mode!r}")
+    if owned_shards or fault_hook is not None or on_rank_failure != "raise":
+        raise ValueError(
+            "owned_shards / on_rank_failure / fault_hook apply to "
+            "mode='stream' only — the batch pipeline has no partial-stream "
+            "merge to configure"
+        )
 
     if isinstance(source, InMemorySource):
         # Materialize derived variables once, outside the parallel region

@@ -48,15 +48,21 @@ from repro.cluster.kmeans import MiniBatchKMeans
 from repro.data.points import PointSet
 from repro.data.sources import (
     PartitionedSource,
+    ShardedNpzSource,
     SimulationSource,
     SnapshotSource,
+    aggregate_cache_info,
     as_source,
 )
+from repro.data.store import OwnedShardLayout
 from repro.energy.meter import EnergyMeter
+from repro.parallel.partition import ProducerReport, stream_partitions
 from repro.parallel.perfmodel import PerfModel
 from repro.parallel.spmd import run_spmd
+from repro.parallel.threadcomm import RankFailure
 from repro.sampling.base import (
     StreamSampler,
+    failed_producers_error,
     fold_weighted_merge,
     get_stream_sampler,
     register_stream_sampler,
@@ -548,9 +554,16 @@ def _feed_stream(
     chunk_rows: int,
     meter: EnergyMeter,
     on_chunk=None,
+    fault_check=None,
 ) -> None:
-    """Stream one producer's span through its sampler, metering each chunk."""
-    for _, time, coords, table in source.iter_tables(point_vars, chunk_rows=chunk_rows):
+    """Stream one producer's span through its sampler, metering each chunk.
+
+    ``fault_check(snapshot_index)`` runs after every fed chunk — the
+    per-chunk checkpoint where an armed fault hook kills the producer
+    (raising :class:`~repro.parallel.threadcomm.RankFailure` out of this
+    loop with the already-fed rows retained in the sampler).
+    """
+    for s, time, coords, table in source.iter_tables(point_vars, chunk_rows=chunk_rows):
         values = table[:, vcol]
         payload = np.column_stack([np.full(values.shape[0], time), coords, table])
         sampler.feed(values, payload)
@@ -561,6 +574,8 @@ def _feed_stream(
         )
         if on_chunk is not None:
             on_chunk(values.size)
+        if fault_check is not None:
+            fault_check(s)
 
 
 def run_stream_subsample(
@@ -572,6 +587,9 @@ def run_stream_subsample(
     hist_bins: int = 50,
     nranks: int = 1,
     model: PerfModel | None = None,
+    owned_shards: bool = False,
+    on_rank_failure: str = "raise",
+    fault_hook=None,
 ):
     """Single- or multi-producer streaming subsample over any snapshot source.
 
@@ -583,13 +601,29 @@ def run_stream_subsample(
     (``num_hypercubes * num_samples``).
 
     ``nranks > 1`` runs one SPMD producer per rank: the snapshot sequence is
-    block-partitioned (:class:`~repro.data.sources.PartitionedSource`), each
-    rank feeds its own sampler over its span, per-rank states are gathered
-    to rank 0, and :meth:`~repro.sampling.base.StreamSampler.merge_all`
-    recombines them by weighted draw — distributionally equivalent to the
-    single-producer run and bit-deterministic given ``seed`` and ``nranks``.
+    block-partitioned, each rank feeds its own sampler over its span,
+    per-rank states are gathered to rank 0, and
+    :meth:`~repro.sampling.base.StreamSampler.merge_partial` recombines them
+    by weighted draw — distributionally equivalent to the single-producer
+    run and bit-deterministic given ``seed`` and ``nranks``.
     ``virtual_time`` is then the makespan of the slowest rank under the
     LogGP `model`, and the energy meter merges all ranks.
+
+    ``owned_shards=True`` (sharded sources only) replaces the shared-cache
+    :class:`~repro.data.sources.PartitionedSource` view with true per-rank
+    I/O isolation: an :class:`~repro.data.store.OwnedShardLayout` gives
+    every rank its own shard directory, private bounded LRU, and private
+    prefetch thread over a disjoint file set; per-rank ``cache_info()``
+    counters land in ``meta["cache"]`` with their cross-rank aggregate.
+
+    Producers can die mid-span — for real (an exception while streaming) or
+    injected (``fault_hook(rank, snapshots_done=..., rows_fed=...)`` armed
+    through :func:`~repro.parallel.spmd.run_spmd`).  Each rank reports what
+    it delivered (:class:`~repro.parallel.partition.ProducerReport`);
+    ``on_rank_failure="reweight"`` merges the partial states with the
+    allocation reweighted by delivered (not nominal) stream mass and still
+    returns a full-size sample whenever the surviving rows cover the
+    budget, while ``"raise"`` (the default) fails the whole draw loudly.
 
     The MaxEnt histogram range comes from `value_range`, the source's
     :meth:`~repro.data.sources.SnapshotSource.value_range_hint`, or (last
@@ -606,6 +640,25 @@ def run_stream_subsample(
     sub = config.subsample
     if nranks < 1:
         raise ValueError("nranks must be >= 1")
+    if on_rank_failure not in ("reweight", "raise"):
+        raise ValueError(
+            f"on_rank_failure must be 'reweight' or 'raise', got {on_rank_failure!r}"
+        )
+    if fault_hook is not None and nranks == 1:
+        raise ValueError(
+            "fault injection needs nranks >= 2 — a single producer has no "
+            "peers to survive it"
+        )
+    if owned_shards and not isinstance(source, ShardedNpzSource):
+        raise ValueError(
+            "owned_shards requires a ShardedNpzSource (a save_dataset shard "
+            f"directory); got {type(source).__name__}"
+        )
+    if owned_shards and nranks < 2:
+        raise ValueError(
+            "owned_shards needs nranks >= 2 — a single producer already "
+            "owns every shard, so the flag would be silently meaningless"
+        )
     if sub.method == "full":
         raise ValueError(
             "method 'full' keeps dense cubes and has no single-pass "
@@ -642,6 +695,8 @@ def run_stream_subsample(
         source, sampler_cls, cluster_var, point_vars, vcol, value_range, chunk_rows
     )
 
+    reports = None
+    cache_meta = None
     if nranks == 1:
         perf = model or PerfModel()
         sampler = get_stream_sampler(
@@ -660,44 +715,131 @@ def run_stream_subsample(
         virtual_time = meter.elapsed
         energy = meter
     else:
-        parts = PartitionedSource.split(source, nranks)
+        parts = stream_partitions(source.n_snapshots, nranks)
+        # The layout is a run-scoped scratch artifact (unique temp dir, so
+        # concurrent runs and read-only base directories are safe); it is
+        # removed again in the finally below, whatever the run does.
+        layout = (
+            OwnedShardLayout.build(source.path, nranks) if owned_shards else None
+        )
+
+        def _rank_source(rank: int) -> SnapshotSource:
+            if layout is not None:
+                return layout.rank_source(
+                    rank, max_cached=source.max_cached,
+                    prefetch=source.prefetch_depth, lazy=source.lazy,
+                )
+            return PartitionedSource(source, parts[rank].lo, parts[rank].hi)
+
         rngs = spawn_rngs(seed, nranks + 1)  # rngs[0] drives the merge draw
+
+        rows_per_snapshot = source.n_points_per_snapshot
 
         def _producer(comm):
             part = parts[comm.rank]
+            src_r = _rank_source(comm.rank)
             sampler = get_stream_sampler(
                 sub.method, n_samples=budget, value_range=vr,
                 rng=rngs[comm.rank + 1], **kwargs,
             )
+            failed, err = False, None
+
+            def _delivered_snapshots() -> int:
+                # Grids are homogeneous, so delivered rows determine exactly
+                # how many span snapshots are fully streamed — correct even
+                # when a death lands on a snapshot's final chunk.
+                return min(part.n, int(sampler.n_seen) // rows_per_snapshot)
+
+            def _fault_check(snapshot_index: int) -> None:
+                comm.maybe_fail(
+                    snapshots_done=_delivered_snapshots(),
+                    rows_fed=int(sampler.n_seen),
+                )
+
             with EnergyMeter() as meter:
-                _feed_stream(
-                    sampler, part, point_vars, vcol, chunk_rows, meter,
-                    on_chunk=lambda n: comm.account_compute(
-                        sampler.cost_per_point * float(n)
-                    ),
+                try:
+                    _feed_stream(
+                        sampler, src_r, point_vars, vcol, chunk_rows, meter,
+                        on_chunk=lambda n: comm.account_compute(
+                            sampler.cost_per_point * float(n)
+                        ),
+                        fault_check=_fault_check,
+                    )
+                except RankFailure as exc:
+                    failed, err = True, str(exc)
+                except Exception as exc:
+                    # A genuine producer death (corrupt shard, I/O error,
+                    # ...): under "reweight" the partial reservoir is the
+                    # recovered state; under "raise" keep fail-fast.
+                    if on_rank_failure == "raise":
+                        raise
+                    failed, err = True, f"{type(exc).__name__}: {exc}"
+                finally:
+                    info = (
+                        src_r.cache_info()
+                        if isinstance(src_r, ShardedNpzSource) else None
+                    )
+                    if layout is not None and isinstance(src_r, ShardedNpzSource):
+                        src_r.close()
+                report = ProducerReport(
+                    partition=part, snapshots_done=_delivered_snapshots(),
+                    n_seen=int(sampler.n_seen), stream_mass=float(sampler.n_seen),
+                    failed=failed, error=err, cache_info=info,
                 )
                 # The merge is a real communication step: per-rank sampler
                 # states travel to rank 0, so the gather (and the weighted
                 # redraw) land on the virtual clock like any collective.
-                gathered = comm.gather(sampler, root=0)
-                merged = None
+                gathered = comm.gather((sampler, report), root=0)
+                merged, all_reports = None, None
                 if comm.rank == 0:
-                    fed = [s for s in gathered if s.n_seen > 0]
-                    if fed:
-                        merged = type(fed[0]).merge_all(fed, rng=rngs[0])
-                        comm.account_compute(float(len(fed) * budget))
+                    samplers = [g[0] for g in gathered]
+                    all_reports = [g[1] for g in gathered]
+                    any_failed = any(r.failed for r in all_reports)
+                    delivered = sum(1 for s in samplers if s.n_seen > 0)
+                    if delivered and (not any_failed or on_rank_failure == "reweight"):
+                        # Delivered (not nominal) mass weights the draw:
+                        # each state's own stream_mass is what it got fed.
+                        merged = sampler_cls.merge_partial(
+                            samplers, all_reports,
+                            on_failure="reweight", rng=rngs[0],
+                        )
+                        comm.account_compute(float(delivered * budget))
                 meter.add_elapsed(comm.clock.t)
-            return merged, meter
+            return merged, meter, all_reports
 
-        spmd = run_spmd(_producer, nranks, model=model)
-        sampler = spmd[0][0]
+        try:
+            spmd = run_spmd(_producer, nranks, model=model, fault_hook=fault_hook)
+        finally:
+            if layout is not None:
+                layout.remove()
+        sampler, _, reports = spmd[0]
         energy = EnergyMeter()
-        for _, rank_meter in spmd.values:
+        for _, rank_meter, _ in spmd.values:
             energy.merge(rank_meter)
         virtual_time = spmd.virtual_time
         energy.elapsed = virtual_time
+        failed_reports = [r for r in reports if r.failed]
+        if failed_reports and on_rank_failure == "raise":
+            raise failed_producers_error(failed_reports)
+        if owned_shards:
+            infos = [r.cache_info for r in reports]
+            cache_meta = {
+                "per_rank": infos,
+                "total": aggregate_cache_info(infos),
+            }
 
     if sampler is None or sampler.n_seen == 0:
+        dead = [r for r in (reports or []) if r.failed]
+        if dead:
+            # Every producer died before delivering anything: reweighting
+            # has nothing to work with, so surface the recorded errors
+            # instead of the generic empty-source message.
+            detail = "; ".join(
+                f"rank {r.rank}: {r.error or 'died mid-span'}" for r in dead
+            )
+            raise RuntimeError(
+                f"no stream producer delivered any data ({detail})"
+            )
         raise ValueError("source produced no data to stream")
     rows = sampler.finalize()
     points = PointSet(
@@ -712,6 +854,22 @@ def run_stream_subsample(
             "source": type(source).__name__,
         },
     )
+    meta = {
+        "method": sub.method,
+        "hypercubes": sub.hypercubes,
+        "num_samples": sub.num_samples,
+        "mode": "stream",
+        "ranks": nranks,
+        "seed": seed,
+        "owned_shards": bool(owned_shards),
+        "on_rank_failure": on_rank_failure,
+        "case": config.to_dict(),
+    }
+    if reports is not None:
+        meta["producers"] = [r.to_meta() for r in reports]
+        meta["failed_ranks"] = [r.rank for r in reports if r.failed]
+    if cache_meta is not None:
+        meta["cache"] = cache_meta
     return SubsampleResult(
         points=points,
         cubes=None,
@@ -720,13 +878,5 @@ def run_stream_subsample(
         n_points_scanned=int(sampler.n_seen),
         energy=energy,
         virtual_time=virtual_time,
-        meta={
-            "method": sub.method,
-            "hypercubes": sub.hypercubes,
-            "num_samples": sub.num_samples,
-            "mode": "stream",
-            "ranks": nranks,
-            "seed": seed,
-            "case": config.to_dict(),
-        },
+        meta=meta,
     )

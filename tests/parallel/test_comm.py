@@ -199,3 +199,45 @@ class TestPayloadNbytes:
         assert payload_nbytes([1, 2]) == 16
         assert payload_nbytes({"a": 1}) == 9
         assert payload_nbytes(None) == 0
+
+
+class TestFaultHook:
+    """Fault injection through run_spmd / ThreadComm.maybe_fail."""
+
+    def test_hook_kills_named_rank(self):
+        from repro.parallel import RankFailure
+
+        def prog(comm):
+            try:
+                comm.maybe_fail(step=7)
+            except RankFailure as exc:
+                return f"died: {exc}"
+            return "alive"
+
+        res = run_spmd(prog, 3, fault_hook=lambda rank, step: rank == 1)
+        assert res.values[0] == "alive" and res.values[2] == "alive"
+        assert res.values[1].startswith("died: rank 1 killed by fault hook")
+        assert "'step': 7" in res.values[1]
+
+    def test_uncaught_failure_propagates_like_any_rank_error(self):
+        from repro.parallel import RankFailure
+
+        def prog(comm):
+            comm.maybe_fail()
+            return "alive"
+
+        with pytest.raises(RuntimeError, match="rank 1 failed") as excinfo:
+            run_spmd(prog, 2, fault_hook=lambda rank: rank == 1)
+        assert isinstance(excinfo.value.__cause__, RankFailure)
+
+    def test_no_hook_is_noop(self):
+        res = run_spmd(lambda c: c.maybe_fail(step=1) or "ok", 2)
+        assert res.values == ["ok", "ok"]
+
+    def test_serial_comm_never_injects(self):
+        comm = SerialComm()
+        assert comm.maybe_fail(step=0) is None
+        # run_spmd(nranks=1) ignores the hook: no peer survives a serial kill.
+        res = run_spmd(lambda c: c.maybe_fail() or "ok", 1,
+                       fault_hook=lambda rank: True)
+        assert res.values == ["ok"]

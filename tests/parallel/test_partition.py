@@ -5,6 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.parallel.partition import (
     Partition,
+    ProducerReport,
     block_bounds,
     block_partition,
     owner_of,
@@ -91,3 +92,34 @@ class TestStreamPartitions:
         parts = stream_partitions(n, size)
         seen = [i for p in parts for i in p.indices()]
         assert seen == list(range(n))
+
+
+class TestProducerReport:
+    def test_complete_producer(self):
+        part = Partition(rank=1, size=3, lo=4, hi=7)
+        rep = ProducerReport(partition=part, snapshots_done=3, n_seen=300,
+                             stream_mass=300.0)
+        assert rep.rank == 1
+        assert rep.complete
+        assert rep.covered == (4, 7)
+
+    def test_partial_producer(self):
+        part = Partition(rank=0, size=2, lo=0, hi=5)
+        rep = ProducerReport(partition=part, snapshots_done=2, n_seen=250,
+                             stream_mass=250.0, failed=True, error="boom")
+        assert not rep.complete
+        assert rep.covered == (0, 2)  # only fully delivered snapshots
+        meta = rep.to_meta()
+        assert meta["failed"] and meta["error"] == "boom"
+        assert meta["span"] == [0, 5] and meta["covered"] == [0, 2]
+        assert meta["n_seen"] == 250
+
+    def test_empty_span_is_complete(self):
+        part = Partition(rank=4, size=5, lo=3, hi=3)
+        rep = ProducerReport(partition=part, snapshots_done=0)
+        assert rep.complete and rep.covered == (3, 3)
+
+    def test_validation(self):
+        part = Partition(rank=0, size=1, lo=0, hi=2)
+        with pytest.raises(ValueError, match="snapshots_done"):
+            ProducerReport(partition=part, snapshots_done=3)

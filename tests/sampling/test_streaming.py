@@ -1,5 +1,7 @@
 """Tests for streaming / in-situ sampling."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -634,6 +636,18 @@ class TestStreamSubsample:
         with pytest.raises(ValueError, match="mode"):
             subsample(sst, self._case(), seed=0, mode="banana")
 
+    def test_stream_only_knobs_rejected_in_batch_mode(self, sst):
+        """The batch pipeline has no partial-stream merge: stream-only
+        knobs must fail loudly instead of being silently dropped."""
+        from repro.sampling import subsample
+
+        with pytest.raises(ValueError, match="stream"):
+            subsample(sst, self._case(), seed=0, owned_shards=True)
+        with pytest.raises(ValueError, match="stream"):
+            subsample(sst, self._case(), seed=0, on_rank_failure="reweight")
+        with pytest.raises(ValueError, match="stream"):
+            subsample(sst, self._case(), seed=0, fault_hook=lambda r: False)
+
     def test_full_method_rejected(self, sst):
         with pytest.raises(ValueError, match="streaming analogue"):
             run_stream_subsample(
@@ -803,3 +817,383 @@ class TestMultiProducerStream:
     def test_invalid_nranks(self, sst):
         with pytest.raises(ValueError, match="nranks"):
             run_stream_subsample(sst, self._case(), seed=0, nranks=0)
+
+    def test_producer_reports_in_meta(self, sst):
+        res = run_stream_subsample(sst, self._case(), seed=0, nranks=3)
+        producers = res.meta["producers"]
+        assert [p["rank"] for p in producers] == [0, 1, 2]
+        assert all(not p["failed"] for p in producers)
+        assert res.meta["failed_ranks"] == []
+        spans = [tuple(p["span"]) for p in producers]
+        assert spans[0][0] == 0 and spans[-1][1] == sst.n_snapshots
+        assert sum(p["n_seen"] for p in producers) == res.n_points_scanned
+
+
+class TestPartialStreamMerge:
+    """StreamSampler.merge_partial: uneven / failed / empty producers."""
+
+    def _report(self, rank, size, lo, hi, done=None, n_seen=0,
+                failed=False, error=None):
+        from repro.parallel.partition import Partition, ProducerReport
+
+        part = Partition(rank=rank, size=size, lo=lo, hi=hi)
+        return ProducerReport(
+            partition=part,
+            snapshots_done=part.n if done is None else done,
+            n_seen=n_seen, stream_mass=float(n_seen),
+            failed=failed, error=error,
+        )
+
+    def test_empty_state_merges_as_zero_mass(self):
+        """Satellite regression: an unfed sampler (empty span) contributes
+        nothing and corrupts nothing — even as the would-be fold target."""
+        empty = ReservoirStream(8, rng=0)
+        a = ReservoirStream(8, rng=1)
+        a.feed(np.arange(20.0))
+        b = ReservoirStream(8, rng=2)
+        b.feed(np.arange(20.0, 50.0))
+        from repro.sampling import StreamSampler
+
+        merged = StreamSampler.merge_partial([empty, a, b], rng=3)
+        assert merged.n_seen == 50
+        assert merged.finalize().shape[0] == 8
+
+    def test_failed_with_raise_policy(self):
+        a = ReservoirStream(4, rng=0)
+        a.feed(np.arange(10.0))
+        b = ReservoirStream(4, rng=1)
+        b.feed(np.arange(5.0))
+        reports = [
+            self._report(0, 2, 0, 2, n_seen=10),
+            self._report(1, 2, 2, 4, done=0, n_seen=5, failed=True, error="io"),
+        ]
+        from repro.sampling import StreamSampler
+
+        with pytest.raises(RuntimeError, match="rank 1: io"):
+            StreamSampler.merge_partial([a, b], reports, on_failure="raise")
+
+    def test_failed_with_reweight_keeps_partial_state(self):
+        """A failed producer's delivered rows stay in the merged draw,
+        weighted by delivered (not nominal) mass."""
+        ones = 0
+        for seed in range(30):
+            a = ReservoirStream(10, rng=(seed, 0))
+            a.feed(np.zeros(300))
+            b = ReservoirStream(10, rng=(seed, 1))
+            b.feed(np.ones(100))  # died after 100 of its nominal 300 rows
+            reports = [
+                self._report(0, 2, 0, 3, n_seen=300),
+                self._report(1, 2, 3, 6, done=1, n_seen=100, failed=True),
+            ]
+            from repro.sampling import StreamSampler
+
+            merged = StreamSampler.merge_partial([a, b], reports, rng=(seed, 2))
+            assert merged.n_seen == 400
+            ones += int(merged.finalize()[:, 0].sum())
+        # Delivered-mass weighting: the failed producer holds ~1/4 of the
+        # delivered stream, so ~1/4 of the merged rows (not ~1/2 nominal).
+        share = ones / (30 * 10)
+        assert 0.12 < share < 0.40
+
+    def test_validation(self):
+        from repro.sampling import StreamSampler
+
+        a = ReservoirStream(4, rng=0)
+        a.feed(np.arange(5.0))
+        with pytest.raises(ValueError, match="on_failure"):
+            StreamSampler.merge_partial([a], on_failure="ignore")
+        with pytest.raises(ValueError, match="at least one"):
+            StreamSampler.merge_partial([])
+        with pytest.raises(ValueError, match="reports"):
+            StreamSampler.merge_partial([a], reports=[])
+        empty = ReservoirStream(4, rng=1)
+        with pytest.raises(ValueError, match="delivered"):
+            StreamSampler.merge_partial([empty])
+
+
+class TestFaultInjection:
+    """Kill a producer mid-span; the merge must reweight or raise."""
+
+    def _case(self, method="maxent"):
+        from repro.utils.config import (
+            CaseConfig,
+            SharedConfig,
+            SubsampleConfig,
+            TrainConfig,
+        )
+
+        return CaseConfig(
+            shared=SharedConfig(dims=3),
+            subsample=SubsampleConfig(
+                hypercubes="maxent", method=method, num_hypercubes=6,
+                num_samples=100, num_clusters=4, nxsl=8, nysl=8, nzsl=8,
+            ),
+            train=TrainConfig(arch="mlp_transformer"),
+        )
+
+    @pytest.fixture(scope="class")
+    def sst(self):
+        from repro.data import build_dataset
+
+        return build_dataset("SST-P1F4", scale=1.0, rng=0, n_snapshots=4)
+
+    @staticmethod
+    def _kill(victim, after_rows):
+        def hook(rank, snapshots_done=0, rows_fed=0):
+            return rank == victim and rows_fed > after_rows
+        return hook
+
+    def test_raise_policy_names_the_dead_rank(self, sst):
+        with pytest.raises(RuntimeError, match="rank 1") as excinfo:
+            run_stream_subsample(
+                sst, self._case(), seed=0, nranks=4, chunk_rows=2048,
+                fault_hook=self._kill(1, 2000), on_rank_failure="raise",
+            )
+        assert "reweight" in str(excinfo.value)  # the remedy is named
+
+    def test_reweight_full_size_and_ks_bounded(self, sst):
+        """Acceptance: nranks=4, one rank killed mid-span — the reweighted
+        merge still returns a full-size sample within the KS fidelity bound
+        of the single-rank stream."""
+        single = run_stream_subsample(sst, self._case(), seed=0, chunk_rows=2048)
+        res = run_stream_subsample(
+            sst, self._case(), seed=0, nranks=4, chunk_rows=2048,
+            fault_hook=self._kill(2, 2000), on_rank_failure="reweight",
+        )
+        assert res.n_samples == single.n_samples == 600  # full budget
+        assert res.meta["failed_ranks"] == [2]
+        assert res.n_points_scanned < single.n_points_scanned  # rows were lost
+        dead = res.meta["producers"][2]
+        assert dead["failed"] and dead["n_seen"] < sst.n_points_per_snapshot
+
+        sv = np.sort(single.points.values["pv"])
+        mv = np.sort(res.points.values["pv"])
+        pop = np.concatenate([s.get("pv").ravel() for s in sst.snapshots])
+        grid = np.linspace(pop.min(), pop.max(), 512)
+        ks = np.abs(
+            np.searchsorted(sv, grid) / len(sv)
+            - np.searchsorted(mv, grid) / len(mv)
+        ).max()
+        assert ks < 0.25, f"KS distance {ks:.3f} exceeds tolerance"
+
+    def test_bit_deterministic_per_seed_ranks_and_victim(self, sst):
+        """Same (seed, nranks, failed rank) → identical points; changing
+        the victim changes the draw."""
+        kw = dict(seed=5, nranks=4, chunk_rows=2048, on_rank_failure="reweight")
+        a = run_stream_subsample(sst, self._case(), fault_hook=self._kill(1, 2000), **kw)
+        b = run_stream_subsample(sst, self._case(), fault_hook=self._kill(1, 2000), **kw)
+        assert np.array_equal(a.points.coords, b.points.coords)
+        assert np.array_equal(np.asarray(a.points.time), np.asarray(b.points.time))
+        for var in a.points.values:
+            assert np.array_equal(a.points.values[var], b.points.values[var])
+        c = run_stream_subsample(sst, self._case(), fault_hook=self._kill(3, 2000), **kw)
+        assert not np.array_equal(a.points.coords, c.points.coords)
+
+    @pytest.mark.parametrize("method", ["maxent", "random"])
+    def test_both_methods_survive_a_death(self, sst, method):
+        res = run_stream_subsample(
+            sst, self._case(method), seed=0, nranks=2, chunk_rows=2048,
+            fault_hook=self._kill(0, 2000), on_rank_failure="reweight",
+        )
+        assert res.n_samples == 600
+        assert res.meta["failed_ranks"] == [0]
+
+    def test_real_producer_exception_tolerated_under_reweight(self, sst):
+        """A genuine mid-stream error (not an injected fault) is recovered
+        the same way: partial state merged, failure recorded."""
+        from repro.data import InMemorySource
+
+        class Corrupt(InMemorySource):
+            def snapshot(self, i):
+                if i == 3:  # last snapshot, owned by the last rank
+                    raise OSError("shard rotted")
+                return super().snapshot(i)
+
+        src = Corrupt(sst)
+        res = run_stream_subsample(
+            src, self._case("random"), seed=0, nranks=2, chunk_rows=2048,
+            on_rank_failure="reweight",
+        )
+        assert res.meta["failed_ranks"] == [1]
+        dead = res.meta["producers"][1]
+        assert "shard rotted" in dead["error"]
+        # Rank 1 fully delivered global snapshot 2 before snapshot 3's
+        # decode raised — boundary deaths must not undercount coverage.
+        assert dead["snapshots_done"] == 1 and dead["covered"] == [2, 3]
+        assert dead["n_seen"] == sst.n_points_per_snapshot
+        assert res.n_samples == 600
+        with pytest.raises(RuntimeError):
+            run_stream_subsample(
+                Corrupt(sst), self._case("random"), seed=0, nranks=2,
+                chunk_rows=2048, on_rank_failure="raise",
+            )
+
+    def test_all_producers_dead_surfaces_their_errors(self, sst):
+        """When nothing at all is delivered, reweighting cannot help — the
+        recorded per-rank errors must surface, not a generic empty-source
+        message."""
+        from repro.data import InMemorySource
+
+        class Rotten(InMemorySource):
+            def snapshot(self, i):
+                raise OSError("disk gone")
+
+        with pytest.raises(RuntimeError, match="disk gone"):
+            run_stream_subsample(
+                Rotten(sst), self._case("random"), seed=0, nranks=2,
+                chunk_rows=2048, on_rank_failure="reweight",
+            )
+
+    def test_validation(self, sst):
+        with pytest.raises(ValueError, match="on_rank_failure"):
+            run_stream_subsample(sst, self._case(), seed=0, nranks=2,
+                                 on_rank_failure="retry")
+        with pytest.raises(ValueError, match="nranks >= 2"):
+            run_stream_subsample(sst, self._case(), seed=0, nranks=1,
+                                 fault_hook=lambda rank: True)
+
+
+class TestOwnedShardStreaming:
+    """Per-rank shard ownership end to end through run_stream_subsample."""
+
+    def _case(self):
+        from repro.utils.config import (
+            CaseConfig,
+            SharedConfig,
+            SubsampleConfig,
+            TrainConfig,
+        )
+
+        return CaseConfig(
+            shared=SharedConfig(dims=3),
+            subsample=SubsampleConfig(
+                hypercubes="maxent", method="maxent", num_hypercubes=6,
+                num_samples=100, num_clusters=4, nxsl=8, nysl=8, nzsl=8,
+            ),
+            train=TrainConfig(arch="mlp_transformer"),
+        )
+
+    @pytest.fixture(scope="class")
+    def sst(self):
+        from repro.data import build_dataset
+
+        return build_dataset("SST-P1F4", scale=1.0, rng=0, n_snapshots=4)
+
+    @pytest.fixture(scope="class")
+    def shard_dir(self, sst, tmp_path_factory):
+        from repro.data import save_dataset
+
+        path = tmp_path_factory.mktemp("owned-stream")
+        save_dataset(sst, str(path))
+        return str(path)
+
+    def test_owned_matches_shared_bitwise(self, shard_dir):
+        """Ownership is pure I/O isolation: same spans, same rngs, same
+        points as the shared-cache view."""
+        from repro.data import ShardedNpzSource
+
+        with ShardedNpzSource(shard_dir, max_cached=2) as src:
+            shared = run_stream_subsample(src, self._case(), seed=0, nranks=4)
+        with ShardedNpzSource(shard_dir, max_cached=2) as src:
+            owned = run_stream_subsample(src, self._case(), seed=0, nranks=4,
+                                         owned_shards=True)
+        assert np.array_equal(shared.points.coords, owned.points.coords)
+        for var in shared.points.values:
+            assert np.array_equal(shared.points.values[var],
+                                  owned.points.values[var])
+
+    def test_no_cross_rank_cache_sharing(self, shard_dir, sst):
+        """Acceptance: per-rank cache_info decodes exactly the rank's own
+        span and sums to the dataset's total I/O."""
+        from repro.data import ShardedNpzSource
+
+        with ShardedNpzSource(shard_dir, max_cached=2, prefetch=1) as src:
+            res = run_stream_subsample(src, self._case(), seed=0, nranks=4,
+                                       owned_shards=True)
+        cache = res.meta["cache"]
+        spans = [tuple(p["span"]) for p in res.meta["producers"]]
+        for info, (lo, hi) in zip(cache["per_rank"], spans):
+            assert info["misses"] + info["prefetched"] == hi - lo
+            assert info["hits"] + info["misses"] >= hi - lo
+        assert cache["total"]["decodes"] == sst.n_snapshots
+        assert cache["total"]["ranks"] == 4
+
+    def test_no_leaked_prefetch_threads(self, shard_dir):
+        """Satellite: every per-rank prefetcher is joined by the pipeline
+        teardown."""
+        import threading
+
+        from repro.data import ShardedNpzSource
+
+        with ShardedNpzSource(shard_dir, max_cached=2, prefetch=2) as src:
+            run_stream_subsample(src, self._case(), seed=0, nranks=3,
+                                 owned_shards=True)
+        alive = [t for t in threading.enumerate()
+                 if t.name == "shard-prefetch" and t.is_alive()]
+        assert alive == [], f"leaked prefetch threads: {alive}"
+
+    def test_owned_with_more_ranks_than_shards(self, shard_dir, sst):
+        """Satellite regression: empty owned directories stream nothing and
+        merge as zero mass."""
+        from repro.data import ShardedNpzSource
+
+        with ShardedNpzSource(shard_dir, max_cached=2) as src:
+            res = run_stream_subsample(src, self._case(), seed=0,
+                                       nranks=sst.n_snapshots + 3,
+                                       owned_shards=True)
+        assert res.n_samples == 600
+        assert res.n_points_scanned == sst.n_snapshots * sst.n_points_per_snapshot
+        empty = [p for p in res.meta["producers"] if p["span"][0] == p["span"][1]]
+        assert len(empty) == 3
+        assert all(p["n_seen"] == 0 and not p["failed"] for p in empty)
+
+    def test_owned_requires_sharded_source(self, sst):
+        with pytest.raises(ValueError, match="owned_shards"):
+            run_stream_subsample(sst, self._case(), seed=0, nranks=2,
+                                 owned_shards=True)
+
+    def test_owned_requires_multiple_ranks(self, shard_dir):
+        """Regression: owned_shards at nranks=1 must refuse, not silently
+        run the single-producer path while meta claims ownership."""
+        from repro.data import ShardedNpzSource
+
+        with ShardedNpzSource(shard_dir) as src:
+            with pytest.raises(ValueError, match="nranks >= 2"):
+                run_stream_subsample(src, self._case(), seed=0, nranks=1,
+                                     owned_shards=True)
+
+    def test_layout_scratch_dir_removed_after_run(self, shard_dir, monkeypatch):
+        """The owned layout is run-scoped: its temp directory is gone after
+        the subsample, success or failure."""
+        from repro.data import ShardedNpzSource
+        from repro.data.store import OwnedShardLayout
+
+        roots = []
+        orig = OwnedShardLayout.build.__func__
+
+        def spy(cls, path, nranks, dest=None):
+            layout = orig(cls, path, nranks, dest)
+            roots.append(layout.root)
+            return layout
+
+        monkeypatch.setattr(OwnedShardLayout, "build", classmethod(spy))
+        with ShardedNpzSource(shard_dir) as src:
+            run_stream_subsample(src, self._case(), seed=0, nranks=2,
+                                 owned_shards=True)
+        assert len(roots) == 1
+        assert not os.path.isdir(roots[0])
+
+    def test_fault_injection_with_owned_shards(self, shard_dir):
+        """The acceptance combination: ownership + a mid-span death."""
+        def hook(rank, snapshots_done=0, rows_fed=0):
+            return rank == 1 and rows_fed > 2000
+
+        from repro.data import ShardedNpzSource
+
+        with ShardedNpzSource(shard_dir, max_cached=2) as src:
+            res = run_stream_subsample(
+                src, self._case(), seed=0, nranks=4, chunk_rows=2048,
+                owned_shards=True, fault_hook=hook, on_rank_failure="reweight",
+            )
+        assert res.n_samples == 600
+        assert res.meta["failed_ranks"] == [1]

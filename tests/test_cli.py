@@ -147,6 +147,112 @@ class TestSourceFlags:
         assert "Subsampled" in out
 
 
+class TestOwnedShardFlags:
+    @pytest.fixture()
+    def shard_dir(self, tmp_path):
+        from repro.data import build_dataset, save_dataset
+
+        path = str(tmp_path / "shards")
+        save_dataset(build_dataset("SST-P1F4", scale=0.5, rng=0, n_snapshots=4),
+                     path)
+        return path
+
+    def test_owned_shards_stream(self, sst_case, shard_dir, capsys):
+        code = subsample_main([sst_case, "--stream", "--ranks", "2",
+                               "--source", shard_dir, "--owned-shards"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Subsampled" in out
+
+    def test_injected_failure_reweights(self, sst_case, shard_dir, capsys):
+        code = subsample_main([sst_case, "--stream", "--ranks", "2",
+                               "--source", shard_dir, "--owned-shards",
+                               "--on-rank-failure", "reweight",
+                               "--inject-rank-failure", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Merged partial streams" in out
+        assert "[1]" in out
+
+    def test_injected_failure_raises_by_default(self, sst_case, shard_dir):
+        with pytest.raises(RuntimeError, match="reweight"):
+            subsample_main([sst_case, "--stream", "--ranks", "2",
+                            "--source", shard_dir,
+                            "--inject-rank-failure", "0"])
+
+
+class TestFlagValidation:
+    """Satellite: flags that cannot apply error out instead of being
+    silently dropped."""
+
+    def test_prefetch_requires_shard_source(self, sst_case, capsys):
+        with pytest.raises(SystemExit):
+            subsample_main([sst_case, "--prefetch", "2"])
+        assert "--prefetch" in capsys.readouterr().err
+
+    def test_prefetch_rejected_for_sim_source(self, sst_case, capsys):
+        with pytest.raises(SystemExit):
+            subsample_main([sst_case, "--source", "sim", "--prefetch", "2"])
+        assert "in-situ" in capsys.readouterr().err
+
+    def test_max_cached_warns_without_source(self, sst_case, capsys):
+        code = subsample_main([sst_case, "--scale", "0.5",
+                               "--max-cached-shards", "3"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no effect" in captured.err
+
+    def test_owned_shards_requires_stream(self, sst_case, tmp_path, capsys):
+        from repro.data import build_dataset, save_dataset
+
+        shard_dir = str(tmp_path / "shards")
+        save_dataset(build_dataset("SST-P1F4", scale=0.5, rng=0, n_snapshots=2),
+                     shard_dir)
+        with pytest.raises(SystemExit):
+            subsample_main([sst_case, "--source", shard_dir, "--owned-shards"])
+        assert "--owned-shards requires --stream" in capsys.readouterr().err
+
+    def test_owned_shards_requires_shard_source(self, sst_case, capsys):
+        with pytest.raises(SystemExit):
+            subsample_main([sst_case, "--stream", "--ranks", "2",
+                            "--owned-shards"])
+        assert "--source" in capsys.readouterr().err
+
+    def test_owned_shards_requires_multiple_ranks(self, sst_case, tmp_path, capsys):
+        from repro.data import build_dataset, save_dataset
+
+        shard_dir = str(tmp_path / "shards")
+        save_dataset(build_dataset("SST-P1F4", scale=0.5, rng=0, n_snapshots=2),
+                     shard_dir)
+        with pytest.raises(SystemExit):
+            subsample_main([sst_case, "--stream", "--source", shard_dir,
+                            "--owned-shards"])
+        assert "--ranks >= 2" in capsys.readouterr().err
+
+    def test_on_rank_failure_requires_stream(self, sst_case, capsys):
+        with pytest.raises(SystemExit):
+            subsample_main([sst_case, "--ranks", "2",
+                            "--on-rank-failure", "reweight"])
+        assert "--on-rank-failure requires --stream" in capsys.readouterr().err
+
+    def test_on_rank_failure_requires_multiple_ranks(self, sst_case, capsys):
+        with pytest.raises(SystemExit):
+            subsample_main([sst_case, "--stream",
+                            "--on-rank-failure", "reweight"])
+        assert "--ranks >= 2" in capsys.readouterr().err
+
+    def test_inject_rank_failure_range_checked(self, sst_case, capsys):
+        with pytest.raises(SystemExit):
+            subsample_main([sst_case, "--stream", "--ranks", "2",
+                            "--inject-rank-failure", "5"])
+        assert "out of range" in capsys.readouterr().err
+
+    def test_inject_rank_failure_requires_stream(self, sst_case, capsys):
+        with pytest.raises(SystemExit):
+            subsample_main([sst_case, "--inject-rank-failure", "0"])
+        assert "--inject-rank-failure" in capsys.readouterr().err
+
+
 class TestTrainCli:
     def test_reconstruction_training(self, sst_case, capsys):
         code = train_main([sst_case, "--scale", "0.5", "--epochs", "2"])
