@@ -19,12 +19,18 @@ This example demonstrates that path end-to-end with a
   4. both samples' tail enrichment of the cluster variable is reported,
   5. the stream re-runs with **multiple producers**: each SPMD rank streams
      its own snapshot partition through its own sampler and the per-rank
-     states merge by weighted draw — same distribution, parallel scan.
+     states merge by weighted draw — same distribution, parallel scan,
+  6. training runs **directly off the in-situ stream**
+     (``train(mode="stream")``): the sampled points become fixed sensors,
+     windows are assembled incrementally as the solver produces snapshots,
+     and only a rolling window is ever resident — online training with no
+     resident dataset.
 
-CLI equivalents of steps 2 and 5::
+CLI equivalents of steps 2, 5, and 6::
 
     python -m repro.cli subsample case.yaml --source sim --stream
     python -m repro.cli subsample case.yaml --stream --ranks 4
+    python -m repro.cli train case.yaml --source sim --stream --epochs 5
 
 Run:  python examples/streaming_insitu.py
 """
@@ -119,6 +125,27 @@ def main() -> None:
           f"(single-producer: {stream_res.virtual_time:.3f} s)")
     print(f"  multi-rank maxent tail share: "
           f"{100 * tail_share(multi_res.points, population):.1f}%")
+
+    print("\nTraining directly off the in-situ stream "
+          "(train(mode='stream'))...")
+    train_source = stream_dataset("sst-binary", scale=1.0, seed=0,
+                                  n_snapshots=4, max_cached=1)
+    fit = (
+        Experiment.from_case(make_case())
+        .with_source(train_source)
+        .with_seed(0)
+        .with_epochs(3)
+        .subsample(mode="stream")
+        .train(mode="stream")
+    )
+    train_res = fit.train_artifact.result
+    feed_meta = train_res.meta["feed"]
+    print(f"  {feed_meta['samples']} window samples assembled incrementally "
+          f"from the stream ({feed_meta['kind']}, window "
+          f"{feed_meta['window']}); only a rolling window was resident")
+    print(f"  final test loss after {train_res.epochs_run} epochs: "
+          f"{train_res.final_test_loss:.5f}")
+    print("  " + train_res.report().replace("\n", "\n  "))
 
 
 if __name__ == "__main__":

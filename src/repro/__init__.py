@@ -25,9 +25,9 @@ Subpackages:
 
 __version__ = "1.1.0"
 
-__all__ = ["__version__", "Experiment", "SubsampleArtifact", "TrainArtifact"]
+__all__ = ["__version__", "Experiment", "SubsampleArtifact", "TrainArtifact", "TuneArtifact"]
 
-_API_NAMES = ("Experiment", "Artifact", "SubsampleArtifact", "TrainArtifact")
+_API_NAMES = ("Experiment", "Artifact", "SubsampleArtifact", "TrainArtifact", "TuneArtifact")
 
 
 def __getattr__(name: str):

@@ -57,19 +57,32 @@ import numpy as np
 from repro.data import load_dataset
 from repro.data.dataset import TurbulenceDataset
 from repro.data.points import PointSet
-from repro.data.sources import InMemorySource, SnapshotSource, as_source
+from repro.data.sources import (
+    InMemorySource,
+    PartitionedSource,
+    ShardedNpzSource,
+    SnapshotSource,
+    as_source,
+)
 from repro.data.store import META_KEY as _META_KEY
-from repro.data.store import points_from_npz, points_payload
+from repro.data.store import OwnedShardLayout, points_from_npz, points_payload
 from repro.energy.meter import EnergyMeter
 from repro.sampling.pipeline import SubsampleResult, subsample
-from repro.train import Trainer, build_drag_data, build_reconstruction_data
+from repro.train import build_drag_data, build_reconstruction_data
+from repro.train.callbacks import Checkpoint
+from repro.train.data import stream_assembler
+from repro.train.feeds import ArrayFeed, ShardedFeed, StreamFeed
+from repro.train.loop import TrainLoop
 from repro.train.trainer import TrainResult
+from repro.train.tuning import SearchSpace, Trial, default_search_space
+from repro.train.tuning import tune as _tune
 from repro.utils.config import CaseConfig
 
 __all__ = [
     "Artifact",
     "SubsampleArtifact",
     "TrainArtifact",
+    "TuneArtifact",
     "Experiment",
     "build_model_for_case",
 ]
@@ -292,6 +305,62 @@ class TrainArtifact(Artifact):
         return cls(meta=doc.get("meta") or {}, result=result)
 
 
+@dataclass
+class TuneArtifact(Artifact):
+    """Wraps a hyperparameter search (:func:`repro.train.tuning.tune`)."""
+
+    kind: ClassVar[str] = "tune"
+
+    best: Trial | None = None
+    trials: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        if self.best is None:
+            return "(no trials run)"
+        cfg = ", ".join(f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                        for k, v in self.best.config.items())
+        return (f"Best of {len(self.trials)} trials: {cfg} "
+                f"(test loss {self.best.score:.6f})")
+
+    def save(self, path: str) -> str:
+        if self.best is None:
+            raise ValueError("artifact holds no result")
+        if not path.endswith(".json"):
+            path = path + ".json"
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        def score_of(trial: Trial):
+            # Diverged trials carry score=inf, which json.dump would emit
+            # as the non-RFC token `Infinity`; store null instead.
+            s = float(trial.score)
+            return s if np.isfinite(s) else None
+
+        doc = {
+            "meta": self.meta,
+            "best": {"config": self.best.config, "score": score_of(self.best)},
+            "trials": [
+                {"config": t.config, "score": score_of(t)} for t in self.trials
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "TuneArtifact":
+        if not path.endswith(".json"):
+            path = path + ".json"
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+
+        def as_score(value) -> float:
+            return float("inf") if value is None else float(value)
+
+        trials = [Trial(config=t["config"], score=as_score(t["score"]))
+                  for t in doc["trials"]]
+        best = Trial(config=doc["best"]["config"], score=as_score(doc["best"]["score"]))
+        return cls(meta=doc.get("meta") or {}, best=best, trials=trials)
+
+
 class Experiment:
     """Fluent builder + runner for one SICKLE case.
 
@@ -477,50 +546,243 @@ class Experiment:
         )
         return self
 
-    def train(self) -> "Experiment":
-        """Train the case's architecture on the subsample; records an artifact."""
+    def train(
+        self,
+        mode: str = "batch",
+        resume: str | None = None,
+        checkpoint: str | None = None,
+        checkpoint_every: int = 1,
+    ) -> "Experiment":
+        """Train the case's architecture on the subsample; records an artifact.
+
+        ``mode="batch"`` assembles resident training arrays from a
+        batch-mode subsample (the classic path, byte-identical to the seed
+        goldens).  ``mode="stream"`` fits directly off the merged stream: the
+        stream-mode subsample's sampled points become fixed sensors and
+        windows are built incrementally as snapshots arrive from the source
+        — bounded memory, no resident dataset; with ``with_train_ranks(N)``
+        each DDP rank streams its own snapshot span (per-rank feeds over an
+        :class:`~repro.data.store.OwnedShardLayout` for sharded sources).
+
+        ``checkpoint`` writes a resumable checkpoint every
+        ``checkpoint_every`` epochs; ``resume`` continues a fit from one,
+        bit-identical to an uninterrupted run.
+        """
+        if mode not in ("batch", "stream"):
+            raise ValueError(f"mode must be 'batch' or 'stream', got {mode!r}")
+        if "subsample" not in self.artifacts:
+            self.subsample(mode=mode)
+        result: SubsampleResult = self.subsample_artifact.result
+        if mode == "batch" and result.meta.get("mode") == "stream":
+            raise ValueError(
+                "batch-mode training from a stream-mode subsample is not "
+                "supported: streaming results carry no hypercube structure "
+                "to build resident windows from; call train(mode='stream') "
+                "to fit directly off the merged stream"
+            )
+        case = self.case
+        epochs = self.epochs if self.epochs is not None else min(case.train.epochs, 100)
+        if mode == "stream":
+            fit = self._train_stream(result, epochs, resume, checkpoint,
+                                     checkpoint_every)
+        else:
+            fit = self._train_batch(result, epochs, resume, checkpoint,
+                                    checkpoint_every)
+        self.artifacts["train"] = TrainArtifact(
+            meta={"seed": self.seed, "case": case.to_dict(),
+                  "ranks": self.train_ranks, "epochs": epochs, "mode": mode,
+                  "checkpoint": checkpoint, "resumed_from": resume},
+            result=fit,
+        )
+        return self
+
+    def _loop_for(self, model, comm=None, checkpoint=None,
+                  checkpoint_every=1) -> TrainLoop:
+        case = self.case
+        callbacks = []
+        if checkpoint is not None:
+            callbacks.append(Checkpoint(checkpoint, every=checkpoint_every))
+        return TrainLoop(
+            model, lr=case.train.lr, patience=case.train.patience,
+            precision=case.train.precision, comm=comm, seed=self.seed,
+            callbacks=callbacks,
+        )
+
+    def _assemble_batch_data(self, result):
+        """Resident training arrays + model geometry for the case's arch."""
+        case = self.case
+        if case.train.arch == "lstm":
+            x, y = build_drag_data(self.source, result, window=case.train.window,
+                                   horizon=case.train.horizon)
+            return x, y, None, x.shape[2]
+        data = build_reconstruction_data(self.source, result,
+                                         window=case.train.window,
+                                         horizon=case.train.horizon)
+        return data.x, data.y, data, None
+
+    def _train_batch(self, result, epochs, resume, checkpoint,
+                     checkpoint_every) -> TrainResult:
+        case = self.case
+        x, y, spec, input_dim = self._assemble_batch_data(result)
+
+        def run(comm=None) -> TrainResult:
+            # Each rank builds its own replica (identical seed/init; DDP
+            # broadcasts rank 0's weights anyway) so thread ranks never race
+            # on one shared module's gradients.
+            model = build_model_for_case(case, spec, input_dim=input_dim,
+                                         rng=self.seed)
+            loop = self._loop_for(model, comm=comm, checkpoint=checkpoint,
+                                  checkpoint_every=checkpoint_every)
+            feed = ArrayFeed(x, y, batch=case.train.batch,
+                             test_frac=case.train.test_frac,
+                             seed=self.seed, comm=loop.comm)
+            return loop.fit(feed, epochs=epochs, resume=resume)
+
+        if self.train_ranks > 1:
+            from repro.parallel import run_spmd
+
+            return run_spmd(lambda comm: run(comm), self.train_ranks)[0]
+        return run()
+
+    def _train_stream(self, result, epochs, resume, checkpoint,
+                      checkpoint_every) -> TrainResult:
+        """Fit incrementally off the streaming source (no resident dataset)."""
+        case = self.case
+        source = self.source
+        points = result.points
+        nranks = self.train_ranks
+
+        def run(comm=None, layout=None) -> TrainResult:
+            rank_source = None  # a per-rank private source this rank must close
+            try:
+                if comm is not None and comm.size > 1:
+                    from repro.parallel.partition import stream_partitions
+
+                    parts = stream_partitions(source.n_snapshots, comm.size)
+                    part = parts[comm.rank]
+                    if layout is not None:
+                        rank_source = layout.rank_source(
+                            comm.rank, max_cached=source.max_cached,
+                            prefetch=source.prefetch_depth, lazy=source.lazy,
+                        )
+                        span_source = rank_source
+                    else:
+                        span_source = PartitionedSource(source, part.lo, part.hi)
+                    assembler = stream_assembler(span_source, case, points)
+                    feed = ShardedFeed.for_rank(
+                        comm, span_source, assembler, source.n_snapshots,
+                        batch=case.train.batch, test_frac=case.train.test_frac,
+                        seed=self.seed,
+                    )
+                else:
+                    assembler = stream_assembler(source, case, points)
+                    feed = StreamFeed(
+                        source, assembler, batch=case.train.batch,
+                        test_frac=case.train.test_frac, seed=self.seed,
+                    )
+                spec = feed.spec
+                model = build_model_for_case(case, spec, input_dim=spec.input_dim,
+                                             rng=self.seed)
+                loop = self._loop_for(model, comm=comm, checkpoint=checkpoint,
+                                      checkpoint_every=checkpoint_every)
+                return loop.fit(feed, epochs=epochs, resume=resume)
+            finally:
+                # Close before the outer finally removes the owned-shard
+                # layout, so no prefetch thread outlives its shard files —
+                # even when feed construction itself raised.
+                if rank_source is not None:
+                    rank_source.close()
+
+        if nranks > 1:
+            from repro.parallel import run_spmd
+
+            # Sharded sources get true per-rank I/O ownership: a private
+            # shard directory, LRU, and prefetcher per DDP rank.
+            layout = (
+                OwnedShardLayout.build(source.path, nranks)
+                if isinstance(source, ShardedNpzSource) else None
+            )
+            try:
+                return run_spmd(lambda comm: run(comm, layout), nranks)[0]
+            finally:
+                if layout is not None:
+                    layout.remove()
+        return run()
+
+    def tune(
+        self,
+        n_trials: int = 10,
+        strategy: str = "bayes",
+        space: "SearchSpace | None" = None,
+        epochs: int | None = None,
+    ) -> "Experiment":
+        """Hyperparameter search (the paper's DeepHyper ``--tune`` substitute).
+
+        Runs :func:`repro.train.tuning.tune` over the case's training data
+        (assembled from the batch subsample, which runs implicitly if
+        needed): each trial fits a fresh model with the sampled ``lr`` /
+        ``batch`` (see :func:`~repro.train.tuning.default_search_space`) for
+        a reduced epoch budget (`epochs`, else ``with_epochs``, else the
+        case budget capped at 10) and is scored by final test loss.
+        Records a :class:`TuneArtifact`; the best configuration is in
+        ``exp.tune_artifact.best``.
+        """
+        if self.train_ranks > 1:
+            raise ValueError(
+                "tune() runs its trials serially; with_train_ranks "
+                f"({self.train_ranks}) would be silently ignored — tune on "
+                "a single rank, then train the best config with DDP"
+            )
         if "subsample" not in self.artifacts:
             self.subsample()
         result: SubsampleResult = self.subsample_artifact.result
         if result.meta.get("mode") == "stream":
             raise ValueError(
-                "training from a stream-mode subsample is not supported: "
-                "streaming results carry no hypercube structure to build "
-                "windows from; run subsample() in batch mode (or persist "
-                "the stream and train offline)"
+                "tune() searches over resident training arrays; run the "
+                "subsample in batch mode first"
             )
         case = self.case
-        epochs = self.epochs if self.epochs is not None else min(case.train.epochs, 100)
-
-        if case.train.arch == "lstm":
-            x, y = build_drag_data(self.source, result, window=case.train.window,
-                                   horizon=case.train.horizon)
-            model = build_model_for_case(case, None, input_dim=x.shape[2], rng=self.seed)
-        else:
-            data = build_reconstruction_data(self.source, result,
-                                             window=case.train.window,
-                                             horizon=case.train.horizon)
-            x, y = data.x, data.y
-            model = build_model_for_case(case, data, rng=self.seed)
-
-        def run(comm=None) -> TrainResult:
-            trainer = Trainer(
-                model, epochs=epochs, batch=case.train.batch, lr=case.train.lr,
-                patience=case.train.patience, precision=case.train.precision,
-                test_frac=case.train.test_frac, comm=comm, seed=self.seed,
+        space = space or default_search_space()
+        supported = {"lr", "batch"}
+        unknown = sorted(set(space.params) - supported)
+        if unknown:
+            raise ValueError(
+                f"tune() can apply only {sorted(supported)} to a trial; "
+                f"the search space also names {unknown}, which would be "
+                "sampled and recorded but never used — drop them or extend "
+                "the objective"
             )
-            return trainer.fit(x, y)
-
-        if self.train_ranks > 1:
-            from repro.parallel import run_spmd
-
-            fit = run_spmd(lambda comm: run(comm), self.train_ranks)[0]
+        if epochs is not None:
+            trial_epochs = epochs
+        elif self.epochs is not None:
+            trial_epochs = self.epochs
         else:
-            fit = run()
-        self.artifacts["train"] = TrainArtifact(
+            trial_epochs = min(case.train.epochs, 10)
+        x, y, spec, input_dim = self._assemble_batch_data(result)
+
+        def objective(config: dict) -> float:
+            model = build_model_for_case(case, spec, input_dim=input_dim,
+                                         rng=self.seed)
+            loop = TrainLoop(
+                model, lr=float(config.get("lr", case.train.lr)),
+                patience=case.train.patience, precision=case.train.precision,
+                seed=self.seed,
+            )
+            feed = ArrayFeed(
+                x, y, batch=int(config.get("batch", case.train.batch)),
+                test_frac=case.train.test_frac, seed=self.seed,
+            )
+            return loop.fit(feed, epochs=trial_epochs).final_test_loss
+
+        best, trials = _tune(objective, space, n_trials=n_trials,
+                             strategy=strategy, rng=self.seed)
+        self.artifacts["tune"] = TuneArtifact(
             meta={"seed": self.seed, "case": case.to_dict(),
-                  "ranks": self.train_ranks, "epochs": epochs},
-            result=fit,
+                  "n_trials": int(n_trials), "strategy": strategy,
+                  "epochs_per_trial": int(trial_epochs),
+                  "space": {k: list(v) for k, v in space.params.items()}},
+            best=best,
+            trials=trials,
         )
         return self
 
@@ -540,12 +802,19 @@ class Experiment:
         except KeyError:
             raise KeyError("train stage has not run; call .train() first") from None
 
+    @property
+    def tune_artifact(self) -> TuneArtifact:
+        try:
+            return self.artifacts["tune"]  # type: ignore[return-value]
+        except KeyError:
+            raise KeyError("tune stage has not run; call .tune() first") from None
+
     def report(self) -> str:
         """Human-readable report over every stage run so far."""
         if not self.artifacts:
             return "(no stages run yet)"
         blocks = []
-        for name in ("subsample", "train"):
+        for name in ("subsample", "tune", "train"):
             art = self.artifacts.get(name)
             if art is not None:
                 blocks.append(f"== {name} ==\n{art.summary()}")

@@ -14,13 +14,19 @@ Python (``Experiment.from_case(path).with_ranks(32).subsample().train()``)
 is reachable from YAML.  ``--source`` picks the ingestion mode (catalog
 in-memory, out-of-core shard directory, or ``sim`` for in-situ generation)
 and ``--stream`` switches the subsample to the single-pass streaming
-samplers.  Outputs keep the paper's greppable log contract (``CPU Energy``,
-``Total Energy Consumed``, ``Evaluation on test set``).
+samplers — and, for ``train``, switches training to the stream-first path
+(windows assembled incrementally off the merged stream, no resident
+dataset).  ``repro-train`` also takes ``--checkpoint``/``--resume`` for
+bit-deterministic interrupted fits and ``--tune N`` for the paper's
+DeepHyper-style hyperparameter search.  Outputs keep the paper's greppable
+log contract (``CPU Energy``, ``Total Energy Consumed``, ``Evaluation on
+test set``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.api import Experiment, build_model_for_case
@@ -55,13 +61,8 @@ def _resolve_source(args, case) -> "object | None":
     )
 
 
-def _validate_subsample_args(parser: argparse.ArgumentParser, args) -> None:
-    """Reject flag combinations that would otherwise be silently ignored.
-
-    Every rejected combination here used to be dropped on the floor —
-    ``--prefetch`` against an in-memory source, stream-only policies in
-    batch mode — which made typos look like successful runs.
-    """
+def _check_source_flags(parser: argparse.ArgumentParser, args) -> None:
+    """Source-flag sanity shared by the subsample and train commands."""
     sharded = bool(args.source) and args.source != "sim"
     if args.prefetch and not sharded:
         parser.error(
@@ -77,6 +78,17 @@ def _validate_subsample_args(parser: argparse.ArgumentParser, args) -> None:
             "<shard-dir> or --source sim",
             file=sys.stderr,
         )
+
+
+def _validate_subsample_args(parser: argparse.ArgumentParser, args) -> None:
+    """Reject flag combinations that would otherwise be silently ignored.
+
+    Every rejected combination here used to be dropped on the floor —
+    ``--prefetch`` against an in-memory source, stream-only policies in
+    batch mode — which made typos look like successful runs.
+    """
+    sharded = bool(args.source) and args.source != "sim"
+    _check_source_flags(parser, args)
     if args.owned_shards and not args.stream:
         parser.error("--owned-shards requires --stream (the two-phase batch "
                      "pipeline has no per-rank shard ownership)")
@@ -199,6 +211,31 @@ def subsample_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _validate_train_args(parser: argparse.ArgumentParser, args) -> None:
+    """Same invalid-combo rejection style as the subsample command."""
+    _check_source_flags(parser, args)
+    if args.tune is not None:
+        if args.tune < 1:
+            parser.error("--tune needs at least 1 trial")
+        if args.stream:
+            parser.error("--tune searches over resident training arrays; "
+                         "it cannot combine with --stream (drop one)")
+        if args.resume or args.checkpoint:
+            parser.error("--tune runs many short fits; per-fit "
+                         "--checkpoint/--resume do not apply (drop them)")
+        if args.ranks > 1:
+            parser.error("--tune trials run serially; --ranks > 1 would be "
+                         "silently ignored (drop it)")
+    if args.resume is not None and not os.path.isfile(
+        args.resume if args.resume.endswith(".npz") else args.resume + ".npz"
+    ):
+        parser.error(f"--resume: no checkpoint at {args.resume!r}")
+    if args.checkpoint_every < 1:
+        parser.error("--checkpoint-every needs a positive epoch count")
+    if args.checkpoint_every != 1 and not args.checkpoint:
+        parser.error("--checkpoint-every needs --checkpoint PATH")
+
+
 def train_main(argv: list[str] | None = None) -> int:
     """``train.py case.yaml`` equivalent: subsample (if needed) then train."""
     parser = argparse.ArgumentParser(prog="repro-train", description=train_main.__doc__)
@@ -207,7 +244,50 @@ def train_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--epochs", type=int, default=None, help="override case epochs")
+    parser.add_argument(
+        "--source", default=None,
+        help="ingestion source: 'sim' (in-situ generation from the case "
+             "dtype) or a path to a shard directory written by "
+             "save_dataset(); default generates the catalog dataset in memory",
+    )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="stream-first training: run the subsample in stream mode and "
+             "fit incrementally off the merged stream (windows built as "
+             "snapshots arrive; bounded memory, no resident dataset)",
+    )
+    parser.add_argument(
+        "--max-cached-shards", type=int, default=None,
+        help="decoded snapshots resident at once for out-of-core/in-situ "
+             f"sources (default {_DEFAULT_MAX_CACHED})",
+    )
+    parser.add_argument(
+        "--prefetch", type=int, default=0,
+        help="shards to decode ahead in a background thread (shard-directory "
+             "sources only; overlaps decode with training)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a resumable checkpoint here every --checkpoint-every "
+             "epochs (model, optimizer, scheduler, RNG, feed cursor, "
+             "energy counters)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="epochs between checkpoint writes (default 1)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="CKPT",
+        help="resume an interrupted fit from this checkpoint; the completed "
+             "fit is bit-identical to an uninterrupted one",
+    )
+    parser.add_argument(
+        "--tune", type=int, default=None, metavar="N",
+        help="instead of one fit, run N hyperparameter-search trials "
+             "(lr/batch, TPE-style) and report the best configuration",
+    )
     args = parser.parse_args(argv)
+    _validate_train_args(parser, args)
 
     exp = (
         Experiment.from_case(args.case)
@@ -215,9 +295,36 @@ def train_main(argv: list[str] | None = None) -> int:
         .with_scale(args.scale)
         .with_train_ranks(args.ranks)
         .with_epochs(args.epochs)
-        .train()
     )
-    print(exp.train_artifact.result.report())
+    if args.stream:
+        # Stream mode: the same ranks produce the subsample (one stream
+        # producer per rank).  Batch subsample output is nranks-dependent,
+        # so batch-mode training keeps the historical single-rank subsample
+        # regardless of the DDP rank count.
+        exp.with_ranks(args.ranks)
+    source = _resolve_source(args, exp.case)
+    if source is not None:
+        exp.with_source(source)
+    try:
+        if args.tune is not None:
+            exp.tune(n_trials=args.tune)
+            print(exp.tune_artifact.summary())
+            return 0
+        exp.train(
+            mode="stream" if args.stream else "batch",
+            resume=args.resume,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
+        if args.stream:
+            feed_meta = exp.train_artifact.result.meta.get("feed") or {}
+            print(f"Streamed {feed_meta.get('samples', '?')} window samples "
+                  f"({feed_meta.get('kind', 'StreamFeed')})")
+        print(exp.train_artifact.result.report())
+    finally:
+        # Teardown: join any background prefetch thread the source owns.
+        if source is not None and hasattr(source, "close"):
+            source.close()
     return 0
 
 

@@ -47,6 +47,20 @@ class DistributedDataParallel(Module):
     def forward(self, *args, **kwargs):
         return self.module(*args, **kwargs)
 
+    def sync_parameters(self) -> None:
+        """Re-broadcast rank 0's parameters so replicas are identical.
+
+        Called after out-of-band weight mutation — e.g. every rank restoring
+        a checkpoint from disk — to re-establish the replica invariant the
+        constructor set up.
+        """
+        if self.comm.size == 1:
+            return
+        state = self.module.state_dict() if self.comm.rank == 0 else None
+        state = self.comm.bcast(state, root=0)
+        if self.comm.rank != 0:
+            self.module.load_state_dict(state)
+
     def sync_gradients(self) -> None:
         """Average gradients across ranks (call between backward and step)."""
         if self.comm.size == 1:

@@ -30,6 +30,7 @@ from repro.parallel.partition import (
     block_partition,
     owner_of,
     stream_partitions,
+    window_counts,
 )
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "Partition",
     "ProducerReport",
     "stream_partitions",
+    "window_counts",
 ]

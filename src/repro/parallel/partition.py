@@ -29,6 +29,7 @@ __all__ = [
     "partition_list",
     "Partition",
     "stream_partitions",
+    "window_counts",
     "ProducerReport",
 ]
 
@@ -76,6 +77,25 @@ def stream_partitions(n: int, size: int) -> list[Partition]:
     return [
         Partition(rank=r, size=size, lo=lo, hi=hi)
         for r, (lo, hi) in enumerate(block_partition(n, size))
+    ]
+
+
+def window_counts(n: int, size: int, window: int, per_window: int = 1) -> list[int]:
+    """Per-rank counts of full length-`window` windows inside each span.
+
+    The bookkeeping sharded training feeds need: rank ``r`` owns the windows
+    fully contained in its :func:`stream_partitions` span (boundary windows
+    are dropped, mirroring the subsample partitioning), each yielding
+    ``per_window`` samples.  Every rank computes the same list, so offsets
+    into the global sample numbering need no communication.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if per_window < 1:
+        raise ValueError("per_window must be >= 1")
+    return [
+        max(0, part.n - window + 1) * per_window
+        for part in stream_partitions(n, size)
     ]
 
 

@@ -1,56 +1,36 @@
-"""The training loop (= the paper's train.py).
+"""The classic array trainer (= the paper's train.py), now a thin shim.
 
 Implements the §5.2 protocol: Adam at lr 1e-3, reduce-on-plateau with
 patience 20, batch size 16, 90:10 train/test split, MSE loss, optional
 mixed-precision emulation and DDP over the simulated communicator.  Energy
 is metered around the whole fit and reported with the paper's greppable
 lines (``Total Energy Consumed``, ``Evaluation on test set``).
+
+Since the stream-first training redesign the loop itself lives in
+:class:`~repro.train.loop.TrainLoop`, driven by the
+:class:`~repro.train.feeds.BatchFeed` protocol; :class:`Trainer` keeps the
+historical ``fit(x, y)`` surface as an :class:`~repro.train.feeds.ArrayFeed`
+over the new loop — bit-identical to the pre-redesign epoch loop under the
+seed goldens (pinned by the equivalence tests).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro.energy.meter import EnergyMeter
-from repro.nn.amp import autocast
-from repro.nn.ddp import DistributedDataParallel, shard_indices
 from repro.nn.loss import mse_loss
 from repro.nn.module import Module
-from repro.nn.optim import Adam, ReduceLROnPlateau, clip_grad_norm
 from repro.nn.tensor import Tensor, no_grad
-from repro.parallel.comm import Communicator, SerialComm
-from repro.train.data import train_test_split
-from repro.utils.log import get_logger
+from repro.parallel.comm import Communicator
+from repro.train.callbacks import Callback
+from repro.train.feeds import ArrayFeed
+from repro.train.loop import TrainLoop, TrainResult
 
 __all__ = ["TrainResult", "Trainer"]
 
-_LOG = get_logger("repro.train")
-
-
-@dataclass
-class TrainResult:
-    """Fit outcome: losses, energy, and the paper's report lines."""
-
-    train_losses: list[float]
-    test_losses: list[float]
-    best_test_loss: float
-    final_test_loss: float
-    epochs_run: int
-    energy: EnergyMeter
-    lr_reductions: int
-    meta: dict = field(default_factory=dict)
-
-    def report(self) -> str:
-        return (
-            f"Evaluation on test set: {self.final_test_loss:.6f}\n"
-            + self.energy.report()
-        )
-
 
 class Trainer:
-    """Configurable training loop over numpy arrays."""
+    """Configurable training loop over numpy arrays (shim over TrainLoop)."""
 
     def __init__(
         self,
@@ -66,44 +46,62 @@ class Trainer:
         seed: int = 0,
         verbose: bool = False,
         gpu_flops_rate: float = 20.0e12,
+        callbacks: "list[Callback] | None" = None,
     ) -> None:
         if epochs < 1 or batch < 1:
             raise ValueError("epochs and batch must be >= 1")
-        self.comm = comm or SerialComm()
-        self.model = model
-        self.ddp = DistributedDataParallel(model, self.comm) if self.comm.size > 1 else None
-        self.epochs = epochs
-        self.batch = batch
-        self.precision = precision
-        self.grad_clip = grad_clip
-        self.test_frac = test_frac
-        self.seed = seed
-        self.verbose = verbose
         if gpu_flops_rate <= 0:
             raise ValueError("gpu_flops_rate must be positive")
+        self.loop = TrainLoop(
+            model, lr=lr, patience=patience, precision=precision,
+            grad_clip=grad_clip, comm=comm, seed=seed, verbose=verbose,
+            gpu_flops_rate=gpu_flops_rate, callbacks=callbacks,
+        )
+        self.model = model
+        self.epochs = epochs
+        self.batch = batch
+        self.test_frac = test_frac
+        self.seed = seed
         self.gpu_flops_rate = gpu_flops_rate
-        self.optimizer = Adam(model.parameters(), lr=lr)
-        self.scheduler = ReduceLROnPlateau(self.optimizer, patience=patience)
 
-    def _forward(self, x: np.ndarray) -> Tensor:
-        target_model = self.ddp if self.ddp is not None else self.model
-        return target_model(Tensor(x))
+    # Historical attributes, forwarded to the loop --------------------------
 
-    def _epoch(self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> float:
-        order = rng.permutation(x.shape[0])
-        total, count = 0.0, 0
-        for lo in range(0, len(order), self.batch):
-            idx = order[lo : lo + self.batch]
-            self.optimizer.zero_grad()
-            loss = mse_loss(self._forward(x[idx]), Tensor(y[idx]))
-            loss.backward()
-            if self.ddp is not None:
-                self.ddp.sync_gradients()
-            clip_grad_norm(self.optimizer.params, self.grad_clip)
-            self.optimizer.step()
-            total += float(loss.data) * len(idx)
-            count += len(idx)
-        return total / max(count, 1)
+    @property
+    def comm(self):
+        return self.loop.comm
+
+    @property
+    def ddp(self):
+        return self.loop.ddp
+
+    @property
+    def optimizer(self):
+        return self.loop.optimizer
+
+    @property
+    def scheduler(self):
+        return self.loop.scheduler
+
+    @property
+    def precision(self) -> str:
+        return self.loop.precision
+
+    @property
+    def grad_clip(self) -> float:
+        return self.loop.grad_clip
+
+    def fit(self, x: np.ndarray, y: np.ndarray, resume: str | None = None) -> TrainResult:
+        """Split, train with plateau LR, meter energy, evaluate on test.
+
+        ``resume`` continues from a checkpoint written during an earlier
+        (interrupted) fit of the same data and seed — see
+        :class:`~repro.train.callbacks.Checkpoint`.
+        """
+        feed = ArrayFeed(
+            x, y, batch=self.batch, test_frac=self.test_frac,
+            seed=self.seed, comm=self.loop.comm,
+        )
+        return self.loop.fit(feed, epochs=self.epochs, resume=resume)
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
         """Mean MSE over the given set (no grad, eval mode)."""
@@ -113,54 +111,8 @@ class Trainer:
             for lo in range(0, x.shape[0], self.batch):
                 xb = x[lo : lo + self.batch]
                 yb = y[lo : lo + self.batch]
-                loss = mse_loss(self._forward(xb), Tensor(yb))
+                loss = mse_loss(self.loop._forward(xb), Tensor(yb))
                 total += float(loss.data) * len(xb)
                 count += len(xb)
         self.model.train()
         return total / max(count, 1)
-
-    def fit(self, x: np.ndarray, y: np.ndarray) -> TrainResult:
-        """Split, train with plateau LR, meter energy, evaluate on test."""
-        x = np.asarray(x, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
-        x_tr, y_tr, x_te, y_te = train_test_split(x, y, self.test_frac, rng=self.seed)
-        # DDP: each rank trains on its shard of the training split.
-        if self.comm.size > 1:
-            mine = shard_indices(len(x_tr), self.comm, seed=self.seed)
-            x_tr, y_tr = x_tr[mine], y_tr[mine]
-
-        rng = np.random.default_rng(self.seed + 1)
-        train_losses: list[float] = []
-        test_losses: list[float] = []
-        best = np.inf
-        with EnergyMeter() as meter:
-            clock_start = self.comm.clock.t
-            for epoch in range(self.epochs):
-                with autocast(self.precision):
-                    tr = self._epoch(x_tr, y_tr, rng)
-                te = self.evaluate(x_te, y_te)
-                self.scheduler.step(te)
-                train_losses.append(tr)
-                test_losses.append(te)
-                best = min(best, te)
-                if self.verbose and (epoch % 10 == 0 or epoch == self.epochs - 1):
-                    _LOG.info(
-                        "epoch %d: train %.5f test %.5f lr %.2e", epoch, tr, te, self.scheduler.lr
-                    )
-            # Virtual wall time: GPU-seconds from metered FLOPs at the
-            # configured sustained rate (default: MI250X-class 20 TFLOP/s;
-            # benches lower it to reflect small-kernel effective throughput).
-            gpu_seconds = meter.flops_gpu / self.gpu_flops_rate
-            meter.add_elapsed(gpu_seconds + (self.comm.clock.t - clock_start))
-
-        final = self.evaluate(x_te, y_te)
-        return TrainResult(
-            train_losses=train_losses,
-            test_losses=test_losses,
-            best_test_loss=float(best),
-            final_test_loss=float(final),
-            epochs_run=self.epochs,
-            energy=meter,
-            lr_reductions=self.scheduler.n_reductions,
-            meta={"ranks": self.comm.size, "precision": self.precision},
-        )

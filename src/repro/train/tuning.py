@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.utils.rng import resolve_rng
 
-__all__ = ["SearchSpace", "Trial", "tune"]
+__all__ = ["SearchSpace", "Trial", "tune", "default_search_space"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,16 @@ class SearchSpace:
             elif kind == "choice":
                 vec.append(spec[1].index(v) / max(len(spec[1]) - 1, 1))
         return np.asarray(vec)
+
+
+def default_search_space() -> SearchSpace:
+    """The search space ``repro-train --tune`` / ``Experiment.tune`` use by
+    default: learning rate (log-uniform around the paper's 1e-3) and batch
+    size — the two §5.2 knobs the paper's DeepHyper runs sweep."""
+    return SearchSpace({
+        "lr": ("log", 1e-4, 1e-2),
+        "batch": ("choice", [4, 8, 16, 32]),
+    })
 
 
 @dataclass

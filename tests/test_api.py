@@ -324,6 +324,32 @@ class TestArtifacts:
         assert loaded.result.epochs_run == art.result.epochs_run
         assert loaded.meta["case"] == exp.case.to_dict()
 
+    def test_train_result_meta_survives_roundtrip(self, tmp_path):
+        """Regression: the fit's provenance — feed kind/geometry, resume and
+        checkpoint info — must survive TrainArtifact.save/load intact."""
+        ck = str(tmp_path / "ck.npz")
+        exp = (Experiment.from_case(make_case())
+               .with_scale(0.5).with_epochs(2).train(checkpoint=ck))
+        art = exp.train_artifact
+        assert art.result.meta["feed"]["kind"] == "ArrayFeed"
+        assert art.meta["mode"] == "batch"
+        assert art.meta["checkpoint"] == ck
+        loaded = TrainArtifact.load(art.save(str(tmp_path / "fit")))
+        assert loaded.result.meta == art.result.meta
+        assert loaded.meta["mode"] == "batch"
+        assert loaded.meta["checkpoint"] == ck
+
+        # Stream-mode provenance (feed cursor geometry) round-trips too.
+        exp2 = (Experiment.from_case(make_case())
+                .with_scale(0.5).with_epochs(2)
+                .subsample(mode="stream").train(mode="stream"))
+        art2 = exp2.train_artifact
+        assert art2.result.meta["feed"]["kind"] == "StreamFeed"
+        loaded2 = TrainArtifact.load(art2.save(str(tmp_path / "fit2")))
+        assert loaded2.result.meta == art2.result.meta
+        assert loaded2.result.meta["feed"]["samples"] > 0
+        assert loaded2.meta["mode"] == "stream"
+
     def test_experiment_save_all(self, tmp_path):
         exp = (Experiment.from_case(make_case())
                .with_scale(0.5).with_epochs(2).train())

@@ -267,6 +267,102 @@ class TestTrainCli:
         assert code == 0
         assert "Evaluation on test set" in out
 
+    def test_stream_training(self, sst_case, capsys):
+        code = train_main([sst_case, "--scale", "0.5", "--epochs", "2",
+                           "--stream"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Streamed" in out
+        assert "Evaluation on test set" in out
+
+    def test_stream_training_from_shards(self, sst_case, tmp_path, capsys):
+        from repro.data import build_dataset, save_dataset
+
+        shard_dir = str(tmp_path / "shards")
+        save_dataset(build_dataset("SST-P1F4", scale=0.5, rng=0, n_snapshots=6),
+                     shard_dir)
+        code = train_main([sst_case, "--epochs", "2", "--stream",
+                           "--source", shard_dir, "--max-cached-shards", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Evaluation on test set" in out
+
+    def test_checkpoint_then_resume_matches_uninterrupted(self, sst_case,
+                                                          tmp_path, capsys):
+        ck = str(tmp_path / "ck.npz")
+        assert train_main([sst_case, "--scale", "0.5", "--epochs", "3",
+                           "--stream"]) == 0
+        full = capsys.readouterr().out
+        assert train_main([sst_case, "--scale", "0.5", "--epochs", "1",
+                           "--stream", "--checkpoint", ck]) == 0
+        capsys.readouterr()
+        assert train_main([sst_case, "--scale", "0.5", "--epochs", "3",
+                           "--stream", "--resume", ck]) == 0
+        resumed = capsys.readouterr().out
+
+        def eval_line(text):
+            return [ln for ln in text.splitlines()
+                    if ln.startswith("Evaluation on test set")][0]
+
+        assert eval_line(full) == eval_line(resumed)
+
+    def test_tune_reports_best(self, sst_case, capsys):
+        code = train_main([sst_case, "--scale", "0.5", "--tune", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Best of 2 trials" in out
+        assert "lr=" in out
+
+
+class TestTrainFlagValidation:
+    """Satellite: repro-train rejects silently-ignored flag combos, in the
+    same style as repro-subsample."""
+
+    def test_tune_rejects_stream(self, sst_case, capsys):
+        with pytest.raises(SystemExit):
+            train_main([sst_case, "--tune", "2", "--stream"])
+        assert "--tune" in capsys.readouterr().err
+
+    def test_tune_rejects_resume(self, sst_case, tmp_path, capsys):
+        ck = tmp_path / "ck.npz"
+        ck.write_bytes(b"")
+        with pytest.raises(SystemExit):
+            train_main([sst_case, "--tune", "2", "--resume", str(ck)])
+        assert "--checkpoint/--resume" in capsys.readouterr().err
+
+    def test_tune_rejects_multirank(self, sst_case, capsys):
+        with pytest.raises(SystemExit):
+            train_main([sst_case, "--tune", "2", "--ranks", "2"])
+        assert "--ranks" in capsys.readouterr().err
+
+    def test_resume_missing_checkpoint(self, sst_case, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            train_main([sst_case, "--resume", str(tmp_path / "nope.npz")])
+        assert "no checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_every_requires_checkpoint(self, sst_case, capsys):
+        with pytest.raises(SystemExit):
+            train_main([sst_case, "--checkpoint-every", "2"])
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_every_must_be_positive(self, sst_case, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            train_main([sst_case, "--checkpoint", str(tmp_path / "ck.npz"),
+                        "--checkpoint-every", "0"])
+        assert "positive" in capsys.readouterr().err
+
+    def test_prefetch_requires_shard_source(self, sst_case, capsys):
+        with pytest.raises(SystemExit):
+            train_main([sst_case, "--prefetch", "2"])
+        assert "--prefetch" in capsys.readouterr().err
+
+    def test_max_cached_warns_without_source(self, sst_case, capsys):
+        code = train_main([sst_case, "--scale", "0.5", "--epochs", "2",
+                           "--max-cached-shards", "3"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no effect" in captured.err
+
 
 class TestDispatcher:
     def test_usage_on_bad_command(self, capsys):
