@@ -15,6 +15,21 @@ import pytest
 from repro.data import build_dataset
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        default=os.path.join(REPO_ROOT, "BENCH_fig7.json"),
+        help="path of the machine-readable bench trajectory written by the "
+        "fig7 wall-clock benchmark (default: repo-root BENCH_fig7.json)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_json_path(request) -> str:
+    return request.config.getoption("--bench-json")
 
 
 def emit(name: str, text: str) -> str:

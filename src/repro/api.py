@@ -374,6 +374,8 @@ class Experiment:
         self.case = case
         self.ranks = 1          # simulated MPI ranks for the subsample SPMD run
         self.train_ranks = 1    # simulated DDP ranks for training
+        self.backend = "thread"  # SPMD substrate: "thread" or "process"
+        self.stream_shuffle = 0  # ShuffleBuffer capacity for stream feeds
         self.seed = 0
         self.scale = 1.0
         self.epochs: int | None = None
@@ -408,6 +410,29 @@ class Experiment:
         if n < 1:
             raise ValueError("train ranks must be >= 1")
         self.train_ranks = int(n)
+        return self
+
+    def with_backend(self, backend: str) -> "Experiment":
+        """SPMD substrate for every parallel stage: ``"thread"`` (virtual-time
+        modeling, the default) or ``"process"`` (forked workers with
+        shared-memory transport — real wall-clock parallelism).  Results are
+        byte-identical across backends for the same (seed, ranks)."""
+        from repro.parallel import SPMD_BACKENDS
+
+        if backend not in SPMD_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {SPMD_BACKENDS}"
+            )
+        self.backend = backend
+        return self
+
+    def with_stream_shuffle(self, capacity: int) -> "Experiment":
+        """Shuffle-buffer capacity for stream-mode training feeds (see
+        :class:`~repro.train.feeds.ShuffleBuffer`).  ``0`` (the default)
+        keeps arrival order, byte-identical to pre-shuffle fits."""
+        if capacity < 0:
+            raise ValueError("shuffle capacity must be >= 0")
+        self.stream_shuffle = int(capacity)
         return self
 
     def with_seed(self, seed: int) -> "Experiment":
@@ -535,10 +560,12 @@ class Experiment:
             raise ValueError("ranks must be >= 1")
         result = subsample(self.source, self.case, nranks=int(ranks),
                            seed=self.seed, mode=mode, owned_shards=owned_shards,
-                           on_rank_failure=on_rank_failure, fault_hook=fault_hook)
+                           on_rank_failure=on_rank_failure, fault_hook=fault_hook,
+                           backend=self.backend)
         self.artifacts["subsample"] = SubsampleArtifact(
             meta={"seed": self.seed, "case": self.case.to_dict(),
                   "ranks": int(ranks), "scale": self.scale, "mode": mode,
+                  "backend": self.backend,
                   "owned_shards": bool(owned_shards),
                   "on_rank_failure": on_rank_failure,
                   "source": type(self.source).__name__},
@@ -591,6 +618,7 @@ class Experiment:
         self.artifacts["train"] = TrainArtifact(
             meta={"seed": self.seed, "case": case.to_dict(),
                   "ranks": self.train_ranks, "epochs": epochs, "mode": mode,
+                  "backend": self.backend,
                   "checkpoint": checkpoint, "resumed_from": resume},
             result=fit,
         )
@@ -641,7 +669,8 @@ class Experiment:
         if self.train_ranks > 1:
             from repro.parallel import run_spmd
 
-            return run_spmd(lambda comm: run(comm), self.train_ranks)[0]
+            return run_spmd(lambda comm: run(comm), self.train_ranks,
+                            backend=self.backend)[0]
         return run()
 
     def _train_stream(self, result, epochs, resume, checkpoint,
@@ -672,13 +701,14 @@ class Experiment:
                     feed = ShardedFeed.for_rank(
                         comm, span_source, assembler, source.n_snapshots,
                         batch=case.train.batch, test_frac=case.train.test_frac,
-                        seed=self.seed,
+                        seed=self.seed, shuffle=self.stream_shuffle,
                     )
                 else:
                     assembler = stream_assembler(source, case, points)
                     feed = StreamFeed(
                         source, assembler, batch=case.train.batch,
                         test_frac=case.train.test_frac, seed=self.seed,
+                        shuffle=self.stream_shuffle,
                     )
                 spec = feed.spec
                 model = build_model_for_case(case, spec, input_dim=spec.input_dim,
@@ -703,7 +733,8 @@ class Experiment:
                 if isinstance(source, ShardedNpzSource) else None
             )
             try:
-                return run_spmd(lambda comm: run(comm, layout), nranks)[0]
+                return run_spmd(lambda comm: run(comm, layout), nranks,
+                                backend=self.backend)[0]
             finally:
                 if layout is not None:
                     layout.remove()

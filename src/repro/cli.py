@@ -114,6 +114,26 @@ def _validate_subsample_args(parser: argparse.ArgumentParser, args) -> None:
                 f"--inject-rank-failure rank {args.inject_rank_failure} out "
                 f"of range for --ranks {args.ranks}"
             )
+    _warn_backend_single_rank(args)
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="SPMD substrate for multi-rank runs: 'thread' (deterministic "
+             "virtual-time modeling, default) or 'process' (forked workers "
+             "with shared-memory transport — real wall-clock parallelism, "
+             "byte-identical results)",
+    )
+
+
+def _warn_backend_single_rank(args) -> None:
+    if args.backend == "process" and args.ranks < 2:
+        print(
+            "warning: --backend process has no effect with --ranks 1 "
+            "(single-rank runs execute inline on a serial communicator)",
+            file=sys.stderr,
+        )
 
 
 def subsample_main(argv: list[str] | None = None) -> int:
@@ -164,6 +184,7 @@ def subsample_main(argv: list[str] | None = None) -> int:
         help="testing: kill stream producer RANK after its first chunk "
              "(exercises --on-rank-failure)",
     )
+    _add_backend_flag(parser)
     args = parser.parse_args(argv)
     _validate_subsample_args(parser, args)
 
@@ -181,6 +202,7 @@ def subsample_main(argv: list[str] | None = None) -> int:
         .with_ranks(args.ranks)
         .with_seed(args.seed)
         .with_scale(args.scale)
+        .with_backend(args.backend)
     )
     source = _resolve_source(args, exp.case)
     if source is not None:
@@ -234,6 +256,10 @@ def _validate_train_args(parser: argparse.ArgumentParser, args) -> None:
         parser.error("--checkpoint-every needs a positive epoch count")
     if args.checkpoint_every != 1 and not args.checkpoint:
         parser.error("--checkpoint-every needs --checkpoint PATH")
+    if args.tune is not None and args.backend == "process":
+        parser.error("--tune trials run serially; --backend process would be "
+                     "silently ignored (drop it)")
+    _warn_backend_single_rank(args)
 
 
 def train_main(argv: list[str] | None = None) -> int:
@@ -286,6 +312,7 @@ def train_main(argv: list[str] | None = None) -> int:
         help="instead of one fit, run N hyperparameter-search trials "
              "(lr/batch, TPE-style) and report the best configuration",
     )
+    _add_backend_flag(parser)
     args = parser.parse_args(argv)
     _validate_train_args(parser, args)
 
@@ -295,6 +322,7 @@ def train_main(argv: list[str] | None = None) -> int:
         .with_scale(args.scale)
         .with_train_ranks(args.ranks)
         .with_epochs(args.epochs)
+        .with_backend(args.backend)
     )
     if args.stream:
         # Stream mode: the same ranks produce the subsample (one stream

@@ -38,6 +38,8 @@ class DistributedDataParallel(Module):
         super().__init__()
         self.module = module
         self.comm = comm
+        self._flat_dtype: np.dtype | None = None  # gradient bucket dtype
+        self._spans: list[tuple[int, int]] = []
         # Replicas start from rank 0's weights, like torch DDP.
         state = module.state_dict() if comm.rank == 0 else None
         state = comm.bcast(state, root=0)
@@ -67,16 +69,28 @@ class DistributedDataParallel(Module):
             return
         params = self.module.parameters()
         # Flatten to one buffer: a single allreduce, like bucketed DDP.
-        chunks = [
-            p.grad if p.grad is not None else np.zeros_like(p.data) for p in params
-        ]
-        flat = np.concatenate([c.ravel() for c in chunks])
-        flat = self.comm.allreduce(flat, op="sum") / self.comm.size
-        offset = 0
-        for p in params:
-            n = p.size
-            p.grad = flat[offset : offset + n].reshape(p.shape).astype(p.data.dtype)
-            offset += n
+        # Spans and dtype are computed once (parameter shapes are fixed after
+        # construction); the send buffer itself must be fresh per call — the
+        # thread backend's collectives fold contributions by reference, so a
+        # reused buffer could be overwritten by this rank's next step while
+        # a slower peer is still reducing the previous one.
+        if self._flat_dtype is None:
+            offset = 0
+            for p in params:
+                self._spans.append((offset, offset + p.size))
+                offset += p.size
+            # Same dtype np.concatenate over the per-param gradients would
+            # promote to, so the reduction is bitwise unchanged.
+            self._flat_dtype = np.result_type(*(p.data.dtype for p in params))
+        flat = np.empty(self._spans[-1][1], dtype=self._flat_dtype)
+        for p, (lo, hi) in zip(params, self._spans):
+            if p.grad is None:
+                flat[lo:hi] = 0.0
+            else:
+                flat[lo:hi] = p.grad.ravel()
+        out = self.comm.allreduce(flat, op="sum") / self.comm.size
+        for p, (lo, hi) in zip(params, self._spans):
+            p.grad = out[lo:hi].reshape(p.shape).astype(p.data.dtype)
 
     def parameters(self):
         return self.module.parameters()

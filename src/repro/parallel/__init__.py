@@ -21,7 +21,8 @@ package provides:
 
 from repro.parallel.comm import Communicator, SerialComm
 from repro.parallel.threadcomm import RankFailure, ThreadComm
-from repro.parallel.spmd import run_spmd
+from repro.parallel.procomm import ProcessComm, ProcessCommWorld
+from repro.parallel.spmd import SPMD_BACKENDS, run_spmd
 from repro.parallel.perfmodel import PerfModel, VirtualClock, CommStats
 from repro.parallel.partition import (
     Partition,
@@ -37,8 +38,11 @@ __all__ = [
     "Communicator",
     "SerialComm",
     "ThreadComm",
+    "ProcessComm",
+    "ProcessCommWorld",
     "RankFailure",
     "run_spmd",
+    "SPMD_BACKENDS",
     "PerfModel",
     "VirtualClock",
     "CommStats",

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.parallel.perfmodel import PerfModel, VirtualClock
 
-__all__ = ["Communicator", "SerialComm", "REDUCE_OPS", "payload_nbytes"]
+__all__ = ["Communicator", "SerialComm", "REDUCE_OPS", "payload_nbytes", "reduce_many"]
 
 
 def _sum(a: Any, b: Any) -> Any:
@@ -43,6 +43,25 @@ REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
     "max": _max,
     "min": _min,
 }
+
+
+def reduce_many(values: Sequence[Any], op: str) -> Any:
+    """Fold `values` in rank order with the named reduction operator.
+
+    The fold order is part of the determinism contract: every communicator
+    backend must combine contributions rank-by-rank exactly like this so
+    floating-point results are bitwise identical across backends.
+    """
+    try:
+        fn = REDUCE_OPS[op]
+    except KeyError:
+        raise ValueError(f"unknown reduce op {op!r}") from None
+    acc = values[0]
+    if isinstance(acc, np.ndarray):
+        acc = acc.copy()
+    for v in values[1:]:
+        acc = fn(acc, v)
+    return acc
 
 
 def payload_nbytes(obj: Any) -> int:
@@ -128,16 +147,7 @@ class Communicator(abc.ABC):
             raise ValueError(f"root {root} out of range for size {self.size}")
 
     def _reduce_many(self, values: list[Any], op: str) -> Any:
-        try:
-            fn = REDUCE_OPS[op]
-        except KeyError:
-            raise ValueError(f"unknown reduce op {op!r}") from None
-        acc = values[0]
-        if isinstance(acc, np.ndarray):
-            acc = acc.copy()
-        for v in values[1:]:
-            acc = fn(acc, v)
-        return acc
+        return reduce_many(values, op)
 
 
 class SerialComm(Communicator):

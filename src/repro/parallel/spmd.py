@@ -1,9 +1,20 @@
-"""SPMD launcher: run ``fn(comm, *args)`` across N thread ranks.
+"""SPMD launcher: run ``fn(comm, *args)`` across N ranks.
 
 The equivalent of ``mpiexec -n N python script.py``: every rank executes the
-same function against its own :class:`~repro.parallel.threadcomm.ThreadComm`
-endpoint.  Exceptions on any rank abort the shared barrier so peers fail fast
-instead of deadlocking, then the first failure is re-raised in the caller.
+same function against its own communicator endpoint.  Two backends share the
+contract:
+
+* ``backend="thread"`` — ranks are OS threads over a
+  :class:`~repro.parallel.threadcomm.ThreadComm`; deterministic virtual-time
+  modeling under the GIL (the default).
+* ``backend="process"`` — ranks are forked processes over a
+  :class:`~repro.parallel.procomm.ProcessComm` with shared-memory payload
+  transport; real wall-clock parallelism, bitwise-identical results and
+  virtual clocks.
+
+Exceptions on any rank abort the peers so they fail fast instead of
+deadlocking, then the originating failure is re-raised in the caller as
+``RuntimeError("rank N failed")`` chained from the original exception.
 """
 
 from __future__ import annotations
@@ -15,7 +26,10 @@ from repro.parallel.comm import SerialComm
 from repro.parallel.perfmodel import PerfModel, VirtualClock
 from repro.parallel.threadcomm import CommWorld, ThreadComm
 
-__all__ = ["run_spmd", "SpmdResult"]
+__all__ = ["run_spmd", "SpmdResult", "SPMD_BACKENDS"]
+
+#: communicator backends accepted by :func:`run_spmd`
+SPMD_BACKENDS = ("thread", "process")
 
 
 class SpmdResult:
@@ -43,25 +57,42 @@ def run_spmd(
     *args: Any,
     model: PerfModel | None = None,
     fault_hook: Callable[..., bool] | None = None,
+    backend: str = "thread",
+    timeout: float | None = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on `nranks` ranks; gather results.
 
     For ``nranks == 1`` the function runs inline on a :class:`SerialComm`
-    (easier debugging, no thread overhead).
+    regardless of backend (easier debugging, no launch overhead).
 
     ``fault_hook(rank, **context) -> bool`` arms fault injection: ranks that
-    call :meth:`~repro.parallel.threadcomm.ThreadComm.maybe_fail` die with
+    call :meth:`~repro.parallel.comm.Communicator.maybe_fail` die with
     :class:`~repro.parallel.threadcomm.RankFailure` when the hook returns
     True.  Serial runs ignore the hook — a single producer has no peers to
     survive it.
+
+    ``timeout`` (process backend only) bounds every blocking wait inside a
+    worker so a dead or wedged peer raises instead of deadlocking the pool;
+    ``None`` (the default) blocks forever, which is what determinism runs
+    want.  The ``REPRO_PROC_TIMEOUT`` env var arms it globally (used in CI).
     """
     if nranks < 1:
         raise ValueError("nranks must be >= 1")
+    if backend not in SPMD_BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {SPMD_BACKENDS}")
     if nranks == 1:
         comm = SerialComm(model=model)
         value = fn(comm, *args, **kwargs)
         return SpmdResult([value], [comm.clock])
+
+    if backend == "process":
+        from repro.parallel.procomm import run_process_spmd
+
+        values, clocks = run_process_spmd(
+            fn, nranks, args, kwargs, model=model, fault_hook=fault_hook, timeout=timeout
+        )
+        return SpmdResult(values, clocks)
 
     world = CommWorld(nranks, model=model, fault_hook=fault_hook)
     values: list[Any] = [None] * nranks

@@ -82,6 +82,7 @@ def subsample(
     owned_shards: bool = False,
     on_rank_failure: str = "raise",
     fault_hook=None,
+    backend: str = "thread",
 ) -> SubsampleResult:
     """One ``subsample()`` for batch, out-of-core, and in-situ ingestion.
 
@@ -100,6 +101,12 @@ def subsample(
     chooses between reweighting the merge by delivered mass
     (``"reweight"``) and failing the draw (``"raise"``) when a producer
     dies mid-span, and ``fault_hook`` injects such deaths for testing.
+
+    ``backend`` applies to both modes and picks the SPMD substrate:
+    ``"thread"`` (deterministic virtual-time modeling, the default) or
+    ``"process"`` (forked workers with shared-memory transport — real
+    wall-clock parallelism, byte-identical results for the same
+    (seed, nranks)).  See :func:`repro.parallel.spmd.run_spmd`.
     """
     source = as_source(data)
     if mode == "stream":
@@ -108,7 +115,7 @@ def subsample(
         return run_stream_subsample(
             source, config, seed=seed, nranks=nranks, model=model,
             owned_shards=owned_shards, on_rank_failure=on_rank_failure,
-            fault_hook=fault_hook,
+            fault_hook=fault_hook, backend=backend,
         )
     if mode != "batch":
         raise ValueError(f"mode must be 'batch' or 'stream', got {mode!r}")
@@ -138,7 +145,9 @@ def subsample(
             f">= {source.n_snapshots}, or shard the stream to disk first"
         )
 
-    spmd = run_spmd(run_subsample, nranks, source, config, seed=seed, model=model)
+    spmd = run_spmd(
+        run_subsample, nranks, source, config, seed=seed, model=model, backend=backend
+    )
     root: SubsampleResult = spmd[0]
     merged = EnergyMeter()
     for res in spmd.values:

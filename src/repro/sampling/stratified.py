@@ -40,8 +40,20 @@ def allocate_counts(
     weights = weights / total if total > 0 else np.full(k, 1.0 / k)
 
     ideal = n * weights
-    counts = np.floor(ideal).astype(np.int64)
-    counts = np.minimum(counts, sizes)
+    floor = np.floor(ideal).astype(np.int64)
+    counts = np.minimum(floor, sizes)
+    deficit = int(n - counts.sum())
+    # Fast path: nothing hit capacity, so every remainder is < 1 and each
+    # stratum takes at most one +1 — hand the deficit to the largest
+    # remainders in one stable sort instead of one argmax per unit.  The
+    # stable descending order breaks ties at the lowest index, exactly like
+    # repeated argmax over the shrinking remainders.
+    if deficit > 0 and np.array_equal(counts, floor):
+        eligible = np.flatnonzero(counts < sizes)
+        if deficit <= eligible.size:
+            order = eligible[np.argsort(-(ideal - counts)[eligible], kind="stable")]
+            counts[order[:deficit]] += 1
+            return counts
     # Largest remainders first, respecting capacity.
     while counts.sum() < n:
         remainder = np.where(counts < sizes, ideal - counts, -np.inf)

@@ -58,7 +58,7 @@ from repro.data.store import OwnedShardLayout
 from repro.energy.meter import EnergyMeter
 from repro.parallel.partition import ProducerReport, stream_partitions
 from repro.parallel.perfmodel import PerfModel
-from repro.parallel.spmd import run_spmd
+from repro.parallel.spmd import SPMD_BACKENDS, run_spmd
 from repro.parallel.threadcomm import RankFailure
 from repro.sampling.base import (
     StreamSampler,
@@ -590,6 +590,7 @@ def run_stream_subsample(
     owned_shards: bool = False,
     on_rank_failure: str = "raise",
     fault_hook=None,
+    backend: str = "thread",
 ):
     """Single- or multi-producer streaming subsample over any snapshot source.
 
@@ -608,6 +609,14 @@ def run_stream_subsample(
     run and bit-deterministic given ``seed`` and ``nranks``.
     ``virtual_time`` is then the makespan of the slowest rank under the
     LogGP `model`, and the energy meter merges all ranks.
+
+    ``backend`` picks the rank substrate — ``"thread"`` (deterministic
+    virtual-time modeling under the GIL, the default) or ``"process"``
+    (forked workers over :class:`~repro.parallel.procomm.ProcessComm` with
+    shared-memory transport; real wall-clock parallelism).  Both yield
+    byte-identical samples and virtual clocks for the same (seed, nranks);
+    on the process backend each rank reopens sharded sources privately so
+    no LRU/prefetch state crosses the fork.
 
     ``owned_shards=True`` (sharded sources only) replaces the shared-cache
     :class:`~repro.data.sources.PartitionedSource` view with true per-rank
@@ -640,6 +649,8 @@ def run_stream_subsample(
     sub = config.subsample
     if nranks < 1:
         raise ValueError("nranks must be >= 1")
+    if backend not in SPMD_BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {SPMD_BACKENDS}")
     if on_rank_failure not in ("reweight", "raise"):
         raise ValueError(
             f"on_rank_failure must be 'reweight' or 'raise', got {on_rank_failure!r}"
@@ -723,13 +734,25 @@ def run_stream_subsample(
             OwnedShardLayout.build(source.path, nranks) if owned_shards else None
         )
 
-        def _rank_source(rank: int) -> SnapshotSource:
+        def _rank_source(rank: int) -> "tuple[SnapshotSource, ShardedNpzSource | None]":
+            """Build this rank's source view; also returns the private sharded
+            base the rank must close when it owns one."""
             if layout is not None:
-                return layout.rank_source(
+                src = layout.rank_source(
                     rank, max_cached=source.max_cached,
                     prefetch=source.prefetch_depth, lazy=source.lazy,
                 )
-            return PartitionedSource(source, parts[rank].lo, parts[rank].hi)
+                return src, src
+            if backend == "process" and isinstance(source, ShardedNpzSource):
+                # Forked workers must not share the parent's LRU/prefetch
+                # machinery (inherited locks and dead threads): reopen the
+                # shard directory privately inside the worker.
+                base = ShardedNpzSource(
+                    source.path, max_cached=source.max_cached,
+                    prefetch=source.prefetch_depth, lazy=source.lazy,
+                )
+                return PartitionedSource(base, parts[rank].lo, parts[rank].hi), base
+            return PartitionedSource(source, parts[rank].lo, parts[rank].hi), None
 
         rngs = spawn_rngs(seed, nranks + 1)  # rngs[0] drives the merge draw
 
@@ -737,7 +760,7 @@ def run_stream_subsample(
 
         def _producer(comm):
             part = parts[comm.rank]
-            src_r = _rank_source(comm.rank)
+            src_r, private_base = _rank_source(comm.rank)
             sampler = get_stream_sampler(
                 sub.method, n_samples=budget, value_range=vr,
                 rng=rngs[comm.rank + 1], **kwargs,
@@ -775,12 +798,9 @@ def run_stream_subsample(
                         raise
                     failed, err = True, f"{type(exc).__name__}: {exc}"
                 finally:
-                    info = (
-                        src_r.cache_info()
-                        if isinstance(src_r, ShardedNpzSource) else None
-                    )
-                    if layout is not None and isinstance(src_r, ShardedNpzSource):
-                        src_r.close()
+                    info = private_base.cache_info() if private_base is not None else None
+                    if private_base is not None:
+                        private_base.close()
                 report = ProducerReport(
                     partition=part, snapshots_done=_delivered_snapshots(),
                     n_seen=int(sampler.n_seen), stream_mass=float(sampler.n_seen),
@@ -808,7 +828,9 @@ def run_stream_subsample(
             return merged, meter, all_reports
 
         try:
-            spmd = run_spmd(_producer, nranks, model=model, fault_hook=fault_hook)
+            spmd = run_spmd(
+                _producer, nranks, model=model, fault_hook=fault_hook, backend=backend
+            )
         finally:
             if layout is not None:
                 layout.remove()
@@ -860,6 +882,7 @@ def run_stream_subsample(
         "num_samples": sub.num_samples,
         "mode": "stream",
         "ranks": nranks,
+        "backend": backend,
         "seed": seed,
         "owned_shards": bool(owned_shards),
         "on_rank_failure": on_rank_failure,

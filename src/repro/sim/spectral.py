@@ -6,6 +6,8 @@ otherwise; rfftn layouts keep memory at roughly half the complex spectrum.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.utils.rng import resolve_rng
@@ -36,6 +38,14 @@ def wavenumber_grid(
     """
     if len(shape) < 1:
         raise ValueError("shape must have at least one axis")
+    return [k.copy() for k in _wavenumber_grid_cached(tuple(shape), real, zero_nyquist)]
+
+
+@lru_cache(maxsize=64)
+def _wavenumber_grid_cached(
+    shape: tuple[int, ...], real: bool, zero_nyquist: bool
+) -> tuple[np.ndarray, ...]:
+    """Read-only cached wavenumber arrays; grids recur per field shape."""
     ks = []
     for ax, n in enumerate(shape):
         if ax == len(shape) - 1 and real:
@@ -45,8 +55,10 @@ def wavenumber_grid(
         if zero_nyquist and n % 2 == 0:
             k = k.copy()
             k[np.abs(k) == n // 2] = 0.0
-        ks.append(k.reshape([-1 if a == ax else 1 for a in range(len(shape))]))
-    return ks
+        k = k.reshape([-1 if a == ax else 1 for a in range(len(shape))])
+        k.flags.writeable = False
+        ks.append(k)
+    return tuple(ks)
 
 
 def wavenumber_magnitude(shape: tuple[int, ...], real: bool = True) -> np.ndarray:
@@ -183,10 +195,15 @@ def radial_energy_spectrum(*components: np.ndarray) -> tuple[np.ndarray, np.ndar
 
 def spectral_gradient(field: np.ndarray, axis: int) -> np.ndarray:
     """d(field)/dx_axis for a periodic field on [0, 2*pi)^d, via FFT."""
-    ks = wavenumber_grid(field.shape, real=True, zero_nyquist=True)
-    fh = np.fft.rfftn(field)
-    axes = tuple(range(field.ndim))
-    return np.fft.irfftn(1j * ks[axis] * fh, s=field.shape, axes=axes)
+    ks = _wavenumber_grid_cached(field.shape, True, True)
+    return _gradient_from_spectrum(np.fft.rfftn(field), ks, axis, field.shape)
+
+
+def _gradient_from_spectrum(
+    fh: np.ndarray, ks: tuple[np.ndarray, ...], axis: int, shape: tuple[int, ...]
+) -> np.ndarray:
+    axes = tuple(range(len(shape)))
+    return np.fft.irfftn(1j * ks[axis] * fh, s=shape, axes=axes)
 
 
 def vorticity(u: np.ndarray, v: np.ndarray, w: np.ndarray | None = None) -> tuple[np.ndarray, ...]:
@@ -210,10 +227,20 @@ def divergence(u: np.ndarray, v: np.ndarray, w: np.ndarray | None = None) -> np.
 def dissipation_rate(u: np.ndarray, v: np.ndarray, w: np.ndarray, nu: float = 1.0) -> np.ndarray:
     """Local dissipation ε = 2 ν S_ij S_ij from the strain-rate tensor."""
     comps = (u, v, w)
+    # One forward FFT per component, one inverse per distinct du_i/dx_j:
+    # the naive per-pair formulation redoes the forward transforms 6x.  The
+    # accumulation below visits (i, j) in the same order with bitwise-equal
+    # sij (S is symmetric and fp addition commutes), so ε is unchanged.
+    ks = _wavenumber_grid_cached(u.shape, True, True)
+    fhs = [np.fft.rfftn(c) for c in comps]
+    grad = [
+        [_gradient_from_spectrum(fhs[i], ks, j, u.shape) for j in range(3)]
+        for i in range(3)
+    ]
     eps = np.zeros_like(u)
     for i in range(3):
         for j in range(3):
-            sij = 0.5 * (spectral_gradient(comps[i], j) + spectral_gradient(comps[j], i))
+            sij = 0.5 * (grad[i][j] + grad[j][i])
             eps += 2.0 * nu * sij**2
     return eps
 

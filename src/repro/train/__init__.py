@@ -37,7 +37,13 @@ from repro.train.data import (
     stream_sensor_layout,
     train_test_split,
 )
-from repro.train.feeds import ArrayFeed, BatchFeed, ShardedFeed, StreamFeed
+from repro.train.feeds import (
+    ArrayFeed,
+    BatchFeed,
+    ShardedFeed,
+    ShuffleBuffer,
+    StreamFeed,
+)
 from repro.train.loop import TrainLoop, TrainResult
 from repro.train.trainer import Trainer
 from repro.train.tuning import SearchSpace, Trial, default_search_space, tune
@@ -56,6 +62,7 @@ __all__ = [
     "ArrayFeed",
     "StreamFeed",
     "ShardedFeed",
+    "ShuffleBuffer",
     "TrainLoop",
     "TrainResult",
     "Trainer",

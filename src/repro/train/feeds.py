@@ -40,9 +40,41 @@ from repro.parallel.comm import Communicator, SerialComm
 from repro.parallel.partition import stream_partitions, window_counts
 from repro.train.data import WindowAssembler, train_test_split
 
-__all__ = ["BatchFeed", "ArrayFeed", "StreamFeed", "ShardedFeed"]
+__all__ = ["BatchFeed", "ArrayFeed", "ShuffleBuffer", "StreamFeed", "ShardedFeed"]
 
 Batch = tuple[np.ndarray, np.ndarray]
+
+
+class ShuffleBuffer:
+    """Bounded streaming shuffle (the ``tf.data.Dataset.shuffle`` scheme).
+
+    Holds at most ``capacity`` items: once full, each arriving item evicts
+    (and yields) a uniformly random resident, and the buffer drains in random
+    order at end of stream.  Memory stays O(capacity) however long the stream
+    is, and a stream shorter than ``capacity`` comes out fully shuffled.  The
+    draw sequence is a pure function of the generator passed in, so a feed
+    that checkpoints its RNG replays the identical shuffle on resume.
+    """
+
+    def __init__(self, capacity: int, rng: np.random.Generator) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.rng = rng
+
+    def __call__(self, items: Iterator) -> Iterator:
+        buf: list = []
+        for item in items:
+            if len(buf) < self.capacity:
+                buf.append(item)
+                continue
+            j = int(self.rng.integers(len(buf)))
+            out, buf[j] = buf[j], item
+            yield out
+        while buf:
+            j = int(self.rng.integers(len(buf)))
+            buf[j], buf[-1] = buf[-1], buf[j]
+            yield buf.pop()
 
 
 class BatchFeed(abc.ABC):
@@ -168,6 +200,14 @@ class StreamFeed(BatchFeed):
     stream into minibatches in arrival order (online training: the data is
     consumed as it is produced).
 
+    ``shuffle`` inserts a :class:`ShuffleBuffer` of that capacity between
+    the window assembler and the batcher, decorrelating online-training
+    minibatches from snapshot arrival order without unbounded memory; the
+    draws come from ``default_rng([seed + 2, sample_offset])`` (carried in
+    the feed cursor) so shuffled fits stay bit-deterministic and resumable.
+    The default (``0``) streams in arrival order, byte-identical to
+    pre-shuffle fits.
+
     ``sample_offset`` / ``total_samples`` / ``steps`` support the sharded
     multi-rank flavour (see :class:`ShardedFeed`): they pin the global
     numbering and the per-epoch step count so every DDP rank agrees on test
@@ -184,9 +224,12 @@ class StreamFeed(BatchFeed):
         sample_offset: int = 0,
         total_samples: int | None = None,
         steps: int | None = None,
+        shuffle: int = 0,
     ) -> None:
         if batch < 1:
             raise ValueError("batch must be >= 1")
+        if shuffle < 0:
+            raise ValueError("shuffle must be >= 0 (0 disables the buffer)")
         if not (0.0 < test_frac < 1.0):
             raise ValueError("test_frac must lie in (0, 1)")
         self.source = source
@@ -224,6 +267,10 @@ class StreamFeed(BatchFeed):
                 "longer span, fewer ranks, or a smaller window"
             )
         self._steps = int(steps) if steps is not None else None
+        self.shuffle = int(shuffle)
+        # sample_offset is rank-unique under ShardedFeed, so DDP ranks draw
+        # decorrelated shuffle streams from the same case seed.
+        self._shuffle_rng = np.random.default_rng([seed + 2, self.sample_offset])
         self._test_cache: list[Batch] | None = None
         self._epochs_streamed = 0
 
@@ -271,11 +318,19 @@ class StreamFeed(BatchFeed):
         )
         emitted = 0
         last_batch: Batch | None = None
-        for gid, x, y in self._stream_samples():
-            if gid in self._test_ids:
-                if test_acc is not None:
-                    test_acc.append((x, y))
-                continue
+
+        def train_samples() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+            for gid, x, y in self._stream_samples():
+                if gid in self._test_ids:
+                    if test_acc is not None:
+                        test_acc.append((x, y))
+                    continue
+                yield x, y
+
+        samples: Iterator[tuple[np.ndarray, np.ndarray]] = train_samples()
+        if self.shuffle:
+            samples = ShuffleBuffer(self.shuffle, self._shuffle_rng)(samples)
+        for x, y in samples:
             xs.append(x)
             ys.append(y)
             if len(xs) == self.batch:
@@ -314,12 +369,17 @@ class StreamFeed(BatchFeed):
             "n_test": int(self.n_test_global),
             "batch": int(self.batch),
             "steps": self._steps,
+            "shuffle": int(self.shuffle),
         }
 
     def state(self) -> dict:
-        # Test membership and batch order are pure functions of the seed and
-        # the stream, so the cursor is just the epoch count.
-        return {"kind": type(self).__name__, "epochs_streamed": self._epochs_streamed}
+        # Test membership is a pure function of the seed and the stream; the
+        # cursor is the epoch count plus (when shuffling) the exact position
+        # of the shuffle generator, so a resumed fit replays the same draws.
+        state = {"kind": type(self).__name__, "epochs_streamed": self._epochs_streamed}
+        if self.shuffle:
+            state["shuffle_rng"] = self._shuffle_rng.bit_generator.state
+        return state
 
     def load_state(self, state: dict) -> None:
         if state.get("kind") != type(self).__name__:
@@ -328,6 +388,8 @@ class StreamFeed(BatchFeed):
                 f"not {type(self).__name__}"
             )
         self._epochs_streamed = int(state["epochs_streamed"])
+        if "shuffle_rng" in state:
+            self._shuffle_rng.bit_generator.state = state["shuffle_rng"]
 
 
 class ShardedFeed(StreamFeed):
@@ -360,6 +422,7 @@ class ShardedFeed(StreamFeed):
         batch: int = 16,
         test_frac: float = 0.1,
         seed: int = 0,
+        shuffle: int = 0,
     ) -> "ShardedFeed":
         """Build this rank's feed; all ranks derive identical global facts.
 
@@ -403,4 +466,5 @@ class ShardedFeed(StreamFeed):
         return cls(
             rank_source, assembler, batch=batch, test_frac=test_frac, seed=seed,
             sample_offset=int(offsets[comm.rank]), total_samples=total, steps=steps,
+            shuffle=shuffle,
         )

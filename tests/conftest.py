@@ -1,0 +1,27 @@
+"""Suite-wide guards.
+
+The process SPMD backend forks real workers; a bug in its teardown would
+leak children that outlive the test that spawned them (and, on CI, hang the
+runner waiting on them).  The session fixture below asserts the suite ends
+with no live multiprocessing children, after a short drain for workers
+whose parent already initiated the join.
+"""
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def no_orphaned_workers():
+    yield
+    deadline = time.monotonic() + 5.0
+    children = mp.active_children()  # also reaps finished processes
+    while children and time.monotonic() < deadline:
+        time.sleep(0.05)
+        children = mp.active_children()
+    assert not children, (
+        f"test session leaked {len(children)} multiprocessing worker(s): "
+        f"{[c.name for c in children]}"
+    )

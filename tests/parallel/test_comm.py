@@ -1,7 +1,11 @@
 """Collective-semantics tests for the simulated MPI runtime.
 
-Every collective is exercised on both the serial and the threaded
-communicator; threaded runs use 2-8 ranks so real interleavings occur.
+Every collective is exercised on the serial communicator and — through one
+shared parameterization — on both SPMD substrates: the threaded backend
+(2-8 ranks so real interleavings occur) and the forked-process backend
+(shared-memory transport).  The same programs must produce the same values,
+clocks, and failure surfaces on either, which is the backend-conformance
+contract ``run_spmd(backend=...)`` promises.
 """
 
 import numpy as np
@@ -9,6 +13,18 @@ import pytest
 
 from repro.parallel import SerialComm, run_spmd
 from repro.parallel.comm import payload_nbytes
+
+# (backend, nranks) grid shared by every conformance class below.  The
+# process backend uses smaller rank counts: each case forks real workers.
+BACKEND_RANKS = [
+    ("thread", 2),
+    ("thread", 4),
+    ("thread", 7),
+    ("process", 2),
+    ("process", 3),
+]
+
+BACKENDS = ["thread", "process"]
 
 
 class TestSerialComm:
@@ -38,18 +54,18 @@ class TestSerialComm:
             comm.allreduce(1, op="bogus")
 
 
-@pytest.mark.parametrize("nranks", [2, 4, 7])
-class TestThreadCollectives:
-    def test_bcast(self, nranks):
+@pytest.mark.parametrize("backend,nranks", BACKEND_RANKS)
+class TestCollectives:
+    def test_bcast(self, backend, nranks):
         def prog(comm):
             data = np.arange(5) * 10 if comm.rank == 2 % comm.size else None
             return comm.bcast(data, root=2 % comm.size)
 
-        res = run_spmd(prog, nranks)
+        res = run_spmd(prog, nranks, backend=backend)
         for v in res.values:
             assert np.array_equal(v, np.arange(5) * 10)
 
-    def test_bcast_receivers_get_copies(self, nranks):
+    def test_bcast_receivers_get_copies(self, backend, nranks):
         def prog(comm):
             data = np.zeros(3) if comm.rank == 0 else None
             out = comm.bcast(data, root=0)
@@ -58,10 +74,10 @@ class TestThreadCollectives:
             comm.barrier()
             return float(out.sum())
 
-        res = run_spmd(prog, nranks)
+        res = run_spmd(prog, nranks, backend=backend)
         assert res.values[0] == 0.0
 
-    def test_scatter_gather_roundtrip(self, nranks):
+    def test_scatter_gather_roundtrip(self, backend, nranks):
         def prog(comm):
             chunks = [np.full(2, r) for r in range(comm.size)] if comm.rank == 0 else None
             mine = comm.scatter(chunks, root=0)
@@ -72,42 +88,47 @@ class TestThreadCollectives:
             assert gathered is None
             return None
 
-        res = run_spmd(prog, nranks)
+        res = run_spmd(prog, nranks, backend=backend)
         assert res.values[0] == [[2 * r, 2 * r] for r in range(nranks)]
 
-    def test_allgather(self, nranks):
-        res = run_spmd(lambda comm: comm.allgather(comm.rank**2), nranks)
+    def test_allgather(self, backend, nranks):
+        res = run_spmd(lambda comm: comm.allgather(comm.rank**2), nranks,
+                       backend=backend)
         expected = [r**2 for r in range(nranks)]
         assert all(v == expected for v in res.values)
 
-    def test_allreduce_sum_array(self, nranks):
+    def test_allreduce_sum_array(self, backend, nranks):
         def prog(comm):
             return comm.allreduce(np.full(3, comm.rank + 1.0))
 
-        res = run_spmd(prog, nranks)
+        res = run_spmd(prog, nranks, backend=backend)
         total = sum(range(1, nranks + 1))
         for v in res.values:
             assert np.allclose(v, total)
 
-    def test_allreduce_min_max(self, nranks):
-        res = run_spmd(lambda c: (c.allreduce(c.rank, op="min"), c.allreduce(c.rank, op="max")), nranks)
+    def test_allreduce_min_max(self, backend, nranks):
+        res = run_spmd(
+            lambda c: (c.allreduce(c.rank, op="min"), c.allreduce(c.rank, op="max")),
+            nranks, backend=backend,
+        )
         assert all(v == (0, nranks - 1) for v in res.values)
 
-    def test_reduce_root_only(self, nranks):
-        res = run_spmd(lambda c: c.reduce(1, op="sum", root=0), nranks)
+    def test_reduce_root_only(self, backend, nranks):
+        res = run_spmd(lambda c: c.reduce(1, op="sum", root=0), nranks,
+                       backend=backend)
         assert res.values[0] == nranks
         assert all(v is None for v in res.values[1:])
 
-    def test_alltoall(self, nranks):
+    def test_alltoall(self, backend, nranks):
         def prog(comm):
             out = comm.alltoall([100 * comm.rank + dst for dst in range(comm.size)])
             return out
 
-        res = run_spmd(prog, nranks)
+        res = run_spmd(prog, nranks, backend=backend)
         for dst, received in enumerate(res.values):
             assert received == [100 * src + dst for src in range(nranks)]
 
-    def test_send_recv_ring(self, nranks):
+    def test_send_recv_ring(self, backend, nranks):
         def prog(comm):
             right = (comm.rank + 1) % comm.size
             left = (comm.rank - 1) % comm.size
@@ -115,10 +136,10 @@ class TestThreadCollectives:
             got = comm.recv(source=left, tag=5)
             return int(got[0])
 
-        res = run_spmd(prog, nranks)
+        res = run_spmd(prog, nranks, backend=backend)
         assert res.values == [(r - 1) % nranks for r in range(nranks)]
 
-    def test_sequential_collectives_do_not_cross(self, nranks):
+    def test_sequential_collectives_do_not_cross(self, backend, nranks):
         """Values from one collective must never bleed into the next."""
 
         def prog(comm):
@@ -126,67 +147,121 @@ class TestThreadCollectives:
             b = comm.allgather(("second", comm.rank))
             return a[0][0], b[0][0]
 
-        res = run_spmd(prog, nranks)
+        res = run_spmd(prog, nranks, backend=backend)
         assert all(v == ("first", "second") for v in res.values)
 
+    def test_empty_partition_rank(self, backend, nranks):
+        """Ranks whose block partition is empty still join every collective."""
 
+        def prog(comm):
+            from repro.parallel.partition import block_bounds
+
+            lo, hi = block_bounds(1, comm.size, comm.rank)  # 1 item, n ranks
+            local = np.arange(lo, hi, dtype=np.float64)  # empty on most ranks
+            total = comm.allreduce(float(local.sum()), op="sum")
+            counts = comm.allgather(len(local))
+            return total, counts
+
+        res = run_spmd(prog, nranks, backend=backend)
+        for total, counts in res.values:
+            assert total == 0.0
+            assert sum(counts) == 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestErrorPropagation:
-    def test_rank_failure_propagates(self):
+    def test_rank_failure_propagates(self, backend):
         def prog(comm):
             if comm.rank == 1:
                 raise ValueError("boom")
             comm.barrier()
 
         with pytest.raises(RuntimeError, match="rank 1 failed"):
-            run_spmd(prog, 3)
+            run_spmd(prog, 3, backend=backend)
 
-    def test_bad_root_rejected(self):
+    def test_bad_root_rejected(self, backend):
         with pytest.raises(RuntimeError):
-            run_spmd(lambda c: c.bcast(1, root=99), 2)
+            run_spmd(lambda c: c.bcast(1, root=99), 2, backend=backend)
 
-    def test_scatter_wrong_chunk_count(self):
+    def test_scatter_wrong_chunk_count(self, backend):
         def prog(comm):
             chunks = [1] if comm.rank == 0 else None
             return comm.scatter(chunks, root=0)
 
         with pytest.raises(RuntimeError):
-            run_spmd(prog, 3)
+            run_spmd(prog, 3, backend=backend)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestVirtualTime:
-    def test_compute_advances_clock(self):
+    """The virtual-time model is computed identically on both substrates."""
+
+    def test_compute_advances_clock(self, backend):
         def prog(comm):
             comm.account_compute(2.0e6)
             return comm.clock.t
 
-        res = run_spmd(prog, 2)
+        res = run_spmd(prog, 2, backend=backend)
         assert all(t == pytest.approx(1.0) for t in res.values)  # 2e6 work / 2e6 rate
 
-    def test_collective_synchronizes_clocks(self):
+    def test_collective_synchronizes_clocks(self, backend):
         def prog(comm):
             comm.account_compute(1.0e6 * (comm.rank + 1))  # rank 1 is slower
             comm.barrier()
             return comm.clock.t
 
-        res = run_spmd(prog, 2)
+        res = run_spmd(prog, 2, backend=backend)
         # Both ranks end at >= the slow rank's arrival time.
         assert min(res.values) >= 1.0
         assert res.values[0] == pytest.approx(res.values[1])
 
-    def test_virtual_makespan(self):
-        res = run_spmd(lambda c: c.account_compute(4.0e6), 2)
+    def test_virtual_makespan(self, backend):
+        res = run_spmd(lambda c: c.account_compute(4.0e6), 2, backend=backend)
         assert res.virtual_time == pytest.approx(2.0)
 
-    def test_stats_counted(self):
+    def test_stats_counted(self, backend):
         def prog(comm):
             comm.barrier()
             comm.allreduce(1.0)
             return comm.clock.stats
 
-        res = run_spmd(prog, 2)
+        res = run_spmd(prog, 2, backend=backend)
         for stats in res.values:
             assert stats.barriers == 1
             assert stats.collectives == 1
+
+
+class TestBackendParity:
+    """Thread and process runs of one program agree bit-for-bit."""
+
+    def test_clocks_and_comm_stats_identical(self):
+        def prog(comm):
+            comm.account_compute(1.0e6 * (comm.rank + 1))
+            comm.bcast(np.arange(1000, dtype=np.float64), root=0)
+            comm.allreduce(np.full(200, comm.rank + 0.5), op="sum")
+            comm.alltoall([np.full(3, comm.rank * 10 + d) for d in range(comm.size)])
+            comm.barrier()
+            return comm.clock.t, comm.clock.stats
+
+        a = run_spmd(prog, 3, backend="thread")
+        b = run_spmd(prog, 3, backend="process")
+        for (ta, sa), (tb, sb) in zip(a.values, b.values):
+            assert ta == tb  # exact, not approx: same float ops in same order
+            assert sa.collectives == sb.collectives
+            assert sa.barriers == sb.barriers
+            assert sa.bytes_sent == sb.bytes_sent
+        assert a.virtual_time == b.virtual_time
+
+    def test_payload_accounting_identical(self):
+        """payload_nbytes drives the clock the same way on both backends."""
+
+        def prog(comm):
+            comm.gather(np.zeros(50 * (comm.rank + 1)), root=0)
+            return comm.clock.stats.bytes_sent
+
+        a = run_spmd(prog, 4, backend="thread")
+        b = run_spmd(prog, 4, backend="process")
+        assert a.values == b.values
 
 
 class TestPayloadNbytes:
@@ -201,10 +276,11 @@ class TestPayloadNbytes:
         assert payload_nbytes(None) == 0
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestFaultHook:
-    """Fault injection through run_spmd / ThreadComm.maybe_fail."""
+    """Fault injection through run_spmd and Communicator.maybe_fail."""
 
-    def test_hook_kills_named_rank(self):
+    def test_hook_kills_named_rank(self, backend):
         from repro.parallel import RankFailure
 
         def prog(comm):
@@ -214,12 +290,13 @@ class TestFaultHook:
                 return f"died: {exc}"
             return "alive"
 
-        res = run_spmd(prog, 3, fault_hook=lambda rank, step: rank == 1)
+        res = run_spmd(prog, 3, fault_hook=lambda rank, step: rank == 1,
+                       backend=backend)
         assert res.values[0] == "alive" and res.values[2] == "alive"
         assert res.values[1].startswith("died: rank 1 killed by fault hook")
         assert "'step': 7" in res.values[1]
 
-    def test_uncaught_failure_propagates_like_any_rank_error(self):
+    def test_uncaught_failure_propagates_like_any_rank_error(self, backend):
         from repro.parallel import RankFailure
 
         def prog(comm):
@@ -227,17 +304,17 @@ class TestFaultHook:
             return "alive"
 
         with pytest.raises(RuntimeError, match="rank 1 failed") as excinfo:
-            run_spmd(prog, 2, fault_hook=lambda rank: rank == 1)
+            run_spmd(prog, 2, fault_hook=lambda rank: rank == 1, backend=backend)
         assert isinstance(excinfo.value.__cause__, RankFailure)
 
-    def test_no_hook_is_noop(self):
-        res = run_spmd(lambda c: c.maybe_fail(step=1) or "ok", 2)
+    def test_no_hook_is_noop(self, backend):
+        res = run_spmd(lambda c: c.maybe_fail(step=1) or "ok", 2, backend=backend)
         assert res.values == ["ok", "ok"]
 
-    def test_serial_comm_never_injects(self):
+    def test_serial_comm_never_injects(self, backend):
         comm = SerialComm()
         assert comm.maybe_fail(step=0) is None
         # run_spmd(nranks=1) ignores the hook: no peer survives a serial kill.
         res = run_spmd(lambda c: c.maybe_fail() or "ok", 1,
-                       fault_hook=lambda rank: True)
+                       fault_hook=lambda rank: True, backend=backend)
         assert res.values == ["ok"]

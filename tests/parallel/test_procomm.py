@@ -1,0 +1,208 @@
+"""Process-backend specifics the shared conformance grid cannot cover:
+the shared-memory fast path, receive timeouts, hard worker deaths, and
+end-to-end determinism of the pipelines against the thread backend.
+"""
+
+import glob
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset
+from repro.parallel import run_spmd
+from repro.parallel.procomm import (
+    DEFAULT_SHM_THRESHOLD,
+    _dispose,
+    _pack,
+    _unpack,
+    run_process_spmd,
+)
+from repro.sampling import subsample
+from repro.utils.config import CaseConfig, SharedConfig, SubsampleConfig, TrainConfig
+
+
+def _shm_segments() -> set[str]:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+class TestShmTransport:
+    def test_small_payload_stays_inline(self):
+        data, shm_name, spans = _pack(np.arange(10, dtype=np.float64), 1024)
+        assert shm_name is None and spans == []
+        assert np.array_equal(_unpack((data, shm_name, spans)), np.arange(10.0))
+
+    def test_large_payload_goes_out_of_band(self):
+        arr = np.arange(100_000, dtype=np.float64)
+        before = _shm_segments()
+        packed = _pack(arr, 1024)
+        data, shm_name, spans = packed
+        assert shm_name is not None
+        assert sum(size for _, size in spans) >= arr.nbytes
+        assert len(data) < arr.nbytes  # pickle stream itself is tiny
+        out = _unpack(packed)
+        assert np.array_equal(out, arr)
+        # Attach/unlink balanced: nothing new left in /dev/shm.
+        assert _shm_segments() == before
+
+    def test_unpacked_arrays_are_private_and_writable(self):
+        arr = np.ones(50_000, dtype=np.float64)
+        a = _unpack(_pack(arr, 1024))
+        b = _unpack(_pack(arr, 1024))
+        a += 5.0  # value semantics: no view into shared state
+        assert a[0] == 6.0 and b[0] == 1.0 and arr[0] == 1.0
+
+    def test_mixed_container_roundtrip(self):
+        obj = {"big": np.zeros((300, 300)), "small": np.arange(3), "s": "x"}
+        out = _unpack(_pack(obj, 1024))
+        assert np.array_equal(out["big"], obj["big"])
+        assert np.array_equal(out["small"], obj["small"])
+        assert out["s"] == "x"
+
+    def test_dispose_unlinks_unconsumed_segment(self):
+        before = _shm_segments()
+        packed = _pack(np.zeros(100_000), 1024)
+        assert packed[1] is not None
+        _dispose(packed)
+        assert _shm_segments() == before
+
+    def test_collective_with_shm_sized_payload(self):
+        """End-to-end: arrays above the threshold cross ranks intact."""
+
+        def prog(comm):
+            big = np.full(50_000, float(comm.rank))  # 400 KB > threshold
+            got = comm.allgather(big)
+            return [float(g[0]) for g in got]
+
+        assert 50_000 * 8 > DEFAULT_SHM_THRESHOLD
+        before = _shm_segments()
+        res = run_spmd(prog, 2, backend="process")
+        assert res.values == [[0.0, 1.0], [0.0, 1.0]]
+        assert _shm_segments() == before
+
+
+class TestTimeouts:
+    def test_dead_worker_raises_instead_of_hanging(self):
+        """A hard-killed worker must surface as an error on peers, fast."""
+
+        def prog(comm):
+            if comm.rank == 1:
+                os._exit(17)  # no exception, no teardown: a real crash
+            comm.barrier()
+            return "ok"
+
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match="rank 1"):
+            run_spmd(prog, 2, backend="process")
+        assert time.monotonic() - t0 < 30.0
+        # The originating cause names the death, not a secondary error.
+        try:
+            run_spmd(prog, 2, backend="process")
+        except RuntimeError as exc:
+            assert "died unexpectedly" in str(exc.__cause__)
+            assert "exitcode 17" in str(exc.__cause__)
+
+    def test_recv_timeout_fires(self):
+        """With a timeout set, a never-arriving message raises, not hangs."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1, tag=9)  # rank 1 never sends
+            time.sleep(60)
+
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError):
+            run_spmd(prog, 2, backend="process", timeout=1.5)
+        assert time.monotonic() - t0 < 30.0
+
+    def test_env_var_sets_default_timeout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROC_TIMEOUT", "1.5")
+
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1, tag=9)
+            time.sleep(60)
+
+        with pytest.raises(RuntimeError):
+            run_process_spmd(prog, 2, (), {})
+
+    def test_no_timeout_by_default_for_fast_programs(self):
+        res = run_spmd(lambda c: c.allreduce(1), 2, backend="process")
+        assert res.values == [2, 2]
+
+
+def sst_case():
+    return CaseConfig(
+        shared=SharedConfig(dims=3),
+        subsample=SubsampleConfig(
+            hypercubes="maxent", method="maxent", num_hypercubes=6,
+            num_samples=100, num_clusters=4, nxsl=8, nysl=8, nzsl=8,
+        ),
+        train=TrainConfig(arch="mlp_transformer", epochs=2, batch=4,
+                          window=2, horizon=1),
+    )
+
+
+class TestPipelineDeterminism:
+    """The acceptance bar: byte-identical results across backends."""
+
+    @pytest.fixture(scope="class")
+    def sst(self):
+        return build_dataset("SST-P1F4", scale=1.0, rng=0, n_snapshots=4)
+
+    def test_stream_subsample_byte_identical(self, sst):
+        runs = {
+            b: subsample(sst, sst_case(), nranks=4, seed=0, mode="stream", backend=b)
+            for b in ("thread", "process")
+        }
+        t, p = runs["thread"], runs["process"]
+        assert t.points.coords.tobytes() == p.points.coords.tobytes()
+        assert np.asarray(t.points.time).tobytes() == np.asarray(p.points.time).tobytes()
+        for name in t.points.values:
+            assert t.points.values[name].tobytes() == p.points.values[name].tobytes()
+        assert t.virtual_time == p.virtual_time
+
+    def test_stream_subsample_with_rank_failure_byte_identical(self, sst):
+        calls = {}
+
+        def hook(rank, **ctx):
+            calls[rank] = calls.get(rank, 0) + 1
+            return rank == 1 and ctx.get("rows_fed", 0) > 0
+
+        runs = {}
+        for b in ("thread", "process"):
+            runs[b] = subsample(
+                sst, sst_case(), nranks=4, seed=0, mode="stream",
+                on_rank_failure="reweight", fault_hook=hook, backend=b,
+            )
+        t, p = runs["thread"], runs["process"]
+        assert t.meta["failed_ranks"] == p.meta["failed_ranks"] == [1]
+        assert t.points.coords.tobytes() == p.points.coords.tobytes()
+        for name in t.points.values:
+            assert t.points.values[name].tobytes() == p.points.values[name].tobytes()
+
+    def test_batch_subsample_byte_identical(self, sst):
+        runs = {
+            b: subsample(sst, sst_case(), nranks=2, seed=0, backend=b)
+            for b in ("thread", "process")
+        }
+        t, p = runs["thread"], runs["process"]
+        assert t.points.coords.tobytes() == p.points.coords.tobytes()
+        for name in t.points.values:
+            assert t.points.values[name].tobytes() == p.points.values[name].tobytes()
+        assert t.virtual_time == p.virtual_time
+
+    def test_ddp_train_losses_identical(self, sst):
+        from repro.api import Experiment
+
+        losses = {}
+        for b in ("thread", "process"):
+            exp = (
+                Experiment(sst_case()).with_dataset(sst).with_seed(0)
+                .with_train_ranks(2).with_backend(b).with_epochs(2)
+            )
+            exp.subsample().train()
+            losses[b] = exp.artifacts["train"].result.train_losses
+        assert np.asarray(losses["thread"]).tobytes() == \
+            np.asarray(losses["process"]).tobytes()

@@ -284,3 +284,117 @@ class TestExperimentTune:
         loaded = TuneArtifact.load(path)
         assert loaded.trials[1].score == float("inf")
         assert loaded.best.score == 0.5
+
+class TestShuffleBuffer:
+    """Bounded streaming shuffle between the window assembler and batcher."""
+
+    def test_yields_input_multiset_bounded_displacement(self):
+        from repro.train import ShuffleBuffer
+
+        cap = 8
+        out = list(ShuffleBuffer(cap, np.random.default_rng(5))(iter(range(1000))))
+        assert sorted(out) == list(range(1000))
+        assert out != list(range(1000))
+        # An item cannot be emitted before the buffer has seen it: position
+        # of item v is at least v - capacity, the memory bound's signature.
+        for pos, v in enumerate(out):
+            assert pos >= v - cap
+
+    def test_full_permutation_when_stream_fits(self):
+        from repro.train import ShuffleBuffer
+
+        out = list(ShuffleBuffer(100, np.random.default_rng(0))(iter(range(30))))
+        assert sorted(out) == list(range(30)) and out != list(range(30))
+
+    def test_deterministic_per_rng(self):
+        from repro.train import ShuffleBuffer
+
+        runs = [
+            list(ShuffleBuffer(8, np.random.default_rng(5))(iter(range(500))))
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_capacity_validation(self):
+        from repro.train import ShuffleBuffer
+
+        with pytest.raises(ValueError):
+            ShuffleBuffer(0, np.random.default_rng(0))
+
+    def test_stream_feed_shuffle_reorders_not_resamples(self):
+        """A shuffled feed emits the same sample multiset per epoch, in a
+        different (but seed-deterministic) order, and shuffle=0 stays the
+        byte-identical arrival-order stream."""
+        case = sst_case()
+        ds = build_dataset("SST-P1F4", scale=0.5, rng=0, n_snapshots=8)
+        sres = subsample(ds, case, seed=0, mode="stream")
+
+        def batches(shuffle):
+            assembler = stream_assembler(as_source(ds), case, sres.points)
+            feed = StreamFeed(as_source(ds), assembler, batch=4, seed=0,
+                              shuffle=shuffle)
+            return [x for xb, _ in feed.train_batches(0) for x in xb]
+
+        plain, shuffled, shuffled2 = batches(0), batches(32), batches(32)
+        key = lambda xs: sorted(x.tobytes() for x in xs)
+        assert key(plain) == key(shuffled)  # same samples...
+        assert [x.tobytes() for x in plain] != [x.tobytes() for x in shuffled]
+        assert [x.tobytes() for x in shuffled] == [x.tobytes() for x in shuffled2]
+
+    def test_shuffled_stream_loss_ks_bounded_vs_offline(self):
+        """Acceptance: with the shuffle buffer on, the stream fit stays
+        within the same KS bound of the offline (fully shuffled) fit that
+        the arrival-order stream fit is held to."""
+        case = sst_case(epochs=5, num_hypercubes=6)
+        ds = build_dataset("SST-P1F4", scale=0.5, rng=0, n_snapshots=10)
+
+        def pointwise_errors(model, batches):
+            errs = []
+            model.eval()
+            with no_grad():
+                for xb, yb in batches:
+                    pred = model(Tensor(xb)).data
+                    errs.append(np.abs(pred - yb).ravel())
+            return np.sort(np.concatenate(errs))
+
+        sres = subsample(ds, case, seed=0, mode="stream", nranks=2)
+        assembler = stream_assembler(as_source(ds), case, sres.points)
+        sfeed = StreamFeed(as_source(ds), assembler, batch=4, test_frac=0.2,
+                           seed=0, shuffle=64)
+        smodel = build_model_for_case(case, sfeed.spec, rng=0)
+        sfit = TrainLoop(smodel, seed=0).fit(sfeed, epochs=5)
+        errs_s = pointwise_errors(smodel, sfeed.eval_batches())
+
+        bres = subsample(ds, case, seed=0)
+        data = build_reconstruction_data(ds, bres, window=2, horizon=1)
+        bmodel = build_model_for_case(case, data, rng=0)
+        bfeed = ArrayFeed(data.x, data.y, batch=4, test_frac=0.2, seed=0)
+        bfit = TrainLoop(bmodel, seed=0).fit(bfeed, epochs=5)
+        errs_b = pointwise_errors(bmodel, bfeed.eval_batches())
+
+        ratio = sfit.final_test_loss / bfit.final_test_loss
+        assert 0.2 < ratio < 5.0, f"stream/offline loss ratio {ratio:.2f}"
+        grid = np.linspace(0.0, max(errs_s.max(), errs_b.max()), 512)
+        cdf_s = np.searchsorted(errs_s, grid) / len(errs_s)
+        cdf_b = np.searchsorted(errs_b, grid) / len(errs_b)
+        ks = float(np.abs(cdf_s - cdf_b).max())
+        assert ks < 0.35, f"KS distance {ks:.3f} exceeds tolerance"
+
+    def test_shuffle_state_roundtrip_resumes_draws(self):
+        """The feed cursor carries the shuffle RNG: restoring it replays
+        the identical remaining shuffle sequence."""
+        case = sst_case()
+        ds = build_dataset("SST-P1F4", scale=0.5, rng=0, n_snapshots=8)
+        sres = subsample(ds, case, seed=0, mode="stream")
+
+        def feed():
+            assembler = stream_assembler(as_source(ds), case, sres.points)
+            return StreamFeed(as_source(ds), assembler, batch=4, seed=0,
+                              shuffle=32)
+
+        a, b = feed(), feed()
+        list(a.train_batches(0))  # advance epoch 0
+        b.load_state(a.state())  # b never streamed; jump to a's cursor
+        xa = [x.tobytes() for xb, _ in a.train_batches(1) for x in xb]
+        xb_ = [x.tobytes() for xb, _ in b.train_batches(1) for x in xb]
+        assert xa == xb_
