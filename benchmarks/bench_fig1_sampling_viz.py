@@ -43,10 +43,11 @@ def test_fig1_wake_capture(benchmark, of2d_dataset):
     scores, masks = benchmark.pedantic(run, rounds=1, iterations=1)
 
     rows = [
-        {"method": "full", "wake_capture": 1.0, "std": 0.0, "n_samples": features.shape[0]}
-    ] + [
-        {"method": m, "wake_capture": scores[m][0], "std": scores[m][1], "n_samples": n}
-        for m in METHODS
+        {"method": "full", "wake_capture": 1.0, "std": 0.0, "n_samples": features.shape[0]},
+        *(
+            {"method": m, "wake_capture": scores[m][0], "std": scores[m][1], "n_samples": n}
+            for m in METHODS
+        ),
     ]
     parts = [format_table(rows, title="Fig 1 — wake-capture enrichment (10% sampling, |wz|)")]
     parts.append("\nVorticity field |wz|:")

@@ -355,7 +355,7 @@ def test_fig7_wallclock_backends(benchmark, sst_p1f100_dataset, tmp_path,
                 doc["runs"] = prev["runs"]
         except (OSError, ValueError):
             pass
-    doc["runs"] = (doc["runs"] + [record])[-50:]
+    doc["runs"] = [*doc["runs"], record][-50:]
     with open(bench_json_path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")

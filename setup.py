@@ -1,5 +1,28 @@
-"""Setup shim so legacy editable installs work offline (no `wheel` package)."""
+"""Setup shim so legacy editable installs work offline (no `wheel` package).
 
-from setuptools import setup
+Also the home of the console entry points: ``repro-subsample`` /
+``repro-train`` mirror ``python -m repro.cli``'s subcommands, and
+``repro-lint`` runs the in-tree determinism/concurrency checker
+(``python -m repro.lint``).
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-insitu-subsample",
+    version="1.1.0",
+    description=(
+        "Reproduction of streaming in-situ subsampling with loss-based "
+        "importance sampling, SPMD-parallel and bit-deterministic"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+    entry_points={
+        "console_scripts": [
+            "repro-subsample = repro.cli:subsample_main",
+            "repro-train = repro.cli:train_main",
+            "repro-lint = repro.lint.cli:main",
+        ],
+    },
+)

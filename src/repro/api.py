@@ -128,7 +128,7 @@ class Artifact:
         raise NotImplementedError
 
     @classmethod
-    def load(cls, path: str) -> "Artifact":
+    def load(cls, path: str) -> Artifact:
         raise NotImplementedError
 
     def summary(self) -> str:
@@ -211,7 +211,7 @@ class SubsampleArtifact(Artifact):
         return path
 
     @classmethod
-    def load(cls, path: str) -> "SubsampleArtifact":
+    def load(cls, path: str) -> SubsampleArtifact:
         """Rebuild the artifact (minus live energy meters) from ``save`` output."""
         from repro.data.hypercubes import Hypercube
 
@@ -287,7 +287,7 @@ class TrainArtifact(Artifact):
         return path
 
     @classmethod
-    def load(cls, path: str) -> "TrainArtifact":
+    def load(cls, path: str) -> TrainArtifact:
         if not path.endswith(".json"):
             path = path + ".json"
         with open(path, encoding="utf-8") as fh:
@@ -346,7 +346,7 @@ class TuneArtifact(Artifact):
         return path
 
     @classmethod
-    def load(cls, path: str) -> "TuneArtifact":
+    def load(cls, path: str) -> TuneArtifact:
         if not path.endswith(".json"):
             path = path + ".json"
         with open(path, encoding="utf-8") as fh:
@@ -386,7 +386,7 @@ class Experiment:
     # ---- construction -----------------------------------------------------
 
     @classmethod
-    def from_case(cls, case: "str | dict[str, Any] | CaseConfig") -> "Experiment":
+    def from_case(cls, case: str | dict[str, Any] | CaseConfig) -> Experiment:
         """Build from a YAML path, a raw config dict, or a CaseConfig."""
         if isinstance(case, CaseConfig):
             cfg = case
@@ -398,21 +398,21 @@ class Experiment:
 
     # ---- fluent configuration --------------------------------------------
 
-    def with_ranks(self, n: int) -> "Experiment":
+    def with_ranks(self, n: int) -> Experiment:
         """Simulated MPI ranks for the subsample phase (``srun -n N``)."""
         if n < 1:
             raise ValueError("ranks must be >= 1")
         self.ranks = int(n)
         return self
 
-    def with_train_ranks(self, n: int) -> "Experiment":
+    def with_train_ranks(self, n: int) -> Experiment:
         """Simulated DDP ranks for the training phase."""
         if n < 1:
             raise ValueError("train ranks must be >= 1")
         self.train_ranks = int(n)
         return self
 
-    def with_backend(self, backend: str) -> "Experiment":
+    def with_backend(self, backend: str) -> Experiment:
         """SPMD substrate for every parallel stage: ``"thread"`` (virtual-time
         modeling, the default) or ``"process"`` (forked workers with
         shared-memory transport — real wall-clock parallelism).  Results are
@@ -426,7 +426,7 @@ class Experiment:
         self.backend = backend
         return self
 
-    def with_stream_shuffle(self, capacity: int) -> "Experiment":
+    def with_stream_shuffle(self, capacity: int) -> Experiment:
         """Shuffle-buffer capacity for stream-mode training feeds (see
         :class:`~repro.train.feeds.ShuffleBuffer`).  ``0`` (the default)
         keeps arrival order, byte-identical to pre-shuffle fits."""
@@ -435,12 +435,12 @@ class Experiment:
         self.stream_shuffle = int(capacity)
         return self
 
-    def with_seed(self, seed: int) -> "Experiment":
+    def with_seed(self, seed: int) -> Experiment:
         self.seed = int(seed)
         self._invalidate_dataset()
         return self
 
-    def with_scale(self, scale: float) -> "Experiment":
+    def with_scale(self, scale: float) -> Experiment:
         """Dataset resolution scale (1.0 = the case's native grid)."""
         if scale <= 0:
             raise ValueError("scale must be > 0")
@@ -468,14 +468,14 @@ class Experiment:
         if not self._source_explicit:
             self._source = None
 
-    def with_epochs(self, epochs: int | None) -> "Experiment":
+    def with_epochs(self, epochs: int | None) -> Experiment:
         """Override the case's epoch budget (None keeps the case value)."""
         if epochs is not None and epochs < 1:
             raise ValueError("epochs must be >= 1")
         self.epochs = epochs
         return self
 
-    def with_source(self, source: "SnapshotSource | TurbulenceDataset | str") -> "Experiment":
+    def with_source(self, source: SnapshotSource | TurbulenceDataset | str) -> Experiment:
         """Drive the experiment from any :class:`SnapshotSource`.
 
         Accepts an in-memory / sharded / simulation source, a bare
@@ -493,7 +493,7 @@ class Experiment:
         self._source_explicit = True
         return self
 
-    def with_dataset(self, dataset: TurbulenceDataset) -> "Experiment":
+    def with_dataset(self, dataset: TurbulenceDataset) -> Experiment:
         """Use a pre-built dataset instead of loading from the case
         (sugar for ``with_source(dataset)``)."""
         return self.with_source(dataset)
@@ -536,7 +536,7 @@ class Experiment:
         owned_shards: bool = False,
         on_rank_failure: str = "raise",
         fault_hook=None,
-    ) -> "Experiment":
+    ) -> Experiment:
         """Run the subsampling pipeline and record its artifact.
 
         ``mode="batch"`` is the two-phase SPMD pipeline; ``mode="stream"``
@@ -579,7 +579,7 @@ class Experiment:
         resume: str | None = None,
         checkpoint: str | None = None,
         checkpoint_every: int = 1,
-    ) -> "Experiment":
+    ) -> Experiment:
         """Train the case's architecture on the subsample; records an artifact.
 
         ``mode="batch"`` assembles resident training arrays from a
@@ -744,9 +744,9 @@ class Experiment:
         self,
         n_trials: int = 10,
         strategy: str = "bayes",
-        space: "SearchSpace | None" = None,
+        space: SearchSpace | None = None,
         epochs: int | None = None,
-    ) -> "Experiment":
+    ) -> Experiment:
         """Hyperparameter search (the paper's DeepHyper ``--tune`` substitute).
 
         Runs :func:`repro.train.tuning.tune` over the case's training data

@@ -38,7 +38,7 @@ __all__ = ["main", "subsample_main", "train_main", "build_model_for_case"]
 _DEFAULT_MAX_CACHED = 2
 
 
-def _resolve_source(args, case) -> "object | None":
+def _resolve_source(args, case) -> object | None:
     """Build the SnapshotSource named by ``--source`` (None = case default)."""
     if not args.source:
         return None

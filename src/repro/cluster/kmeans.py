@@ -133,7 +133,7 @@ class KMeans:
         labels, dist = _assign(x, centers)
         return centers, labels, float(dist.sum()), it
 
-    def fit(self, x: np.ndarray) -> "KMeans":
+    def fit(self, x: np.ndarray) -> KMeans:
         x = _as_2d(x)
         best: tuple[np.ndarray, np.ndarray, float, int] | None = None
         for _ in range(max(1, self.n_init)):
@@ -188,7 +188,7 @@ class MiniBatchKMeans:
         self.inertia_: float = np.inf
         self.n_iter_: int = 0
 
-    def partial_fit(self, batch: np.ndarray) -> "MiniBatchKMeans":
+    def partial_fit(self, batch: np.ndarray) -> MiniBatchKMeans:
         """Update centers from one batch (streaming / out-of-core entry point)."""
         batch = _as_2d(batch)
         k = min(self.n_clusters, batch.shape[0]) if self.cluster_centers_ is None else self.n_clusters
@@ -204,7 +204,7 @@ class MiniBatchKMeans:
             self.cluster_centers_[j] += eta * (members.mean(axis=0) - self.cluster_centers_[j])
         return self
 
-    def fit(self, x: np.ndarray) -> "MiniBatchKMeans":
+    def fit(self, x: np.ndarray) -> MiniBatchKMeans:
         x = _as_2d(x)
         n = x.shape[0]
         self.cluster_centers_ = None

@@ -13,7 +13,7 @@ resolution (rounded to even sizes for the spectral solver).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

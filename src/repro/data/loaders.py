@@ -56,7 +56,7 @@ def save_dataset(dataset: TurbulenceDataset, path: str) -> None:
 
 
 def _load_saved(path: str) -> TurbulenceDataset:
-    with open(os.path.join(path, _MANIFEST), "r", encoding="utf-8") as fh:
+    with open(os.path.join(path, _MANIFEST), encoding="utf-8") as fh:
         manifest = json.load(fh)
     snaps = [
         load_field(os.path.join(path, f"snapshot_{i:05d}.npz"))

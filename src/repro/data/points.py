@@ -64,7 +64,7 @@ class PointSet:
             raise KeyError(f"missing variables {missing}; available: {self.variable_names}")
         return np.column_stack([self.values[n] for n in names])
 
-    def select(self, idx: np.ndarray) -> "PointSet":
+    def select(self, idx: np.ndarray) -> PointSet:
         """Subset by integer indices (or boolean mask)."""
         idx = np.asarray(idx)
         time = self.time[idx] if isinstance(self.time, np.ndarray) and self.time.ndim else self.time
@@ -76,7 +76,7 @@ class PointSet:
         )
 
     @staticmethod
-    def concatenate(sets: list["PointSet"]) -> "PointSet":
+    def concatenate(sets: list[PointSet]) -> PointSet:
         """Concatenate point sets sharing the same variables and ndim."""
         if not sets:
             raise ValueError("need at least one PointSet")
@@ -91,7 +91,7 @@ class PointSet:
         ]
         return PointSet(
             coords=np.concatenate([s.coords for s in sets]),
-            values={k: np.concatenate([s.values[k] for s in sets]) for k in names},
+            values={k: np.concatenate([s.values[k] for s in sets]) for k in sorted(names)},
             time=np.concatenate(times),
             meta=dict(sets[0].meta),
         )

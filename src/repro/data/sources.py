@@ -46,7 +46,7 @@ import os
 import queue
 import threading
 from collections import OrderedDict
-from typing import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -308,9 +308,10 @@ class ShardedNpzSource(SnapshotSource):
 
     @property
     def grid_shape(self) -> tuple[int, ...]:
-        if self._grid_shape is None:
-            self._grid_shape = self.snapshot(0).grid_shape
-        return self._grid_shape
+        with self._lock:  # RLock: snapshot(0) re-enters safely
+            if self._grid_shape is None:
+                self._grid_shape = self.snapshot(0).grid_shape
+            return self._grid_shape
 
     # ---- decode / cache internals -----------------------------------------
 
@@ -386,6 +387,7 @@ class ShardedNpzSource(SnapshotSource):
             self._enqueue(j)
 
     def _enqueue(self, j: int) -> None:
+        """Queue shard `j` for background decode (caller holds the lock)."""
         if self.prefetch_depth <= 0 or not 0 <= j < self._n:
             return
         if j in self._cache or j in self._inflight:
@@ -405,7 +407,7 @@ class ShardedNpzSource(SnapshotSource):
         assert self._queue is not None
         self._queue.put(j)
 
-    def _prefetch_loop(self, q: "queue.Queue[int | None]") -> None:
+    def _prefetch_loop(self, q: queue.Queue[int | None]) -> None:
         while True:
             j = q.get()
             if j is None:
@@ -440,7 +442,7 @@ class ShardedNpzSource(SnapshotSource):
             q.put(None)
             worker.join(timeout=5.0)
 
-    def __enter__(self) -> "ShardedNpzSource":
+    def __enter__(self) -> ShardedNpzSource:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -448,24 +450,26 @@ class ShardedNpzSource(SnapshotSource):
 
     @property
     def times(self) -> np.ndarray:
-        if self._times is None:
-            # np.load decompresses entries on access, so reading just the
-            # scalar "time" entry never decodes the field arrays.
-            times = np.empty(self._n)
-            for i in range(self._n):
-                with np.load(self.shard_path(i), allow_pickle=False) as data:
-                    times[i] = float(data["time"])
-            self._times = times
-        return self._times
+        with self._lock:
+            if self._times is None:
+                # np.load decompresses entries on access, so reading just the
+                # scalar "time" entry never decodes the field arrays.
+                times = np.empty(self._n)
+                for i in range(self._n):
+                    with np.load(self.shard_path(i), allow_pickle=False) as data:
+                        times[i] = float(data["time"])
+                self._times = times
+            return self._times
 
     def nbytes(self) -> int:
         """Decoded footprint of all shards (first decode's size × count,
         cached so repeat queries touch no disk)."""
         if self._n == 0:
             return 0
-        if self._shard_nbytes is None:
-            self.snapshot(0)
-        return self._shard_nbytes * self._n
+        with self._lock:  # RLock: snapshot(0) re-enters safely
+            if self._shard_nbytes is None:
+                self.snapshot(0)
+            return self._shard_nbytes * self._n
 
     def cache_info(self) -> dict:
         with self._lock:
@@ -533,9 +537,10 @@ class SimulationSource(SnapshotSource):
 
     @property
     def grid_shape(self) -> tuple[int, ...]:
-        if self._grid_shape is None:
-            self._grid_shape = self.snapshot(0).grid_shape
-        return self._grid_shape
+        with self._lock:  # RLock: snapshot(0) re-enters safely
+            if self._grid_shape is None:
+                self._grid_shape = self.snapshot(0).grid_shape
+            return self._grid_shape
 
     def snapshot(self, i: int) -> FlowField:
         if not 0 <= i < self._n:
@@ -581,16 +586,18 @@ class SimulationSource(SnapshotSource):
     @property
     def times(self) -> np.ndarray:
         """Snapshot times; generating through the stream once if needed."""
-        if len(self._seen_times) < self._n:
-            self.snapshot(self._n - 1)  # advance to the end, recording times
-        return np.array([self._seen_times[i] for i in range(self._n)])
+        with self._lock:  # RLock: snapshot() re-enters safely
+            if len(self._seen_times) < self._n:
+                self.snapshot(self._n - 1)  # advance to the end, recording times
+            return np.array([self._seen_times[i] for i in range(self._n)])
 
     def nbytes(self) -> int:
         """Would-be decoded footprint, from the first generated snapshot's
         size (cached, so asking after a completed pass never replays)."""
-        if self._snapshot_nbytes is None:
-            self.snapshot(0)
-        return self._snapshot_nbytes * self._n
+        with self._lock:  # RLock: snapshot(0) re-enters safely
+            if self._snapshot_nbytes is None:
+                self.snapshot(0)
+            return self._snapshot_nbytes * self._n
 
 
 class PartitionedSource(SnapshotSource):
@@ -623,7 +630,7 @@ class PartitionedSource(SnapshotSource):
         self.target = base.target[lo:hi] if base.target is not None else None
 
     @classmethod
-    def split(cls, source: SnapshotSource, nranks: int) -> "list[PartitionedSource]":
+    def split(cls, source: SnapshotSource, nranks: int) -> list[PartitionedSource]:
         """One contiguous view per rank (sizes differ by at most one
         snapshot; trailing views are empty when ``nranks > n_snapshots``)."""
         from repro.parallel.partition import stream_partitions
@@ -673,7 +680,7 @@ _ADDITIVE_CACHE_COUNTERS = (
 )
 
 
-def aggregate_cache_info(infos: "Iterable[dict | None]") -> dict:
+def aggregate_cache_info(infos: Iterable[dict | None]) -> dict:
     """Sum per-rank :meth:`ShardedNpzSource.cache_info` event counters.
 
     The owned-shard benchmarks account total I/O across ranks with this:

@@ -121,7 +121,9 @@ class _LazyNpzMembers(Mapping):
         self._decode_lock = threading.Lock()
 
     def __getitem__(self, key: str) -> np.ndarray:
-        arr = self._decoded.get(key)
+        # Benign race: atomic dict read of an immutable entry — a miss just
+        # falls through to the locked decode path below.
+        arr = self._decoded.get(key)  # repro-lint: ignore[RPL003]
         if arr is not None:
             return arr
         if key not in self._members:
@@ -156,7 +158,8 @@ class _LazyNpzMembers(Mapping):
 
     def decoded(self) -> list[str]:
         """Members decoded so far (test/diagnostic hook)."""
-        return sorted(self._decoded)
+        with self._decode_lock:
+            return sorted(self._decoded)
 
 
 class LazyNpzField(FlowField):
@@ -191,7 +194,7 @@ class LazyNpzField(FlowField):
         """Would-be decoded footprint, from headers alone (no decode)."""
         return int(np.prod(self._lazy_shape)) * self._itemsize * len(self.variables)
 
-    def materialize(self) -> "LazyNpzField":
+    def materialize(self) -> LazyNpzField:
         """Decode every stored member in a single npz open (the
         prefetcher's eager path)."""
         self.variables.decode_all()
@@ -263,7 +266,7 @@ class OwnedShardLayout:
     @classmethod
     def build(
         cls, path: str, nranks: int, dest: str | None = None
-    ) -> "OwnedShardLayout":
+    ) -> OwnedShardLayout:
         """Split the shard directory at `path` into `nranks` owned sets.
 
         The layout lands in a fresh unique temp directory by default (never
@@ -297,24 +300,29 @@ class OwnedShardLayout:
             os.makedirs(root)
         target = manifest.get("target")
         spans = []
-        for part in stream_partitions(n, nranks):
-            rank_dir = os.path.join(root, f"rank_{part.rank:03d}")
-            os.makedirs(rank_dir)
-            for j, i in enumerate(part.indices()):
-                src = os.path.join(path, f"snapshot_{i:05d}.npz")
-                dst = os.path.join(rank_dir, f"snapshot_{j:05d}.npz")
-                try:
-                    os.link(src, dst)
-                except OSError:
-                    shutil.copy2(src, dst)
-            rank_manifest = {
-                **manifest,
-                "n_snapshots": part.n,
-                "target": target[part.lo : part.hi] if target is not None else None,
-            }
-            with open(os.path.join(rank_dir, MANIFEST), "w", encoding="utf-8") as fh:
-                json.dump(rank_manifest, fh, indent=2)
-            spans.append((part.lo, part.hi))
+        try:
+            for part in stream_partitions(n, nranks):
+                rank_dir = os.path.join(root, f"rank_{part.rank:03d}")
+                os.makedirs(rank_dir)
+                for j, i in enumerate(part.indices()):
+                    src = os.path.join(path, f"snapshot_{i:05d}.npz")
+                    dst = os.path.join(rank_dir, f"snapshot_{j:05d}.npz")
+                    try:
+                        os.link(src, dst)
+                    except OSError:
+                        shutil.copy2(src, dst)
+                rank_manifest = {
+                    **manifest,
+                    "n_snapshots": part.n,
+                    "target": target[part.lo : part.hi] if target is not None else None,
+                }
+                with open(os.path.join(rank_dir, MANIFEST), "w", encoding="utf-8") as fh:
+                    json.dump(rank_manifest, fh, indent=2)
+                spans.append((part.lo, part.hi))
+        except BaseException:
+            # Don't leak a half-built layout (mkdtemp or explicit dest).
+            shutil.rmtree(root, ignore_errors=True)
+            raise
         return cls(root, path, spans)
 
     def rank_source(

@@ -17,13 +17,13 @@ __all__ = ["EnergyMeter", "account", "active_meter"]
 _local = threading.local()
 
 
-def _stack() -> list["EnergyMeter"]:
+def _stack() -> list[EnergyMeter]:
     if not hasattr(_local, "stack"):
         _local.stack = []
     return _local.stack
 
 
-def active_meter() -> "EnergyMeter | None":
+def active_meter() -> EnergyMeter | None:
     """The innermost active meter on this thread, if any."""
     stack = _stack()
     return stack[-1] if stack else None
@@ -112,7 +112,7 @@ class EnergyMeter:
             f"Elapsed Time: {self.elapsed:.3f} s"
         )
 
-    def merge(self, other: "EnergyMeter") -> None:
+    def merge(self, other: EnergyMeter) -> None:
         """Fold another meter's counters into this one (e.g. across ranks)."""
         self.flops_cpu += other.flops_cpu
         self.flops_gpu += other.flops_gpu
@@ -120,7 +120,7 @@ class EnergyMeter:
         self.bytes_gpu += other.bytes_gpu
         self.elapsed = max(self.elapsed, other.elapsed)
 
-    def __enter__(self) -> "EnergyMeter":
+    def __enter__(self) -> EnergyMeter:
         _stack().append(self)
         return self
 

@@ -1,0 +1,38 @@
+"""repro-lint: project-specific determinism & concurrency invariant checks.
+
+Every guarantee this codebase sells — bit-identical samples per
+(seed, nranks) across the thread and process SPMD backends, exact
+reweighted merges under fault injection, checkpoint/resume bitwise
+equality — rests on a handful of coding invariants that generic linters
+cannot see: seeds must flow from config-derived ``SeedSequence`` spawns,
+virtual-time modules must never read the wall clock, lock-owning classes
+must touch their guarded state under the lock, unordered containers must
+not feed numeric accumulation, and OS resources (shared memory, threads,
+temp dirs) must balance on every path.
+
+:mod:`repro.lint` encodes those invariants as machine-checked rules over
+the stdlib ``ast`` (no third-party dependencies), runnable as
+``python -m repro.lint src tests benchmarks`` or via the ``repro-lint``
+console script, emitting ruff-style ``path:line:col CODE message``
+diagnostics.  Suppress a finding inline with ``# repro-lint: ignore[CODE]``
+or allowlist whole files (with a one-line justification) in ``lint.toml``.
+
+The static pass is complemented by :mod:`repro.lint.runtime`, a sanitizer
+activated with ``REPRO_SANITIZE=1`` that instruments lock-guarded classes
+and shared-memory segments at runtime (see that module's docstring).
+"""
+
+from repro.lint.config import LintConfig, find_config, load_config
+from repro.lint.core import Diagnostic, SourceFile, lint_paths, lint_source
+from repro.lint.rules import ALL_CHECKERS
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Diagnostic",
+    "LintConfig",
+    "SourceFile",
+    "find_config",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.lint`` — see :mod:`repro.lint.cli`."""
+
+from repro.lint.cli import main
+
+raise SystemExit(main())

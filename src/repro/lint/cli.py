@@ -1,0 +1,89 @@
+"""repro-lint command line: ``python -m repro.lint src tests benchmarks``.
+
+Exit status 0 when clean, 1 when any diagnostic fires, 2 on usage errors —
+the same contract CI's lint gate expects from ruff.  ``lint.toml`` is
+discovered upward from the current directory unless ``--config`` names one
+explicitly or ``--no-config`` disables allowlists entirely (the mode CI
+uses to prove the gate fails on a seeded-violation fixture).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.config import LintConfig, find_config, load_config
+from repro.lint.core import lint_paths
+from repro.lint.rules import ALL_CHECKERS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism & concurrency invariant checks "
+        "for the repro codebase (rules RPL001-RPL006).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--config", metavar="TOML",
+        help="lint.toml to use (default: nearest lint.toml above the cwd)",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore any lint.toml (no excludes, no allowlists)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for checker in ALL_CHECKERS:
+            print(f"{checker.code}  {checker.summary}")
+        return 0
+    if not args.paths:
+        print("repro-lint: no paths given (try: repro-lint src tests benchmarks)",
+              file=sys.stderr)
+        return 2
+
+    if args.no_config:
+        config = LintConfig()
+    elif args.config:
+        config = load_config(args.config)
+    else:
+        found = find_config()
+        config = load_config(found) if found else LintConfig()
+
+    checkers = ALL_CHECKERS
+    if args.select:
+        wanted = {c.strip().upper() for c in args.select.split(",") if c.strip()}
+        unknown = wanted - {c.code for c in ALL_CHECKERS}
+        if unknown:
+            print(f"repro-lint: unknown rule code(s): {sorted(unknown)}", file=sys.stderr)
+            return 2
+        checkers = tuple(c for c in ALL_CHECKERS if c.code in wanted)
+
+    try:
+        diagnostics = lint_paths(args.paths, config, checkers)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    for diag in diagnostics:
+        print(diag.render())
+    if diagnostics:
+        print(f"repro-lint: {len(diagnostics)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""repro-lint configuration: ``lint.toml`` allowlists and rule settings.
+
+The config file lives beside ``ruff.toml`` at the repo root.  Schema::
+
+    # file/directory glob patterns never linted (fixture snippets with
+    # deliberate violations live here)
+    exclude = ["tests/lint/fixtures/*"]
+
+    [rpl002]
+    # modules whose bookkeeping runs on virtual time — wall-clock reads
+    # there corrupt LogGP / energy accounting
+    modules = ["src/repro/parallel/perfmodel.py", "src/repro/energy/*"]
+
+    [allow.RPL001]
+    # glob -> one-line justification for the deliberate exception
+    "src/repro/utils/rng.py" = "the sanctioned RNG module wraps the globals"
+
+Allowlist patterns and excludes are matched with :func:`fnmatch.fnmatch`
+against the file path relative to the config file's directory (or the
+current directory when no config file is used), normalized to ``/``
+separators.  A pattern with no glob characters also matches any path
+underneath it, so ``"tests/lint/fixtures"`` covers the whole directory.
+"""
+
+from __future__ import annotations
+
+import os
+import tomllib
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+__all__ = ["LintConfig", "load_config", "find_config", "CONFIG_NAME"]
+
+CONFIG_NAME = "lint.toml"
+
+#: modules where RPL002 applies when no config file overrides it
+DEFAULT_WALLCLOCK_MODULES = (
+    "src/repro/parallel/perfmodel.py",
+    "src/repro/energy/*",
+)
+
+#: never linted regardless of configuration
+ALWAYS_EXCLUDE = ("*__pycache__*", "*.egg-info*")
+
+
+def _norm(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def _match(pattern: str, relpath: str) -> bool:
+    relpath = _norm(relpath)
+    pattern = _norm(pattern)
+    return fnmatch(relpath, pattern) or fnmatch(relpath, pattern.rstrip("/") + "/*")
+
+
+@dataclass
+class LintConfig:
+    """Resolved repro-lint settings (defaults when no ``lint.toml`` exists)."""
+
+    #: directory all relative paths and patterns are resolved against
+    root: str = "."
+    #: glob patterns excluded from directory walks
+    exclude: tuple[str, ...] = ()
+    #: glob patterns of modules the wall-clock rule (RPL002) applies to
+    wallclock_modules: tuple[str, ...] = DEFAULT_WALLCLOCK_MODULES
+    #: code -> {glob pattern -> one-line justification}
+    allow: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    def relpath(self, path: str) -> str:
+        """`path` relative to the config root (matching/reporting form)."""
+        return _norm(os.path.relpath(path, self.root))
+
+    def excluded(self, relpath: str) -> bool:
+        return any(_match(p, relpath) for p in (*ALWAYS_EXCLUDE, *self.exclude))
+
+    def allowed(self, code: str, relpath: str) -> str | None:
+        """Justification string if `code` is allowlisted for `relpath`."""
+        for pattern, reason in self.allow.get(code, {}).items():
+            if _match(pattern, relpath):
+                return reason
+        return None
+
+    def wallclock_module(self, relpath: str) -> bool:
+        return any(_match(p, relpath) for p in self.wallclock_modules)
+
+
+def load_config(path: str) -> LintConfig:
+    """Parse a ``lint.toml``.  Unknown keys fail loudly — a typo in an
+    allowlist must not silently re-enable (or disable) a rule."""
+    with open(path, "rb") as fh:
+        data = tomllib.load(fh)
+    config = LintConfig(root=os.path.dirname(os.path.abspath(path)) or ".")
+
+    exclude = data.pop("exclude", [])
+    if not isinstance(exclude, list) or not all(isinstance(p, str) for p in exclude):
+        raise ValueError(f"{path}: 'exclude' must be a list of glob strings")
+    config.exclude = tuple(exclude)
+
+    rpl002 = data.pop("rpl002", {})
+    if not isinstance(rpl002, dict):
+        raise ValueError(f"{path}: [rpl002] must be a table")
+    modules = rpl002.pop("modules", list(DEFAULT_WALLCLOCK_MODULES))
+    if not isinstance(modules, list) or not all(isinstance(p, str) for p in modules):
+        raise ValueError(f"{path}: rpl002.modules must be a list of glob strings")
+    if rpl002:
+        raise ValueError(f"{path}: unknown keys in [rpl002]: {sorted(rpl002)}")
+    config.wallclock_modules = tuple(modules)
+
+    allow = data.pop("allow", {})
+    if not isinstance(allow, dict):
+        raise ValueError(f"{path}: [allow] must be a table of [allow.CODE] tables")
+    for code, entries in allow.items():
+        if not isinstance(entries, dict):
+            raise ValueError(f"{path}: [allow.{code}] must map glob -> justification")
+        for pattern, reason in entries.items():
+            if not isinstance(reason, str) or not reason.strip():
+                raise ValueError(
+                    f"{path}: allow.{code} entry {pattern!r} needs a one-line "
+                    "justification string"
+                )
+        config.allow[code.upper()] = dict(entries)
+
+    if data:
+        raise ValueError(f"{path}: unknown top-level keys: {sorted(data)}")
+    return config
+
+
+def find_config(start: str = ".") -> str | None:
+    """Locate the nearest ``lint.toml`` at or above `start`."""
+    d = os.path.abspath(start)
+    while True:
+        candidate = os.path.join(d, CONFIG_NAME)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(d)
+        if parent == d:
+            return None
+        d = parent

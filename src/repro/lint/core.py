@@ -1,0 +1,203 @@
+"""repro-lint engine: source model, suppressions, and the lint runner.
+
+A :class:`SourceFile` wraps one parsed module with the services every
+checker needs: an import-alias table so ``np.random.rand`` and
+``from numpy.random import default_rng`` resolve to the same dotted name,
+parent links on every AST node (checkers reason about enclosing
+``with`` / ``try`` / function context), and per-line suppression comments
+(``# repro-lint: ignore[RPL003]`` or a bare ``# repro-lint: ignore``).
+
+:func:`lint_paths` walks files/directories, runs every registered checker,
+filters inline suppressions and ``lint.toml`` allowlist entries, and
+returns diagnostics sorted by location.  Explicitly named files bypass the
+config's ``exclude`` patterns — that is what lets CI aim the linter at a
+known-bad fixture snippet to prove the gate fails when seeded.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.lint.config import LintConfig
+
+__all__ = ["Diagnostic", "SourceFile", "lint_paths", "lint_source", "iter_python_files"]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, rendered ruff-style as ``path:line:col CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+
+_IGNORE_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+
+class SourceFile:
+    """One parsed module plus the lookup services checkers share."""
+
+    def __init__(self, relpath: str, text: str) -> None:
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=relpath)
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child._lint_parent = node  # type: ignore[attr-defined]
+        self.imports = self._import_table(self.tree)
+
+    # -- imports / name resolution ------------------------------------------
+
+    @staticmethod
+    def _import_table(tree: ast.Module) -> dict[str, str]:
+        """Local name -> dotted origin, from module-level (and nested) imports."""
+        table: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        table[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds the root name
+                        root = alias.name.split(".")[0]
+                        table[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        return table
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted origin of a Name/Attribute chain, or None if unknown.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` given
+        ``import numpy as np``; a bare from-imported name resolves through
+        its origin.  Chains rooted in anything but an imported module/name
+        (locals, ``self``, call results) resolve to None — the checkers
+        only act on what they can prove.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self.imports.get(node.id)
+        if origin is None:
+            return None
+        return ".".join([origin, *reversed(parts)]) if parts else origin
+
+    @staticmethod
+    def parent(node: ast.AST) -> ast.AST | None:
+        return getattr(node, "_lint_parent", None)
+
+    def parents(self, node: ast.AST) -> Iterator[ast.AST]:
+        p = self.parent(node)
+        while p is not None:
+            yield p
+            p = self.parent(p)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for p in self.parents(node):
+            if isinstance(p, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return p
+        return None
+
+    # -- suppressions --------------------------------------------------------
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """True if the 1-indexed physical line carries a matching ignore."""
+        if not 1 <= line <= len(self.lines):
+            return False
+        m = _IGNORE_RE.search(self.lines[line - 1])
+        if m is None:
+            return False
+        if m.group(1) is None:  # bare ``# repro-lint: ignore``
+            return True
+        codes = {c.strip().upper() for c in m.group(1).split(",")}
+        return code.upper() in codes
+
+
+def iter_python_files(paths: Iterable[str], config: LintConfig) -> Iterator[str]:
+    """Yield ``.py`` files under `paths` (explicit files bypass excludes)."""
+    seen: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            dirnames[:] = [
+                d
+                for d in dirnames
+                if not config.excluded(config.relpath(os.path.join(dirpath, d)))
+            ]
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, name)
+                if config.excluded(config.relpath(full)) or full in seen:
+                    continue
+                seen.add(full)
+                yield full
+
+
+def lint_source(
+    src: SourceFile, config: LintConfig, checkers: Iterable | None = None
+) -> list[Diagnostic]:
+    """Run checkers over one parsed source, applying inline suppressions
+    and allowlist entries (but not ``exclude`` — callers decide walking)."""
+    from repro.lint.rules import ALL_CHECKERS
+
+    out: list[Diagnostic] = []
+    for checker in checkers if checkers is not None else ALL_CHECKERS:
+        for diag in checker.check(src, config):
+            if src.suppressed(diag.line, diag.code):
+                continue
+            if config.allowed(diag.code, src.relpath) is not None:
+                continue
+            out.append(diag)
+    out.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return out
+
+
+def lint_paths(
+    paths: Iterable[str], config: LintConfig, checkers: Iterable | None = None
+) -> list[Diagnostic]:
+    """Lint files/directories; returns diagnostics sorted by location.
+
+    Unparseable files surface as an ``RPL999`` diagnostic rather than an
+    exception: a syntax error must fail the lint gate, not crash it.
+    """
+    out: list[Diagnostic] = []
+    for path in iter_python_files(paths, config):
+        relpath = config.relpath(path)
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        try:
+            src = SourceFile(relpath, text)
+        except SyntaxError as exc:
+            out.append(
+                Diagnostic(relpath, exc.lineno or 1, (exc.offset or 1) - 1, "RPL999",
+                           f"syntax error: {exc.msg}")
+            )
+            continue
+        out.extend(lint_source(src, config, checkers))
+    out.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return out

@@ -1,0 +1,39 @@
+"""Checker registry: one module per rule, instances collected here.
+
+=======  ====================================================================
+code     invariant guarded
+=======  ====================================================================
+RPL001   seeds derive from config/SeedSequence — no process-global RNG state
+RPL002   virtual-time modules (perf model, energy) never read the wall clock
+RPL003   lock-owning classes touch their guarded attributes under the lock
+RPL004   unordered set iteration must not feed accumulation / payloads
+RPL005   OS resources balance: shm close/unlink, daemon= threads, tmp dirs
+RPL006   no bare/blanket exception swallowing (RankFailure, worker death)
+=======  ====================================================================
+"""
+
+from repro.lint.rules.excepts import ExceptionSwallowChecker
+from repro.lint.rules.locks import LockDisciplineChecker
+from repro.lint.rules.ordering import OrderedIterationChecker
+from repro.lint.rules.resources import ResourceBalanceChecker
+from repro.lint.rules.rng import UnseededRngChecker
+from repro.lint.rules.wallclock import WallClockChecker
+
+ALL_CHECKERS = (
+    UnseededRngChecker(),
+    WallClockChecker(),
+    LockDisciplineChecker(),
+    OrderedIterationChecker(),
+    ResourceBalanceChecker(),
+    ExceptionSwallowChecker(),
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "ExceptionSwallowChecker",
+    "LockDisciplineChecker",
+    "OrderedIterationChecker",
+    "ResourceBalanceChecker",
+    "UnseededRngChecker",
+    "WallClockChecker",
+]

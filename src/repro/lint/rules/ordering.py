@@ -1,0 +1,139 @@
+"""RPL004 — unordered set iteration feeding accumulation or payloads.
+
+Bit-determinism across (seed, nranks) requires every numeric fold and
+every collective payload to be built in a platform-independent order.
+Python sets iterate in hash order — which depends on insertion history
+and, for str keys, on hash randomization — so a loop like::
+
+    for key in {ids}:          # or set(...), a - b, s.keys() | t
+        total += table[key]    # float accumulation: order changes bits
+
+produces different floating-point results (or differently-ordered
+collective payloads) run to run.  The checker flags iteration over
+syntactically-known set expressions — set literals/comprehensions,
+``set()``/``frozenset()`` calls, set-algebra on known sets, and local
+names bound to those — when the loop body accumulates or builds a
+collection, or when a comprehension consumes the set without an
+order-insensitive wrapper (``sorted``, ``min``, ``max``, ``len``,
+``any``, ``all``, or another set).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.core import Diagnostic, SourceFile
+
+CODE = "RPL004"
+
+#: consumers whose result does not depend on iteration order
+_ORDER_INSENSITIVE = frozenset({"sorted", "min", "max", "len", "any", "all",
+                                "set", "frozenset"})
+
+_SET_BINOPS = (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+
+#: calls in the loop body that accumulate into an ordered structure
+_ACCUMULATORS = frozenset({"append", "appendleft", "extend", "add", "update",
+                           "put", "put_nowait", "insert"})
+
+
+class OrderedIterationChecker:
+    code = CODE
+    summary = "set iteration feeding accumulation/payload construction"
+
+    def check(self, src: SourceFile, config: LintConfig) -> Iterator[Diagnostic]:
+        scopes: list[ast.AST] = [src.tree]
+        scopes += [
+            n for n in ast.walk(src.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            set_names = self._set_names(scope)
+            for node in self._own_nodes(scope):
+                yield from self._check_node(src, node, set_names)
+
+    @staticmethod
+    def _own_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk `scope` without descending into nested function scopes."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _set_names(self, scope: ast.AST) -> set[str]:
+        """Local names bound to a syntactically-known set expression."""
+        names: set[str] = set()
+        for _ in range(2):  # one re-pass resolves chains like b = a | extra
+            for node in self._own_nodes(scope):
+                if isinstance(node, ast.Assign) and self._is_set_expr(node.value, names):
+                    for t in node.targets:
+                        if isinstance(t, ast.Name):
+                            names.add(t.id)
+        return names
+
+    def _is_set_expr(self, node: ast.expr, set_names: set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name) and node.id in set_names:
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        ):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self._is_set_expr(node.left, set_names) or self._is_set_expr(
+                node.right, set_names
+            )
+        return False
+
+    def _check_node(
+        self, src: SourceFile, node: ast.AST, set_names: set[str]
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if self._is_set_expr(node.iter, set_names) and self._accumulates(node.body):
+                yield self._diag(src, node.iter, "for-loop over a set")
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            if not any(self._is_set_expr(g.iter, set_names) for g in node.generators):
+                return
+            parent = src.parent(node)
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDER_INSENSITIVE
+                and node in parent.args
+            ):
+                return
+            yield self._diag(src, node, "comprehension over a set")
+
+    @staticmethod
+    def _accumulates(body: list[ast.stmt]) -> bool:
+        for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+            if isinstance(node, ast.AugAssign):
+                return True
+            if (
+                isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Subscript) for t in node.targets)
+            ):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ACCUMULATORS
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _diag(src: SourceFile, node: ast.AST, what: str) -> Diagnostic:
+        return Diagnostic(
+            src.relpath, node.lineno, node.col_offset, CODE,
+            f"{what} feeds accumulation/payload construction in hash order; "
+            "wrap the set in sorted(...) or use an explicitly ordered structure "
+            "(bit-determinism hazard)",
+        )

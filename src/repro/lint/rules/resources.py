@@ -1,0 +1,118 @@
+"""RPL005 — OS resource balance: shared memory, threads, temp dirs.
+
+The process SPMD backend moves large payloads through
+``multiprocessing.shared_memory`` segments whose lifetime is managed by
+hand (the sender unregisters, the receiver unlinks); a path that attaches
+without ``close()``/``unlink()`` leaks ``/dev/shm`` until reboot.
+Similarly, a ``threading.Thread`` without an explicit ``daemon=`` can
+block interpreter exit if its owner forgets to join, and a
+``tempfile.mkdtemp`` with no cleanup on the failure path leaks a
+directory per crashed run.  Three lexical checks:
+
+* ``SharedMemory(...)`` assigned to a local must have a ``close()`` or
+  ``unlink()`` on that name somewhere in the same function;
+* ``threading.Thread(...)`` must pass ``daemon=`` explicitly;
+* ``tempfile.mkdtemp(...)`` must sit in a function that also has a
+  ``try``/``finally`` (or handler) invoking ``rmtree``/``cleanup``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.core import Diagnostic, SourceFile
+
+CODE = "RPL005"
+
+_SHM = ("multiprocessing.shared_memory.SharedMemory", "shared_memory.SharedMemory")
+_CLEANUP_NAMES = frozenset({"rmtree", "cleanup", "unlink", "rmdir", "remove"})
+
+
+class ResourceBalanceChecker:
+    code = CODE
+    summary = "unbalanced OS resource (shm segment, thread, temp dir)"
+
+    def check(self, src: SourceFile, config: LintConfig) -> Iterator[Diagnostic]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = src.resolve(node.func)
+            if name is None:
+                continue
+            if name.endswith(_SHM) or name == "SharedMemory":
+                yield from self._check_shm(src, node)
+            elif name == "threading.Thread":
+                yield from self._check_thread(src, node)
+            elif name == "tempfile.mkdtemp":
+                yield from self._check_mkdtemp(src, node)
+
+    # -- shared memory -------------------------------------------------------
+
+    def _check_shm(self, src: SourceFile, call: ast.Call) -> Iterator[Diagnostic]:
+        parent = src.parent(call)
+        if not (
+            isinstance(parent, ast.Assign)
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Name)
+        ):
+            return  # ownership handed off inline; not trackable lexically
+        var = parent.targets[0].id
+        scope = src.enclosing_function(call) or src.tree
+        for node in ast.walk(scope):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "unlink")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == var
+            ):
+                return
+        yield Diagnostic(
+            src.relpath, call.lineno, call.col_offset, CODE,
+            f"SharedMemory assigned to {var!r} is never close()d/unlink()ed in "
+            "this function; a leaked segment survives in /dev/shm until reboot",
+        )
+
+    # -- threads -------------------------------------------------------------
+
+    @staticmethod
+    def _check_thread(src: SourceFile, call: ast.Call) -> Iterator[Diagnostic]:
+        if any(kw.arg == "daemon" for kw in call.keywords):
+            return
+        yield Diagnostic(
+            src.relpath, call.lineno, call.col_offset, CODE,
+            "threading.Thread(...) without an explicit daemon=: a forgotten "
+            "non-daemon thread blocks interpreter exit — pass daemon= and join "
+            "it in close()/teardown",
+        )
+
+    # -- temp directories ----------------------------------------------------
+
+    @staticmethod
+    def _check_mkdtemp(src: SourceFile, call: ast.Call) -> Iterator[Diagnostic]:
+        scope = src.enclosing_function(call)
+        if scope is not None:
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.Try):
+                    continue
+                cleanup_bodies = list(node.finalbody)
+                for handler in node.handlers:
+                    cleanup_bodies.extend(handler.body)
+                for stmt in cleanup_bodies:
+                    for sub in ast.walk(stmt):
+                        if isinstance(sub, ast.Call):
+                            fn = sub.func
+                            leaf = (
+                                fn.attr if isinstance(fn, ast.Attribute)
+                                else fn.id if isinstance(fn, ast.Name) else None
+                            )
+                            if leaf in _CLEANUP_NAMES:
+                                return
+        yield Diagnostic(
+            src.relpath, call.lineno, call.col_offset, CODE,
+            "tempfile.mkdtemp() without try/finally cleanup in the same "
+            "function: the directory leaks when a later step raises — wrap the "
+            "build in try/except with shutil.rmtree",
+        )

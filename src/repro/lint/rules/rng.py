@@ -1,0 +1,80 @@
+"""RPL001 — unseeded RNG.
+
+Every stochastic component in this codebase takes a
+``numpy.random.Generator`` derived from the run seed (``repro.utils.rng``
+spawns per-rank streams from one ``SeedSequence``).  A call into the
+process-global numpy state (``np.random.rand`` and friends), the stdlib
+``random`` module, or ``default_rng()`` with no seed argument produces
+results that differ run to run — silently breaking the bit-determinism
+contract the golden tests pin.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.core import Diagnostic, SourceFile
+
+CODE = "RPL001"
+
+#: numpy.random attributes that are NOT process-global state
+_NP_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator", "RandomState",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+#: constructors that are unseeded only when called with no arguments
+_NEEDS_SEED_ARG = frozenset({"numpy.random.default_rng", "numpy.random.RandomState"})
+
+#: stdlib random attributes that do not draw from the shared global stream
+_STDLIB_RANDOM_OK = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+
+
+class UnseededRngChecker:
+    code = CODE
+    summary = "unseeded RNG (global numpy/stdlib state, or default_rng() with no seed)"
+
+    def check(self, src: SourceFile, config: LintConfig) -> Iterator[Diagnostic]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = src.resolve(node.func)
+            if name is None:
+                continue
+            message = self._verdict(name, node)
+            if message is not None:
+                yield Diagnostic(src.relpath, node.lineno, node.col_offset, CODE, message)
+
+    @staticmethod
+    def _verdict(name: str, call: ast.Call) -> str | None:
+        if name in _NEEDS_SEED_ARG:
+            if not call.args and not call.keywords:
+                return (
+                    f"{name}() without a seed draws fresh OS entropy every run; "
+                    "derive generators from the run seed "
+                    "(repro.utils.rng.make_rng / spawn_rngs)"
+                )
+            return None
+        if name.startswith("numpy.random."):
+            leaf = name.split(".")[2]
+            if leaf not in _NP_RANDOM_OK:
+                return (
+                    f"{name} uses numpy's process-global RNG state; pass a seeded "
+                    "numpy.random.Generator instead (repro.utils.rng)"
+                )
+            return None
+        if name.startswith("random.") and name.count(".") == 1:
+            leaf = name.split(".")[1]
+            if leaf == "Random" and not call.args and not call.keywords:
+                return (
+                    "random.Random() without a seed is OS-entropy seeded; "
+                    "construct it from the run seed"
+                )
+            if leaf not in _STDLIB_RANDOM_OK:
+                return (
+                    f"{name} draws from the stdlib's shared global stream; use a "
+                    "seeded numpy Generator (repro.utils.rng) so runs reproduce"
+                )
+        return None

@@ -1,0 +1,54 @@
+"""RPL002 — wall-clock reads inside virtual-time accounting modules.
+
+Fig 7 speedups and the energy report are computed in *virtual* time: a
+LogGP cost model advances per-rank :class:`~repro.parallel.perfmodel.
+VirtualClock` instances, and energy meters charge idle power against
+elapsed virtual seconds.  A ``time.time()`` / ``perf_counter()`` /
+``monotonic()`` call inside those modules silently mixes host wall time
+into the model — results would then depend on the machine the suite runs
+on, which is exactly what virtual time exists to prevent.  The rule
+applies only to modules named by ``rpl002.modules`` in ``lint.toml``
+(default: the perf model and the energy package); wall-clock reads
+elsewhere (I/O timeouts, benchmark harnesses) are legitimate.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.core import Diagnostic, SourceFile
+
+CODE = "RPL002"
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+
+class WallClockChecker:
+    code = CODE
+    summary = "wall-clock call inside a virtual-time accounting module"
+
+    def check(self, src: SourceFile, config: LintConfig) -> Iterator[Diagnostic]:
+        if not config.wallclock_module(src.relpath):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = src.resolve(node.func)
+            if name in _WALL_CLOCK:
+                yield Diagnostic(
+                    src.relpath, node.lineno, node.col_offset, CODE,
+                    f"{name}() reads the wall clock inside a virtual-time module; "
+                    "LogGP/energy bookkeeping must advance only through the perf "
+                    "model (VirtualClock / add_elapsed)",
+                )

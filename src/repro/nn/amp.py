@@ -32,7 +32,7 @@ class autocast:
             raise ValueError(f"unsupported precision {precision!r}")
         self.precision = precision
 
-    def __enter__(self) -> "autocast":
+    def __enter__(self) -> autocast:
         self._prev = current_precision()
         _local.precision = self.precision
         return self

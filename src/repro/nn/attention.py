@@ -12,6 +12,7 @@ import numpy as np
 from repro.nn.layers import Dropout, GELU, LayerNorm, Linear
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
+from repro.utils.rng import resolve_rng
 
 __all__ = ["MultiHeadAttention", "TransformerEncoderLayer", "TransformerEncoder"]
 
@@ -23,7 +24,7 @@ class MultiHeadAttention(Module):
         super().__init__()
         if dim % n_heads != 0:
             raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.dim = dim
         self.n_heads = n_heads
         self.head_dim = dim // n_heads
@@ -63,7 +64,7 @@ class TransformerEncoderLayer(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         hidden = max(1, int(dim * mlp_ratio))
         self.norm1 = LayerNorm(dim)
         self.attn = MultiHeadAttention(dim, n_heads, rng=rng)
@@ -93,7 +94,7 @@ class TransformerEncoder(Module):
         super().__init__()
         if depth < 1:
             raise ValueError("depth must be >= 1")
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.layers = [
             TransformerEncoderLayer(dim, n_heads, mlp_ratio, dropout, rng=rng)
             for _ in range(depth)

@@ -20,6 +20,7 @@ from repro.energy.meter import account
 from repro.nn.layers import he_uniform
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
+from repro.utils.rng import resolve_rng
 
 __all__ = ["Conv3d", "ConvTranspose3d"]
 
@@ -47,7 +48,7 @@ class Conv3d(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = _triple(kernel_size)
@@ -134,7 +135,7 @@ class ConvTranspose3d(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = _triple(kernel_size)

@@ -7,6 +7,7 @@ import numpy as np
 from repro.nn.amp import current_precision, quantize
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
+from repro.utils.rng import resolve_rng
 
 __all__ = ["Linear", "LayerNorm", "Dropout", "ReLU", "Tanh", "GELU", "xavier_uniform", "he_uniform"]
 
@@ -34,7 +35,7 @@ class Linear(Module):
         super().__init__()
         if in_features < 1 or out_features < 1:
             raise ValueError("feature counts must be >= 1")
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(xavier_uniform((out_features, in_features), rng))
@@ -87,7 +88,7 @@ class Dropout(Module):
         if not (0.0 <= p < 1.0):
             raise ValueError("p must lie in [0, 1)")
         self.p = p
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
 
     def forward(self, x: Tensor) -> Tensor:
         x = Tensor.as_tensor(x)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -52,7 +52,7 @@ class Module:
     def n_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
-    def modules(self) -> Iterator["Module"]:
+    def modules(self) -> Iterator[Module]:
         yield self
         for value in vars(self).values():
             if isinstance(value, Module):
@@ -64,12 +64,12 @@ class Module:
 
     # Modes ------------------------------------------------------------------------
 
-    def train(self, mode: bool = True) -> "Module":
+    def train(self, mode: bool = True) -> Module:
         for m in self.modules():
             m.training = mode
         return self
 
-    def eval(self) -> "Module":
+    def eval(self) -> Module:
         return self.train(False)
 
     def zero_grad(self) -> None:

@@ -13,6 +13,7 @@ import numpy as np
 from repro.nn.layers import xavier_uniform
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
+from repro.utils.rng import resolve_rng
 
 __all__ = ["LSTMCell", "LSTM"]
 
@@ -24,7 +25,7 @@ class LSTMCell(Module):
         super().__init__()
         if input_size < 1 or hidden_size < 1:
             raise ValueError("sizes must be >= 1")
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.w_ih = Parameter(xavier_uniform((4 * hidden_size, input_size), rng))
@@ -59,7 +60,7 @@ class LSTM(Module):
         super().__init__()
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.hidden_size = hidden_size
         self.cells = [
             LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng)

@@ -13,7 +13,7 @@ parent's shape.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class Tensor:
         self,
         data,
         requires_grad: bool = False,
-        _parents: tuple["Tensor", ...] = (),
+        _parents: tuple[Tensor, ...] = (),
         _backward: Callable[[np.ndarray], None] | None = None,
         name: str = "",
     ) -> None:
@@ -79,7 +79,7 @@ class Tensor:
     # Construction helpers -----------------------------------------------------
 
     @staticmethod
-    def as_tensor(value) -> "Tensor":
+    def as_tensor(value) -> Tensor:
         return value if isinstance(value, Tensor) else Tensor(value)
 
     @property
@@ -102,7 +102,7 @@ class Tensor:
     def numpy(self) -> np.ndarray:
         return self.data
 
-    def detach(self) -> "Tensor":
+    def detach(self) -> Tensor:
         return Tensor(self.data, requires_grad=False)
 
     def zero_grad(self) -> None:
@@ -117,9 +117,9 @@ class Tensor:
     @staticmethod
     def _make(
         data: np.ndarray,
-        parents: Iterable["Tensor"],
+        parents: Iterable[Tensor],
         backward: Callable[[np.ndarray], None],
-    ) -> "Tensor":
+    ) -> Tensor:
         parents = tuple(parents)
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data)
@@ -170,7 +170,7 @@ class Tensor:
 
     # Elementwise arithmetic ------------------------------------------------------
 
-    def __add__(self, other) -> "Tensor":
+    def __add__(self, other) -> Tensor:
         other = Tensor.as_tensor(other)
         data = self.data + other.data
 
@@ -184,20 +184,20 @@ class Tensor:
 
     __radd__ = __add__
 
-    def __neg__(self) -> "Tensor":
+    def __neg__(self) -> Tensor:
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(-g)
 
         return Tensor._make(-self.data, (self,), backward)
 
-    def __sub__(self, other) -> "Tensor":
+    def __sub__(self, other) -> Tensor:
         return self + (-Tensor.as_tensor(other))
 
-    def __rsub__(self, other) -> "Tensor":
+    def __rsub__(self, other) -> Tensor:
         return Tensor.as_tensor(other) + (-self)
 
-    def __mul__(self, other) -> "Tensor":
+    def __mul__(self, other) -> Tensor:
         other = Tensor.as_tensor(other)
         data = self.data * other.data
 
@@ -211,7 +211,7 @@ class Tensor:
 
     __rmul__ = __mul__
 
-    def __truediv__(self, other) -> "Tensor":
+    def __truediv__(self, other) -> Tensor:
         other = Tensor.as_tensor(other)
         data = self.data / other.data
 
@@ -223,10 +223,10 @@ class Tensor:
 
         return Tensor._make(data, (self, other), backward)
 
-    def __rtruediv__(self, other) -> "Tensor":
+    def __rtruediv__(self, other) -> Tensor:
         return Tensor.as_tensor(other) / self
 
-    def __pow__(self, exponent: float) -> "Tensor":
+    def __pow__(self, exponent: float) -> Tensor:
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
         data = self.data**exponent
@@ -239,7 +239,7 @@ class Tensor:
 
     # Elementwise functions --------------------------------------------------------
 
-    def exp(self) -> "Tensor":
+    def exp(self) -> Tensor:
         data = np.exp(self.data)
 
         def backward(g: np.ndarray) -> None:
@@ -248,14 +248,14 @@ class Tensor:
 
         return Tensor._make(data, (self,), backward)
 
-    def log(self) -> "Tensor":
+    def log(self) -> Tensor:
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g / self.data)
 
         return Tensor._make(np.log(self.data), (self,), backward)
 
-    def tanh(self) -> "Tensor":
+    def tanh(self) -> Tensor:
         data = np.tanh(self.data)
 
         def backward(g: np.ndarray) -> None:
@@ -264,7 +264,7 @@ class Tensor:
 
         return Tensor._make(data, (self,), backward)
 
-    def sigmoid(self) -> "Tensor":
+    def sigmoid(self) -> Tensor:
         data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60)))
 
         def backward(g: np.ndarray) -> None:
@@ -273,7 +273,7 @@ class Tensor:
 
         return Tensor._make(data, (self,), backward)
 
-    def relu(self) -> "Tensor":
+    def relu(self) -> Tensor:
         mask = self.data > 0
 
         def backward(g: np.ndarray) -> None:
@@ -282,10 +282,10 @@ class Tensor:
 
         return Tensor._make(self.data * mask, (self,), backward)
 
-    def sqrt(self) -> "Tensor":
+    def sqrt(self) -> Tensor:
         return self**0.5
 
-    def abs(self) -> "Tensor":
+    def abs(self) -> Tensor:
         sign = np.sign(self.data)
 
         def backward(g: np.ndarray) -> None:
@@ -296,7 +296,7 @@ class Tensor:
 
     # Reductions ----------------------------------------------------------------------
 
-    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def sum(self, axis=None, keepdims: bool = False) -> Tensor:
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(g: np.ndarray) -> None:
@@ -311,7 +311,7 @@ class Tensor:
 
         return Tensor._make(data, (self,), backward)
 
-    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def mean(self, axis=None, keepdims: bool = False) -> Tensor:
         if axis is None:
             count = self.size
         else:
@@ -319,7 +319,7 @@ class Tensor:
             count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
-    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+    def max(self, axis: int, keepdims: bool = False) -> Tensor:
         data = self.data.max(axis=axis, keepdims=keepdims)
         expanded = self.data.max(axis=axis, keepdims=True)
         mask = self.data == expanded
@@ -335,7 +335,7 @@ class Tensor:
 
     # Shape ops --------------------------------------------------------------------------
 
-    def reshape(self, *shape: int) -> "Tensor":
+    def reshape(self, *shape: int) -> Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         data = self.data.reshape(shape)
@@ -347,7 +347,7 @@ class Tensor:
 
         return Tensor._make(data, (self,), backward)
 
-    def transpose(self, *axes: int) -> "Tensor":
+    def transpose(self, *axes: int) -> Tensor:
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         if not axes:
@@ -360,7 +360,7 @@ class Tensor:
 
         return Tensor._make(self.data.transpose(axes), (self,), backward)
 
-    def __getitem__(self, key) -> "Tensor":
+    def __getitem__(self, key) -> Tensor:
         data = self.data[key]
 
         def backward(g: np.ndarray) -> None:
@@ -372,11 +372,11 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     @staticmethod
-    def concat(tensors: list["Tensor"], axis: int = 0) -> "Tensor":
+    def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
         tensors = [Tensor.as_tensor(t) for t in tensors]
         data = np.concatenate([t.data for t in tensors], axis=axis)
         sizes = [t.shape[axis] for t in tensors]
-        offsets = np.cumsum([0] + sizes)
+        offsets = np.cumsum([0, *sizes])
 
         def backward(g: np.ndarray) -> None:
             for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
@@ -387,7 +387,7 @@ class Tensor:
 
         return Tensor._make(data, tuple(tensors), backward)
 
-    def pad(self, pad_width: tuple[tuple[int, int], ...]) -> "Tensor":
+    def pad(self, pad_width: tuple[tuple[int, int], ...]) -> Tensor:
         data = np.pad(self.data, pad_width)
 
         def backward(g: np.ndarray) -> None:
@@ -399,7 +399,7 @@ class Tensor:
 
     # Contractions ----------------------------------------------------------------------
 
-    def matmul(self, other: "Tensor") -> "Tensor":
+    def matmul(self, other: Tensor) -> Tensor:
         other = Tensor.as_tensor(other)
         a, b = self.data, other.data
         data = a @ b
@@ -421,7 +421,7 @@ class Tensor:
 
     # Composite ops ------------------------------------------------------------------------
 
-    def softmax(self, axis: int = -1) -> "Tensor":
+    def softmax(self, axis: int = -1) -> Tensor:
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         e = np.exp(shifted)
         data = e / e.sum(axis=axis, keepdims=True)

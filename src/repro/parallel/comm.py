@@ -12,7 +12,8 @@ element-wise to numpy arrays or Python scalars, mirroring ``MPI.SUM`` etc.
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 

@@ -35,7 +35,7 @@ class CommStats:
     barriers: int = 0
     compute_work: float = 0.0
 
-    def merge(self, other: "CommStats") -> None:
+    def merge(self, other: CommStats) -> None:
         self.messages += other.messages
         self.bytes_sent += other.bytes_sent
         self.collectives += other.collectives

@@ -38,7 +38,8 @@ import pickle
 import time
 from collections import deque
 from multiprocessing import connection, get_context, resource_tracker, shared_memory
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.parallel.comm import Communicator, payload_nbytes, reduce_many
 from repro.parallel.perfmodel import PerfModel, VirtualClock
@@ -344,7 +345,7 @@ def _worker_main(
         conn.send(
             ("done", _pack(value, world.shm_threshold), pickle.dumps(comm.clock, protocol=5))
         )
-    except BaseException as exc:  # noqa: BLE001 — any failure must reach the hub
+    except BaseException as exc:  # any failure must reach the hub
         try:
             conn.send(("error", _pickle_exception(rank, exc)))
         except OSError:

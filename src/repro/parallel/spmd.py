@@ -20,7 +20,8 @@ deadlocking, then the originating failure is re-raised in the caller as
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.parallel.comm import SerialComm
 from repro.parallel.perfmodel import PerfModel, VirtualClock
@@ -104,7 +105,7 @@ def run_spmd(
         clocks[rank] = comm.clock
         try:
             values[rank] = fn(comm, *args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 — must unblock peers on any failure
+        except BaseException as exc:  # must unblock peers on any failure
             errors[rank] = exc
             world.abort(exc)
 

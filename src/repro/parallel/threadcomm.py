@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -58,7 +59,7 @@ class CommWorld:
         self,
         size: int,
         model: PerfModel | None = None,
-        fault_hook: "Callable[..., bool] | None" = None,
+        fault_hook: Callable[..., bool] | None = None,
     ) -> None:
         if size < 1:
             raise ValueError("size must be >= 1")

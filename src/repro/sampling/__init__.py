@@ -72,10 +72,10 @@ from repro.sampling.selectors import (
     get_selector,
     register_selector,
 )
-from repro.sampling import random_ as _random_  # noqa: F401  (registers random/lhs)
-from repro.sampling import stratified as _stratified  # noqa: F401
-from repro.sampling import uips as _uips  # noqa: F401
-from repro.sampling import maxent as _maxent  # noqa: F401
+from repro.sampling import random_ as _random_  # registers random/lhs
+from repro.sampling import stratified as _stratified
+from repro.sampling import uips as _uips
+from repro.sampling import maxent as _maxent
 from repro.sampling.random_ import LatinHypercubeSampler, RandomSampler
 from repro.sampling.stratified import StratifiedSampler, allocate_counts
 from repro.sampling.uips import UIPSSampler

@@ -16,7 +16,7 @@ the same naming scheme: :class:`StreamSampler` implementations register via
 from __future__ import annotations
 
 import abc
-from typing import Callable, Type
+from collections.abc import Callable
 
 import numpy as np
 
@@ -35,8 +35,8 @@ __all__ = [
     "available_stream_samplers",
 ]
 
-_REGISTRY: dict[str, Type["Sampler"]] = {}
-_STREAM_REGISTRY: dict[str, Type["StreamSampler"]] = {}
+_REGISTRY: dict[str, type[Sampler]] = {}
+_STREAM_REGISTRY: dict[str, type[StreamSampler]] = {}
 
 
 def failed_producers_error(dead: list) -> RuntimeError:
@@ -51,7 +51,7 @@ def failed_producers_error(dead: list) -> RuntimeError:
     )
 
 
-def fold_weighted_merge(items: list, weights: "list[float] | None", rng, noun: str):
+def fold_weighted_merge(items: list, weights: list[float] | None, rng, noun: str):
     """Fold ``items[1:]`` into ``items[0]`` by repeated weighted ``merge``.
 
     Shared by every ``merge_all`` flavour (stream samplers, raw reservoirs)
@@ -143,10 +143,10 @@ class Sampler(abc.ABC):
         """Strategy-specific selection; inputs are pre-validated."""
 
 
-def register_sampler(name: str) -> Callable[[Type[Sampler]], Type[Sampler]]:
+def register_sampler(name: str) -> Callable[[type[Sampler]], type[Sampler]]:
     """Class decorator adding a sampler to the registry under `name`."""
 
-    def deco(cls: Type[Sampler]) -> Type[Sampler]:
+    def deco(cls: type[Sampler]) -> type[Sampler]:
         if not issubclass(cls, Sampler):
             raise TypeError(f"{cls.__name__} must subclass Sampler")
         if name in _REGISTRY:
@@ -211,10 +211,10 @@ class StreamSampler(abc.ABC):
 
     def merge(
         self,
-        other: "StreamSampler",
+        other: StreamSampler,
         weight: float | None = None,
         rng: np.random.Generator | int | None = None,
-    ) -> "StreamSampler":
+    ) -> StreamSampler:
         """Fold another producer's state into this sampler (multi-producer
         SPMD streaming: each rank streams its own partition, then rank 0
         merges).
@@ -233,10 +233,10 @@ class StreamSampler(abc.ABC):
     @classmethod
     def merge_all(
         cls,
-        samplers: "list[StreamSampler]",
-        weights: "list[float] | None" = None,
+        samplers: list[StreamSampler],
+        weights: list[float] | None = None,
         rng: np.random.Generator | int | None = None,
-    ) -> "StreamSampler":
+    ) -> StreamSampler:
         """Merge per-rank samplers into one by repeated weighted
         :meth:`merge` (folds into ``samplers[0]`` and returns it).
 
@@ -253,11 +253,11 @@ class StreamSampler(abc.ABC):
     @classmethod
     def merge_partial(
         cls,
-        samplers: "list[StreamSampler]",
-        reports: "list | None" = None,
+        samplers: list[StreamSampler],
+        reports: list | None = None,
         on_failure: str = "reweight",
         rng: np.random.Generator | int | None = None,
-    ) -> "StreamSampler":
+    ) -> StreamSampler:
         """Merge per-rank states whose producers may not have finished.
 
         The fault-tolerant flavour of :meth:`merge_all`: ``reports[i]`` is
@@ -290,14 +290,14 @@ class StreamSampler(abc.ABC):
         return cls.merge_all(live, rng=rng)
 
 
-def register_stream_sampler(name: str) -> Callable[[Type[StreamSampler]], Type[StreamSampler]]:
+def register_stream_sampler(name: str) -> Callable[[type[StreamSampler]], type[StreamSampler]]:
     """Class decorator adding a streaming sampler to the registry under `name`.
 
     Use the offline sampler name the strategy mirrors, so the same case
     ``method:`` drives both ingestion modes.
     """
 
-    def deco(cls: Type[StreamSampler]) -> Type[StreamSampler]:
+    def deco(cls: type[StreamSampler]) -> type[StreamSampler]:
         if not issubclass(cls, StreamSampler):
             raise TypeError(f"{cls.__name__} must subclass StreamSampler")
         if name in _STREAM_REGISTRY:
@@ -309,7 +309,7 @@ def register_stream_sampler(name: str) -> Callable[[Type[StreamSampler]], Type[S
     return deco
 
 
-def stream_sampler_cls(name: str) -> Type[StreamSampler]:
+def stream_sampler_cls(name: str) -> type[StreamSampler]:
     """Resolve a registered streaming sampler class by (offline) name."""
     try:
         return _STREAM_REGISTRY[name]

@@ -59,7 +59,7 @@ __all__ = ["SubsampleResult", "SubsamplePipeline", "run_subsample", "subsample"]
 
 def run_subsample(
     comm: Communicator,
-    data: "SnapshotSource | TurbulenceDataset",
+    data: SnapshotSource | TurbulenceDataset,
     config: CaseConfig,
     seed: int = 0,
     hist_bins: int = 50,
@@ -73,7 +73,7 @@ def run_subsample(
 
 
 def subsample(
-    data: "SnapshotSource | TurbulenceDataset",
+    data: SnapshotSource | TurbulenceDataset,
     config: CaseConfig,
     nranks: int = 1,
     seed: int = 0,

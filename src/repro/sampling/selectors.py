@@ -25,7 +25,7 @@ pipeline's virtual-clock accounting never needs a hard-wired cost table.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Type
+from collections.abc import Callable
 
 import numpy as np
 
@@ -42,7 +42,7 @@ __all__ = [
     "EntropyCubeSelector",
 ]
 
-_REGISTRY: dict[str, Type["CubeSelector"]] = {}
+_REGISTRY: dict[str, type[CubeSelector]] = {}
 
 
 class CubeSelector(abc.ABC):
@@ -111,10 +111,10 @@ class CubeSelector(abc.ABC):
         """Strategy-specific selection; inputs are pre-validated."""
 
 
-def register_selector(name: str) -> Callable[[Type[CubeSelector]], Type[CubeSelector]]:
+def register_selector(name: str) -> Callable[[type[CubeSelector]], type[CubeSelector]]:
     """Class decorator adding a cube selector to the registry under `name`."""
 
-    def deco(cls: Type[CubeSelector]) -> Type[CubeSelector]:
+    def deco(cls: type[CubeSelector]) -> type[CubeSelector]:
         if not issubclass(cls, CubeSelector):
             raise TypeError(f"{cls.__name__} must subclass CubeSelector")
         if name in _REGISTRY:

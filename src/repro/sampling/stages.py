@@ -42,7 +42,8 @@ touching any cost table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence, runtime_checkable
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -380,7 +381,7 @@ class SubsamplePipeline:
     def run(
         self,
         comm: Communicator,
-        data: "SnapshotSource | TurbulenceDataset",
+        data: SnapshotSource | TurbulenceDataset,
         config: CaseConfig,
         seed: int = 0,
         hist_bins: int = 50,

@@ -87,7 +87,7 @@ __all__ = [
 
 
 def merge_reservoir_rows(
-    pools: "list[tuple[np.ndarray, float]]",
+    pools: list[tuple[np.ndarray, float]],
     capacity: int,
     rng: np.random.Generator,
 ) -> np.ndarray:
@@ -214,10 +214,10 @@ class ReservoirSampler:
 
     def merge(
         self,
-        other: "ReservoirSampler",
+        other: ReservoirSampler,
         weight: float | None = None,
         rng: np.random.Generator | int | None = None,
-    ) -> "ReservoirSampler":
+    ) -> ReservoirSampler:
         """Fold another reservoir into this one by weighted draw.
 
         After the merge this reservoir is distributed as if it had seen both
@@ -256,10 +256,10 @@ class ReservoirSampler:
     @classmethod
     def merge_all(
         cls,
-        reservoirs: "list[ReservoirSampler]",
-        weights: "list[float] | None" = None,
+        reservoirs: list[ReservoirSampler],
+        weights: list[float] | None = None,
         rng: np.random.Generator | int | None = None,
-    ) -> "ReservoirSampler":
+    ) -> ReservoirSampler:
         """Fold K producers' reservoirs into ``reservoirs[0]`` by repeated
         weighted :meth:`merge` (``weights[i]`` defaults to each reservoir's
         ``n_seen``).  Deterministic for a fixed `rng` seed and order."""
@@ -313,10 +313,10 @@ class ReservoirStream(StreamSampler):
 
     def merge(
         self,
-        other: "StreamSampler",
+        other: StreamSampler,
         weight: float | None = None,
         rng: np.random.Generator | int | None = None,
-    ) -> "ReservoirStream":
+    ) -> ReservoirStream:
         if not isinstance(other, ReservoirStream):
             raise TypeError(f"cannot merge {type(other).__name__} into ReservoirStream")
         self.reservoir.merge(other.reservoir, weight=weight, rng=rng)
@@ -431,10 +431,10 @@ class StreamingMaxEnt(StreamSampler):
 
     def merge(
         self,
-        other: "StreamSampler",
+        other: StreamSampler,
         weight: float | None = None,
         rng: np.random.Generator | int | None = None,
-    ) -> "StreamingMaxEnt":
+    ) -> StreamingMaxEnt:
         """Fold another producer's online-MaxEnt state into this one.
 
         Clusters are 1-D (the cluster variable), so the two centroid sets
@@ -734,7 +734,7 @@ def run_stream_subsample(
             OwnedShardLayout.build(source.path, nranks) if owned_shards else None
         )
 
-        def _rank_source(rank: int) -> "tuple[SnapshotSource, ShardedNpzSource | None]":
+        def _rank_source(rank: int) -> tuple[SnapshotSource, ShardedNpzSource | None]:
             """Build this rank's source view; also returns the private sharded
             base the rank must close when it owns one."""
             if layout is not None:

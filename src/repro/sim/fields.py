@@ -8,7 +8,7 @@ vorticity ``pv``) are computed on demand and cached.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -17,14 +17,14 @@ from repro.sim import spectral
 __all__ = ["FlowField", "DERIVED_VARIABLES"]
 
 
-def _need(field: "FlowField", *names: str) -> list[np.ndarray]:
+def _need(field: FlowField, *names: str) -> list[np.ndarray]:
     missing = [n for n in names if n not in field.variables]
     if missing:
         raise KeyError(f"derived variable needs {missing}, available: {sorted(field.variables)}")
     return [field.variables[n] for n in names]
 
 
-def _wz(field: "FlowField") -> np.ndarray:
+def _wz(field: FlowField) -> np.ndarray:
     u, v = _need(field, "u", "v")
     if field.ndim == 2:
         return spectral.vorticity(u, v)[0]
@@ -32,19 +32,19 @@ def _wz(field: "FlowField") -> np.ndarray:
     return spectral.vorticity(u, v, w)[2]
 
 
-def _enstrophy(field: "FlowField") -> np.ndarray:
+def _enstrophy(field: FlowField) -> np.ndarray:
     if field.ndim == 2:
         return _wz(field) ** 2
     u, v, w = _need(field, "u", "v", "w")
     return spectral.enstrophy(u, v, w)
 
 
-def _dissipation(field: "FlowField") -> np.ndarray:
+def _dissipation(field: FlowField) -> np.ndarray:
     u, v, w = _need(field, "u", "v", "w")
     return spectral.dissipation_rate(u, v, w, nu=field.meta.get("nu", 1.0))
 
 
-def _pv(field: "FlowField") -> np.ndarray:
+def _pv(field: FlowField) -> np.ndarray:
     """Potential vorticity q = omega . grad(rho) (SST's cluster variable)."""
     u, v, w = _need(field, "u", "v", "w")
     (r,) = _need(field, "r")
@@ -59,7 +59,7 @@ def _pv(field: "FlowField") -> np.ndarray:
     return wx * grads[0] + wy * grads[1] + wz * grads[2]
 
 
-def _speed(field: "FlowField") -> np.ndarray:
+def _speed(field: FlowField) -> np.ndarray:
     comps = [field.variables[n] for n in ("u", "v", "w") if n in field.variables]
     if not comps:
         raise KeyError("speed needs at least one velocity component")
@@ -67,7 +67,7 @@ def _speed(field: "FlowField") -> np.ndarray:
 
 
 #: name -> function(FlowField) -> array registry of derived variables.
-DERIVED_VARIABLES: dict[str, Callable[["FlowField"], np.ndarray]] = {
+DERIVED_VARIABLES: dict[str, Callable[[FlowField], np.ndarray]] = {
     "wz": _wz,
     "enstrophy": _enstrophy,
     "ee": _dissipation,

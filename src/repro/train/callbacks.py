@@ -92,7 +92,7 @@ class CallbackList:
     def __iter__(self):
         return iter(self.callbacks)
 
-    def find(self, cls: type) -> "Callback | None":
+    def find(self, cls: type) -> Callback | None:
         """First callback of the given class, if any."""
         for cb in self.callbacks:
             if isinstance(cb, cls):

@@ -136,7 +136,7 @@ def _origin_groups(
 
 
 def build_reconstruction_data(
-    data: "SnapshotSource | TurbulenceDataset",
+    data: SnapshotSource | TurbulenceDataset,
     result: SubsampleResult,
     window: int = 1,
     horizon: int = 1,
@@ -212,7 +212,7 @@ def build_reconstruction_data(
 
 
 def build_drag_data(
-    data: "SnapshotSource | TurbulenceDataset",
+    data: SnapshotSource | TurbulenceDataset,
     result: SubsampleResult,
     window: int = 3,
     horizon: int = 1,
@@ -480,7 +480,7 @@ class DragWindows(WindowAssembler):
         )[:, None]
         return [(x, y)]
 
-    def bind_target(self, target: np.ndarray) -> "DragWindows":
+    def bind_target(self, target: np.ndarray) -> DragWindows:
         """Attach the (span-local) per-snapshot global target array."""
         if target is None:
             raise ValueError("drag windows need a source with a global target")
@@ -492,7 +492,7 @@ class DragWindows(WindowAssembler):
 
 
 def stream_assembler(
-    source: "SnapshotSource",
+    source: SnapshotSource,
     case,
     points,
     max_cubes: int = 8,

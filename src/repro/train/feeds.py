@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import abc
 from collections import deque
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -423,7 +423,7 @@ class ShardedFeed(StreamFeed):
         test_frac: float = 0.1,
         seed: int = 0,
         shuffle: int = 0,
-    ) -> "ShardedFeed":
+    ) -> ShardedFeed:
         """Build this rank's feed; all ranks derive identical global facts.
 
         ``rank_source`` is the rank's own view/source over its span
@@ -450,9 +450,13 @@ class ShardedFeed(StreamFeed):
         # Deterministic global test membership, identical on every rank.
         n_test = max(1, int(round(total * test_frac)))
         perm = np.random.default_rng(seed).permutation(total)
-        test_ids = frozenset(int(i) for i in perm[:n_test])
+        test_sorted = np.sort(perm[:n_test])
         train_counts = [
-            counts[r] - sum(1 for g in test_ids if offsets[r] <= g < offsets[r] + counts[r])
+            counts[r]
+            - int(
+                np.searchsorted(test_sorted, offsets[r] + counts[r])
+                - np.searchsorted(test_sorted, offsets[r])
+            )
             for r in range(comm.size)
         ]
         if min(train_counts) < 1:

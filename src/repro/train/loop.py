@@ -90,7 +90,7 @@ class TrainLoop:
         seed: int = 0,
         verbose: bool = False,
         gpu_flops_rate: float = 20.0e12,
-        callbacks: "list[Callback] | None" = None,
+        callbacks: list[Callback] | None = None,
     ) -> None:
         self.comm = comm or SerialComm()
         self.model = model
@@ -133,7 +133,7 @@ class TrainLoop:
         return cb.scheduler if cb is not None else None
 
     @property
-    def _energy_cb(self) -> "EnergyCallback | None":
+    def _energy_cb(self) -> EnergyCallback | None:
         return self.callbacks.find(EnergyCallback)
 
     # ---- epoch mechanics ---------------------------------------------------

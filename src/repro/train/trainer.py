@@ -46,7 +46,7 @@ class Trainer:
         seed: int = 0,
         verbose: bool = False,
         gpu_flops_rate: float = 20.0e12,
-        callbacks: "list[Callback] | None" = None,
+        callbacks: list[Callback] | None = None,
     ) -> None:
         if epochs < 1 or batch < 1:
             raise ValueError("epochs and batch must be >= 1")

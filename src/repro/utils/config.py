@@ -199,7 +199,7 @@ class CaseConfig:
             )
 
     @classmethod
-    def from_dict(cls, raw: dict[str, Any]) -> "CaseConfig":
+    def from_dict(cls, raw: dict[str, Any]) -> CaseConfig:
         shared_raw = dict(raw.get("shared") or {})
         sub_raw = dict(raw.get("subsample") or {})
         train_raw = dict(raw.get("train") or {})
@@ -218,11 +218,11 @@ class CaseConfig:
         )
 
     @classmethod
-    def from_yaml(cls, text: str) -> "CaseConfig":
+    def from_yaml(cls, text: str) -> CaseConfig:
         return cls.from_dict(loads(text))
 
     @classmethod
-    def from_file(cls, path: str) -> "CaseConfig":
+    def from_file(cls, path: str) -> CaseConfig:
         return cls.from_dict(load_file(path))
 
     def to_dict(self) -> dict[str, Any]:

@@ -20,7 +20,8 @@ block scalars, and documents are out of scope; unsupported syntax raises
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 __all__ = ["MiniYamlError", "loads", "load_file", "dumps"]
 
@@ -262,7 +263,7 @@ def loads(text: str) -> Any:
 
 def load_file(path: str) -> Any:
     """Parse a YAML-subset file."""
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         return loads(fh.read())
 
 

@@ -22,7 +22,7 @@ class Timer:
     elapsed: float = 0.0
     _start: float | None = field(default=None, repr=False)
 
-    def start(self) -> "Timer":
+    def start(self) -> Timer:
         if self._start is not None:
             raise RuntimeError("timer already running")
         self._start = time.perf_counter()
@@ -39,7 +39,7 @@ class Timer:
         self.elapsed = 0.0
         self._start = None
 
-    def __enter__(self) -> "Timer":
+    def __enter__(self) -> Timer:
         return self.start()
 
     def __exit__(self, *exc: object) -> None:

@@ -76,7 +76,7 @@ class TestIterTables:
         n = int(np.prod(grid))
         rows = 0
         seen_snaps = []
-        for s, time, coords, table in src.iter_tables(["u", "pv"], chunk_rows=1000):
+        for s, _time, coords, table in src.iter_tables(["u", "pv"], chunk_rows=1000):
             assert coords.shape[1] == 3
             assert table.shape == (coords.shape[0], 2)
             assert coords.shape[0] <= 1000
@@ -117,7 +117,7 @@ class TestShardedNpzSource:
         src = ShardedNpzSource(shard_dir, max_cached=2)
         # Touch every shard forwards, backwards, and shuffled.
         order = list(range(sst.n_snapshots))
-        for i in order + order[::-1] + [3, 0, 5, 1]:
+        for i in [*order, *order[::-1], 3, 0, 5, 1]:
             src.snapshot(i)
         info = src.cache_info()
         assert info["max_resident"] <= 2

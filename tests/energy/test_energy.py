@@ -97,7 +97,7 @@ class TestEnergyMeter:
                 seen["worker"] = m.flops_gpu
 
         with EnergyMeter() as main:
-            t = threading.Thread(target=worker)
+            t = threading.Thread(target=worker, daemon=True)
             t.start()
             t.join()
         assert seen["worker"] == 111

@@ -1,0 +1,15 @@
+"""Fixture: seeded / sanctioned RNG use — RPL001 must stay silent."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+rng = np.random.default_rng(42)
+rng2 = default_rng(7)
+state = np.random.RandomState(0)
+child = rng.spawn(1)[0]
+seq = np.random.SeedSequence(123)
+local = random.Random(5)
+sys_rng = random.SystemRandom()
+draw = rng.normal(size=3)

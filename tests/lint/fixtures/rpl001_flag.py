@@ -1,0 +1,15 @@
+"""Fixture: every statement below must trip RPL001 (never imported)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+x = np.random.rand(3)
+np.random.seed(0)
+rng = np.random.default_rng()
+rng2 = default_rng()
+r = np.random.RandomState()
+v = random.random()
+random.shuffle([1, 2, 3])
+rr = random.Random()

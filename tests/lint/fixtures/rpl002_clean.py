@@ -1,0 +1,10 @@
+"""Fixture: pure virtual-time arithmetic — RPL002 must stay silent even
+when this file is configured as a wallclock module."""
+
+
+def advance(clock: float, latency: float, nbytes: int, bandwidth: float) -> float:
+    return clock + latency + nbytes / bandwidth
+
+
+def max_clock(clocks: list) -> float:
+    return max(clocks)

@@ -1,0 +1,13 @@
+"""Fixture: wall-clock reads in a virtual-time module (RPL002 when the
+test config lists this file as a wallclock module)."""
+
+import time
+from datetime import datetime
+
+
+def advance(clock: float) -> float:
+    start = time.time()
+    now = time.perf_counter()
+    stamp = datetime.now()
+    time.sleep(0.1)
+    return clock + start + now + stamp.timestamp()

@@ -1,0 +1,23 @@
+"""Fixture: disciplined locking — RPL003 must stay silent."""
+
+import threading
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: dict = {}
+        self.hits = 0  # __init__ writes never make state "guarded"
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._items[key] = value
+
+    def get(self, key):
+        with self._lock:
+            return self._items.get(key)
+
+    def _evict_oldest(self) -> None:
+        """Drop one entry; caller holds the lock."""
+        if self._items:
+            self._items.pop(next(iter(self._items)))

@@ -1,0 +1,19 @@
+"""Fixture: guarded attribute touched off-lock (RPL003)."""
+
+import threading
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: dict = {}
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._items[key] = value
+
+    def get(self, key):
+        return self._items.get(key)  # off-lock read of guarded state
+
+    def drop(self, key) -> None:
+        self._items.pop(key, None)  # off-lock mutation of guarded state

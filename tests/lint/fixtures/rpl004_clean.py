@@ -1,0 +1,26 @@
+"""Fixture: ordered or order-insensitive set use — RPL004 must stay silent."""
+
+
+def total_bytes(chunks: dict) -> float:
+    pending = set(chunks)
+    total = 0.0
+    for key in sorted(pending):
+        total += chunks[key]
+    return total
+
+
+def payload(n: int) -> list:
+    ranks = {i % 7 for i in range(n)}
+    return [r * 2 for r in sorted(ranks)]
+
+
+def extrema(n: int) -> tuple:
+    ranks = {i % 7 for i in range(n)}
+    return (min(r for r in sorted(ranks)), max(ranks), len(ranks))
+
+
+def membership(n: int) -> bool:
+    ranks = {i % 5 for i in range(n)}
+    for r in ranks:  # no accumulation in the body: order-free
+        print(r)
+    return bool(ranks)

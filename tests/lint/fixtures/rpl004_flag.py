@@ -1,0 +1,14 @@
+"""Fixture: set iteration feeding numeric accumulation (RPL004)."""
+
+
+def total_bytes(chunks: dict) -> float:
+    pending = set(chunks)
+    total = 0.0
+    for key in pending:
+        total += chunks[key]
+    return total
+
+
+def payload(n: int) -> list:
+    ranks = {i % 7 for i in range(n)}
+    return [r * 2 for r in ranks]

@@ -1,0 +1,31 @@
+"""Fixture: balanced OS resources — RPL005 must stay silent."""
+
+import shutil
+import tempfile
+import threading
+from multiprocessing import shared_memory
+
+
+def roundtrip(nbytes: int) -> bytes:
+    seg = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        return bytes(seg.buf[:8])
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def joined_thread(fn) -> None:
+    t = threading.Thread(target=fn, daemon=True)
+    t.start()
+    t.join()
+
+
+def scratch_dir(build) -> str:
+    root = tempfile.mkdtemp()
+    try:
+        build(root)
+    except BaseException:
+        shutil.rmtree(root, ignore_errors=True)
+        raise
+    return root

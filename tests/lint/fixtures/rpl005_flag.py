@@ -1,0 +1,20 @@
+"""Fixture: unbalanced OS resources (RPL005)."""
+
+import tempfile
+import threading
+from multiprocessing import shared_memory
+
+
+def leak_segment(nbytes: int) -> bytes:
+    seg = shared_memory.SharedMemory(create=True, size=nbytes)
+    return bytes(seg.buf[:8])  # neither close() nor unlink()
+
+
+def stray_thread(fn) -> None:
+    t = threading.Thread(target=fn)  # no explicit daemon=
+    t.start()
+
+
+def leak_dir() -> str:
+    root = tempfile.mkdtemp()
+    return root  # no try/finally cleanup anywhere in this function

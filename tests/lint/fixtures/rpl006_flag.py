@@ -1,0 +1,22 @@
+"""Fixture: swallowed exceptions (RPL006)."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # noqa: E722 - the bare except is the point
+        pass
+
+
+def swallow_broad(fn):
+    try:
+        return fn()
+    except Exception:
+        pass
+
+
+def swallow_tuple(fn):
+    try:
+        return fn()
+    except (ValueError, BaseException):
+        ...

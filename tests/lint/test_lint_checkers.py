@@ -1,0 +1,57 @@
+"""Per-rule fixture tests: each flag fixture must fire its rule, each
+clean fixture must stay silent, for every checker RPL001-RPL006."""
+
+import os
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+#: code -> (config kwargs, minimum findings expected from the flag fixture)
+RULES = {
+    "RPL001": ({}, 6),
+    "RPL002": ({"wallclock_modules": ("rpl002_*.py",)}, 3),
+    "RPL003": ({}, 2),
+    "RPL004": ({}, 2),
+    "RPL005": ({}, 3),
+    "RPL006": ({}, 3),
+}
+
+
+def _lint(code: str, kind: str) -> list:
+    kwargs, _ = RULES[code]
+    config = LintConfig(root=FIXTURES, **kwargs)
+    path = os.path.join(FIXTURES, f"{code.lower()}_{kind}.py")
+    return lint_paths([path], config)
+
+
+@pytest.mark.parametrize("code", sorted(RULES))
+def test_flag_fixture_fires(code):
+    diags = _lint(code, "flag")
+    assert diags, f"{code} flag fixture produced no findings"
+    mine = [d for d in diags if d.code == code]
+    assert len(mine) >= RULES[code][1]
+    # ruff-style rendering: path:line:col CODE message
+    head = mine[0].render()
+    assert f" {code} " in head and head.startswith(f"{code.lower()}_flag.py:")
+
+
+@pytest.mark.parametrize("code", sorted(RULES))
+def test_clean_fixture_silent(code):
+    diags = _lint(code, "clean")
+    assert [d for d in diags if d.code == code] == []
+
+
+def test_flag_findings_carry_positions():
+    for diag in _lint("RPL001", "flag"):
+        assert diag.line >= 1
+        assert diag.col >= 0
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    diags = lint_paths([str(bad)], LintConfig(root=str(tmp_path)))
+    assert [d.code for d in diags] == ["RPL999"]

@@ -1,0 +1,146 @@
+"""Suppression comments, lint.toml allowlists/excludes, and CLI contract."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths, load_config
+from repro.lint.cli import main
+from repro.lint.config import find_config
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+UNSEEDED = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+def _write(tmp_path, name, text):
+    p = tmp_path / name
+    p.write_text(text)
+    return str(p)
+
+
+# -- inline suppressions -----------------------------------------------------
+
+
+def test_inline_ignore_with_code(tmp_path):
+    path = _write(
+        tmp_path, "mod.py",
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # repro-lint: ignore[RPL001]\n",
+    )
+    assert lint_paths([path], LintConfig(root=str(tmp_path))) == []
+
+
+def test_inline_ignore_bare_suppresses_all(tmp_path):
+    path = _write(
+        tmp_path, "mod.py",
+        "import numpy as np\nrng = np.random.default_rng()  # repro-lint: ignore\n",
+    )
+    assert lint_paths([path], LintConfig(root=str(tmp_path))) == []
+
+
+def test_inline_ignore_wrong_code_does_not_suppress(tmp_path):
+    path = _write(
+        tmp_path, "mod.py",
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # repro-lint: ignore[RPL006]\n",
+    )
+    diags = lint_paths([path], LintConfig(root=str(tmp_path)))
+    assert [d.code for d in diags] == ["RPL001"]
+
+
+# -- lint.toml ---------------------------------------------------------------
+
+
+def test_allowlist_suppresses_matching_file(tmp_path):
+    _write(tmp_path, "mod.py", UNSEEDED)
+    toml = _write(
+        tmp_path, "lint.toml",
+        '[allow.RPL001]\n"mod.py" = "deliberate entropy for this demo"\n',
+    )
+    config = load_config(toml)
+    assert lint_paths([str(tmp_path / "mod.py")], config) == []
+    # the allowlist is per-code: other rules still run
+    assert config.allowed("RPL001", "mod.py") == "deliberate entropy for this demo"
+    assert config.allowed("RPL006", "mod.py") is None
+
+
+def test_exclude_skips_directory_walk_but_not_explicit_files(tmp_path):
+    sub = tmp_path / "vendored"
+    sub.mkdir()
+    bad = _write(sub, "mod.py", UNSEEDED)
+    toml = _write(tmp_path, "lint.toml", 'exclude = ["vendored/*"]\n')
+    config = load_config(toml)
+    assert lint_paths([str(tmp_path)], config) == []
+    # explicit file arguments bypass excludes (CI's seeded-violation check)
+    assert [d.code for d in lint_paths([bad], config)] == ["RPL001"]
+
+
+def test_bare_directory_pattern_covers_contents(tmp_path):
+    sub = tmp_path / "vendored"
+    sub.mkdir()
+    _write(sub, "mod.py", UNSEEDED)
+    toml = _write(tmp_path, "lint.toml", 'exclude = ["vendored"]\n')
+    assert lint_paths([str(tmp_path)], load_config(toml)) == []
+
+
+def test_unknown_config_keys_fail_loudly(tmp_path):
+    toml = _write(tmp_path, "lint.toml", 'allowlist = ["typo"]\n')
+    with pytest.raises(ValueError, match="unknown top-level keys"):
+        load_config(toml)
+
+
+def test_allowlist_requires_justification(tmp_path):
+    toml = _write(tmp_path, "lint.toml", '[allow.RPL001]\n"mod.py" = ""\n')
+    with pytest.raises(ValueError, match="justification"):
+        load_config(toml)
+
+
+def test_find_config_walks_upward(tmp_path):
+    toml = _write(tmp_path, "lint.toml", "")
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    assert find_config(str(nested)) == toml
+
+
+def test_wallclock_modules_config(tmp_path):
+    mod = _write(tmp_path, "virt.py", "import time\nt = time.time()\n")
+    toml = _write(tmp_path, "lint.toml", '[rpl002]\nmodules = ["virt.py"]\n')
+    diags = lint_paths([mod], load_config(toml))
+    assert [d.code for d in diags] == ["RPL002"]
+    # and without the config the same file is not a virtual-time module
+    assert lint_paths([mod], LintConfig(root=str(tmp_path), wallclock_modules=())) == []
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bad = _write(tmp_path, "bad.py", UNSEEDED)
+    clean = _write(tmp_path, "ok.py", "x = 1\n")
+    assert main(["--no-config", clean]) == 0
+    assert main(["--no-config", bad]) == 1
+    out = capsys.readouterr()
+    assert "RPL001" in out.out
+    assert "1 finding(s)" in out.err
+    assert main([]) == 2
+    assert main(["--no-config", "--select", "NOPE", bad]) == 2
+
+
+def test_cli_select_filters_rules(tmp_path):
+    bad = _write(tmp_path, "bad.py", UNSEEDED)
+    assert main(["--no-config", "--select", "RPL006", bad]) == 0
+    assert main(["--no-config", "--select", "RPL001,RPL006", bad]) == 1
+
+
+def test_module_entrypoint_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--list-rules"],
+        capture_output=True, text=True,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")},
+    )
+    assert proc.returncode == 0
+    for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"):
+        assert code in proc.stdout

@@ -1,0 +1,30 @@
+"""Meta-test: the repository itself lints clean with its own lint.toml.
+
+This is the same gate CI runs; keeping it in the suite means a violation
+fails locally before a PR ever reaches CI, and proves the shipped
+configuration (excludes, allowlist, wallclock modules) actually resolves.
+"""
+
+import os
+
+from repro.lint import lint_paths, load_config
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def test_repo_tree_lints_clean():
+    config = load_config(os.path.join(REPO, "lint.toml"))
+    paths = [os.path.join(REPO, d) for d in ("src", "tests", "benchmarks")]
+    diags = lint_paths(paths, config)
+    assert diags == [], "\n".join(d.render() for d in diags)
+
+
+def test_repo_config_allowlists_only_rng_module():
+    config = load_config(os.path.join(REPO, "lint.toml"))
+    assert set(config.allow) == {"RPL001"}
+    assert list(config.allow["RPL001"]) == ["src/repro/utils/rng.py"]
+
+
+def test_flag_fixtures_are_excluded_from_tree_walks():
+    config = load_config(os.path.join(REPO, "lint.toml"))
+    assert config.excluded("tests/lint/fixtures/rpl001_flag.py")

@@ -1,0 +1,26 @@
+"""Opt-in runtime sanitizer for the parallel suite.
+
+``REPRO_SANITIZE=1 pytest tests/parallel`` instruments the lock-owning
+classes and the shared-memory transport for the whole session (see
+:mod:`repro.lint.runtime`), then asserts at teardown that no guarded
+attribute was touched off-lock under contention and that every shm
+segment was unlinked.  Without the environment variable this conftest is
+inert — the suite runs exactly as before.
+"""
+
+import pytest
+
+from repro.lint import runtime
+
+
+@pytest.fixture(scope="session", autouse=True)
+def runtime_sanitizer():
+    if not runtime.enabled():
+        yield
+        return
+    runtime.install()
+    try:
+        yield
+        runtime.check(strict=True)
+    finally:
+        runtime.uninstall()

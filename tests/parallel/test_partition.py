@@ -42,7 +42,7 @@ class TestBlockPartition:
         parts = block_partition(n, size)
         assert parts[0][0] == 0
         assert parts[-1][1] == n
-        for (al, ah), (bl, bh) in zip(parts, parts[1:]):
+        for (_al, ah), (bl, _bh) in zip(parts, parts[1:]):
             assert ah == bl  # contiguous, no gaps or overlap
         sizes = [hi - lo for lo, hi in parts]
         assert max(sizes) - min(sizes) <= 1  # balanced
