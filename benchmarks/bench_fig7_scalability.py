@@ -21,7 +21,7 @@ import os
 
 import numpy as np
 
-from repro.data import ShardedNpzSource, save_dataset
+from repro.data import ShardedNpzSource, open_source, save_dataset
 from repro.metrics import find_knee, speedup_series
 from repro.parallel.perfmodel import PerfModel
 from repro.sampling import subsample
@@ -153,14 +153,14 @@ def test_fig7_streaming_multirank(benchmark, sst_p1f4_dataset, tmp_path):
             # and the counters would be scheduling-dependent).
             source.prefetch(range(2))
             deadline = _time.monotonic() + 10.0
-            while (source.cache_info()["prefetched"] < 1
+            while (source.cache_info()["counters"]["prefetched"] < 1
                    and _time.monotonic() < deadline):
                 _time.sleep(0.005)
             res = subsample(source, case, nranks=p, seed=0,
                             model=MODEL, mode="stream")
             source.close()
             times.append(res.virtual_time)
-            cache_infos.append(source.cache_info())
+            cache_infos.append(source.cache_info()["counters"])
         return times, cache_infos
 
     times, cache_infos = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -257,7 +257,8 @@ def test_fig7_owned_vs_shared_io(benchmark, sst_p1f4_dataset, tmp_path):
     )
     owned_infos = out["owned"][2]
     per_rank = "\nowned per-rank (misses, prefetched): " + ", ".join(
-        f"r{r}=({i['misses']}, {i['prefetched']})" for r, i in enumerate(owned_infos)
+        f"r{r}=({i['counters']['misses']}, {i['counters']['prefetched']})"
+        for r, i in enumerate(owned_infos)
     )
     emit("fig7_owned_vs_shared", table + per_rank)
 
@@ -271,7 +272,8 @@ def test_fig7_owned_vs_shared_io(benchmark, sst_p1f4_dataset, tmp_path):
     # the base source, which no rank cache ever sees).
     spans = [p["span"] for p in owned_res.meta["producers"]]
     for info, (lo, hi) in zip(owned_infos, spans):
-        assert info["misses"] + info["prefetched"] == hi - lo
+        c = info["counters"]
+        assert c["misses"] + c["prefetched"] == hi - lo
     total = aggregate_cache_info(owned_infos)
     assert total["decodes"] == n_shards
     # The virtual makespan is decomposition-driven, so owned mode must not
@@ -375,3 +377,109 @@ def test_fig7_wallclock_backends(benchmark, sst_p1f100_dataset, tmp_path,
         assert best > 1.5, (
             f"process backend reached only {best:.2f}x wall speedup at 4 "
             f"ranks on a {cores}-core host")
+
+
+CODECS = ["npz", "raw", "chunked"]
+GRID_RANKS = 2
+
+
+def test_fig7_codec_tier_grid(benchmark, sst_p1f4_dataset, tmp_path,
+                              bench_json_path):
+    """Codec x tier I/O grid for the streaming subsample.
+
+    Storage is a swappable axis now: the same stream subsample runs over
+    every registered shard codec, each both as a local ``ShardDirSource``
+    and behind a ``RemoteTieredSource`` (simulated object store: 10 ms
+    latency, 100 MB/s, 2-shard local staging tier).  Every cell must
+    produce the byte-identical sample; the grid reports wall/virtual time
+    plus the per-tier ``cache_info()`` counters, and appends a record per
+    cell — with ``codec`` and ``tier`` fields — to the ``BENCH_fig7.json``
+    trajectory.
+    """
+    import json
+    import time as _time
+    from datetime import date
+
+    case = _case(num_hypercubes=8, num_samples=64, cube=8)
+    cores = len(os.sched_getaffinity(0))
+    dirs = {}
+    for codec in CODECS:
+        path = str(tmp_path / f"shards_{codec}")
+        save_dataset(sst_p1f4_dataset, path, codec=codec)
+        dirs[codec] = path
+
+    def run():
+        entries, samples = [], {}
+        for codec in CODECS:
+            for tier in ("local", "remote"):
+                spec = (dirs[codec] if tier == "local" else
+                        f"remote://{dirs[codec]}?latency_s=0.01"
+                        "&bandwidth=1e8&max_staged=2")
+                source = open_source(spec, max_cached=4)
+                t0 = _time.perf_counter()
+                res = subsample(source, case, nranks=GRID_RANKS, seed=0,
+                                model=MODEL, mode="stream")
+                wall = _time.perf_counter() - t0
+                info = source.cache_info()
+                source.close()
+                entries.append({
+                    "codec": codec, "tier": tier, "nranks": GRID_RANKS,
+                    "wall_s": wall, "virtual_s": res.virtual_time,
+                    "shard_bytes": sum(
+                        source.codec.shard_disk_bytes(dirs[codec], i)
+                        for i in range(sst_p1f4_dataset.n_snapshots)),
+                    "counters": dict(info["counters"]),
+                })
+                samples[(codec, tier)] = res.points.coords.tobytes()
+        return entries, samples
+
+    entries, samples = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [{
+        "codec": e["codec"], "tier": e["tier"], "wall_s": e["wall_s"],
+        "virtual_s": e["virtual_s"], "disk_MB": e["shard_bytes"] / 1e6,
+        "decodes": e["counters"]["misses"] + e["counters"]["prefetched"],
+        "remote_fetches": e["counters"]["remote_fetches"],
+        "remote_wait_s": e["counters"]["remote_wait_s"],
+        "staged_evictions": e["counters"]["staged_evictions"],
+    } for e in entries]
+    table = format_table(
+        rows, title=f"Fig 7 (codec x tier) — stream P1F4, {GRID_RANKS} ranks"
+    )
+    emit("fig7_codec_tier_grid", table)
+
+    # Append this grid to the persisted trajectory (bounded history).
+    record = {"date": date.today().isoformat(), "cores": cores,
+              "dataset": "SST-P1F4", "grid": "codec_tier",
+              "entries": entries}
+    doc = {"bench": "fig7_wallclock_stream", "runs": []}
+    if os.path.exists(bench_json_path):
+        try:
+            with open(bench_json_path, encoding="utf-8") as fh:
+                prev = json.load(fh)
+            if isinstance(prev.get("runs"), list):
+                doc["runs"] = prev["runs"]
+        except (OSError, ValueError):
+            pass
+    doc["runs"] = [*doc["runs"], record][-50:]
+    with open(bench_json_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"[trajectory appended to {bench_json_path}]")
+
+    # The sample is storage-invariant: every cell byte-identical to npz/local.
+    golden = samples[("npz", "local")]
+    for key, got in samples.items():
+        assert got == golden, f"{key} diverged from npz/local"
+    # The tier really was exercised and accounted.
+    for e in entries:
+        c = e["counters"]
+        if e["tier"] == "remote":
+            assert c["remote_fetches"] > 0
+            assert c["remote_wait_s"] > 0
+            assert c["remote_bytes"] > 0
+        else:
+            assert c["remote_fetches"] == 0
+    # raw trades compression for zero-copy: it must cost more disk than npz.
+    size = {e["codec"]: e["shard_bytes"] for e in entries if e["tier"] == "local"}
+    assert size["raw"] > size["npz"]

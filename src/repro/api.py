@@ -17,16 +17,20 @@ One fluent chain drives the paper's whole T1 → T2 workflow::
 :class:`~repro.utils.config.CaseConfig`.
 
 Data enters through the stream-first :class:`~repro.data.sources.SnapshotSource`
-protocol — one ``with_source`` for all three ingestion modes::
+protocol — one ``with_source`` for every ingestion mode, resolved by
+:func:`~repro.data.sources.open_source`::
 
     exp = Experiment.from_case("case.yaml")
 
-    exp.with_source(build_dataset("SST-P1F4"))          # batch (in-memory)
-    exp.with_source(ShardedNpzSource("snapshots/"))      # out-of-core shards
-    exp.with_source(stream_dataset("sst-binary"))        # in-situ simulation
+    exp.with_source(build_dataset("SST-P1F4"))            # batch (in-memory)
+    exp.with_source("snapshots/")                         # out-of-core shards
+    exp.with_source("raw+dir://snapshots/")               # pin a shard codec
+    exp.with_source("remote://snapshots/?latency_s=0.01") # simulated remote tier
+    exp.with_source(stream_dataset("sst-binary"))         # in-situ simulation
 
-(a bare :class:`~repro.data.dataset.TurbulenceDataset` or a shard-directory
-path is coerced automatically; ``with_dataset`` remains as sugar).  The
+(a bare :class:`~repro.data.dataset.TurbulenceDataset` or a built
+:class:`~repro.data.sources.SnapshotSource` is accepted directly;
+``with_dataset`` remains as sugar).  The
 two-phase pipeline fetches snapshots through the source on demand, so
 out-of-core and in-situ runs never hold the dataset resident;
 ``subsample(mode="stream")`` switches to the single-pass streaming samplers
@@ -60,9 +64,9 @@ from repro.data.points import PointSet
 from repro.data.sources import (
     InMemorySource,
     PartitionedSource,
-    ShardedNpzSource,
+    ShardDirSource,
     SnapshotSource,
-    as_source,
+    open_source,
 )
 from repro.data.store import META_KEY as _META_KEY
 from repro.data.store import OwnedShardLayout, points_from_npz, points_payload
@@ -478,10 +482,12 @@ class Experiment:
     def with_source(self, source: SnapshotSource | TurbulenceDataset | str) -> Experiment:
         """Drive the experiment from any :class:`SnapshotSource`.
 
-        Accepts an in-memory / sharded / simulation source, a bare
-        :class:`TurbulenceDataset`, or a shard-directory path (coerced via
-        :func:`~repro.data.sources.as_source`) — the single entry point for
-        batch, out-of-core, and in-situ ingestion.
+        Accepts an in-memory / sharded / remote-tiered / simulation source,
+        a bare :class:`TurbulenceDataset`, a shard-directory path, or an
+        :func:`~repro.data.sources.open_source` spec string
+        (``raw+dir:///data/shards``, ``remote:///data/shards?latency_s=...``)
+        — the single entry point for batch, out-of-core, and in-situ
+        ingestion.
         """
         if self.artifacts:
             raise RuntimeError(
@@ -489,7 +495,7 @@ class Experiment:
                 f"(recorded: {sorted(self.artifacts)}); start a new "
                 "Experiment via Experiment.from_case(...)"
             )
-        self._source = as_source(source)
+        self._source = open_source(source)
         self._source_explicit = True
         return self
 
@@ -690,10 +696,9 @@ class Experiment:
                     parts = stream_partitions(source.n_snapshots, comm.size)
                     part = parts[comm.rank]
                     if layout is not None:
-                        rank_source = layout.rank_source(
-                            comm.rank, max_cached=source.max_cached,
-                            prefetch=source.prefetch_depth, lazy=source.lazy,
-                        )
+                        # reopen() keeps the source's own knobs (and tier:
+                        # remote ranks stage their owned shards privately).
+                        rank_source = source.reopen(layout.rank_dir(comm.rank))
                         span_source = rank_source
                     else:
                         span_source = PartitionedSource(source, part.lo, part.hi)
@@ -729,8 +734,8 @@ class Experiment:
             # Sharded sources get true per-rank I/O ownership: a private
             # shard directory, LRU, and prefetcher per DDP rank.
             layout = (
-                OwnedShardLayout.build(source.path, nranks)
-                if isinstance(source, ShardedNpzSource) else None
+                OwnedShardLayout.build(source.layout_path, nranks)
+                if isinstance(source, ShardDirSource) else None
             )
             try:
                 return run_spmd(lambda comm: run(comm, layout), nranks,

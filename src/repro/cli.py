@@ -39,7 +39,12 @@ _DEFAULT_MAX_CACHED = 2
 
 
 def _resolve_source(args, case) -> object | None:
-    """Build the SnapshotSource named by ``--source`` (None = case default)."""
+    """Build the SnapshotSource named by ``--source`` (None = case default).
+
+    ``sim`` is the CLI-only spelling for the in-situ simulation source;
+    everything else (a shard directory, ``codec+dir://`` spec, or
+    ``remote://`` spec) goes through :func:`repro.data.open_source`.
+    """
     if not args.source:
         return None
     max_cached = (
@@ -53,9 +58,9 @@ def _resolve_source(args, case) -> object | None:
             case.shared.dtype, scale=args.scale, seed=args.seed,
             max_cached=max_cached,
         )
-    from repro.data import ShardedNpzSource
+    from repro.data import open_source
 
-    return ShardedNpzSource(
+    return open_source(
         args.source, max_cached=max_cached,
         prefetch=getattr(args, "prefetch", 0),
     )
@@ -94,7 +99,8 @@ def _validate_subsample_args(parser: argparse.ArgumentParser, args) -> None:
                      "pipeline has no per-rank shard ownership)")
     if args.owned_shards and not sharded:
         parser.error("--owned-shards requires --source <shard-dir> (only "
-                     "npz shard directories can be split into owned sets)")
+                     "save_dataset() shard directories can be split into "
+                     "owned sets)")
     if args.owned_shards and args.ranks < 2:
         parser.error("--owned-shards requires --ranks >= 2 (a single "
                      "producer already owns every shard)")
@@ -147,8 +153,10 @@ def subsample_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--source", default=None,
         help="ingestion source: 'sim' (in-situ generation from the case "
-             "dtype) or a path to a shard directory written by "
-             "save_dataset(); default generates the catalog dataset in memory",
+             "dtype), a path to a shard directory written by save_dataset() "
+             "(any codec, auto-detected), or an open_source() spec such as "
+             "'raw+dir://DIR' or 'remote://DIR?latency_s=0.01'; default "
+             "generates the catalog dataset in memory",
     )
     parser.add_argument(
         "--stream", action="store_true",
@@ -273,8 +281,10 @@ def train_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--source", default=None,
         help="ingestion source: 'sim' (in-situ generation from the case "
-             "dtype) or a path to a shard directory written by "
-             "save_dataset(); default generates the catalog dataset in memory",
+             "dtype), a path to a shard directory written by save_dataset() "
+             "(any codec, auto-detected), or an open_source() spec such as "
+             "'raw+dir://DIR' or 'remote://DIR?latency_s=0.01'; default "
+             "generates the catalog dataset in memory",
     )
     parser.add_argument(
         "--stream", action="store_true",

@@ -11,10 +11,13 @@ Maps the paper's data handling onto the synthetic substrates:
 * :mod:`repro.data.catalog` — the six datasets of Table 1 at configurable
   (scaled-down) resolution,
 * :mod:`repro.data.loaders` — dtype-keyed loaders mirroring the paper's
-  ``--dtype openfoam|sst-binary|gests`` flags, with npz persistence,
+  ``--dtype openfoam|sst-binary|gests`` flags, with shard persistence,
+* :mod:`repro.data.codecs` — the shard-codec registry (``npz`` / ``raw`` /
+  ``chunked`` on-disk layouts, self-described by the manifest),
 * :mod:`repro.data.sources` — the stream-first :class:`SnapshotSource`
-  ingestion protocol (in-memory / out-of-core sharded / in-situ simulated),
-  the single abstraction the sampling pipeline consumes,
+  ingestion protocol (in-memory / out-of-core sharded / remote-tiered /
+  in-situ simulated), the single abstraction the sampling pipeline
+  consumes, behind the :func:`open_source` factory,
 * :mod:`repro.data.store` — saving feature-rich subsampled datasets and the
   storage-reduction accounting the paper advertises.
 """
@@ -28,14 +31,20 @@ from repro.data.hypercubes import (
 )
 from repro.data.dataset import TurbulenceDataset
 from repro.data.catalog import CATALOG, build_dataset, dataset_summary
+from repro.data.codecs import ShardCodec, codec_names, get_codec, register_codec
 from repro.data.sources import (
     SnapshotSource,
     InMemorySource,
+    ShardDirSource,
     ShardedNpzSource,
+    RemoteTieredSource,
     SimulationSource,
     PartitionedSource,
+    CacheCounters,
+    CacheInfo,
     aggregate_cache_info,
     as_source,
+    open_source,
 )
 from repro.data.loaders import load_dataset, save_dataset, stream_dataset
 from repro.data.store import OwnedShardLayout, SubsampleStore
@@ -50,13 +59,22 @@ __all__ = [
     "CATALOG",
     "build_dataset",
     "dataset_summary",
+    "ShardCodec",
+    "codec_names",
+    "get_codec",
+    "register_codec",
     "SnapshotSource",
     "InMemorySource",
+    "ShardDirSource",
     "ShardedNpzSource",
+    "RemoteTieredSource",
     "SimulationSource",
     "PartitionedSource",
+    "CacheCounters",
+    "CacheInfo",
     "aggregate_cache_info",
     "as_source",
+    "open_source",
     "load_dataset",
     "save_dataset",
     "stream_dataset",

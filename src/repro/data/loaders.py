@@ -10,15 +10,15 @@ the dataset is generated on the fly.
 
 from __future__ import annotations
 
-import json
 import os
 
 import numpy as np
 
 from repro.data.catalog import CATALOG, build_dataset, snapshot_stream_factory
+from repro.data.codecs import get_codec
 from repro.data.dataset import TurbulenceDataset
 from repro.data.sources import SimulationSource
-from repro.data.store import MANIFEST, load_field, save_field
+from repro.data.store import MANIFEST, read_manifest, write_manifest
 
 __all__ = ["DTYPE_TO_LABEL", "load_dataset", "save_dataset", "stream_dataset"]
 
@@ -36,11 +36,23 @@ DTYPE_TO_LABEL = {
 _MANIFEST = MANIFEST
 
 
-def save_dataset(dataset: TurbulenceDataset, path: str) -> None:
-    """Write a dataset as one npz per snapshot plus a manifest."""
+def save_dataset(dataset: TurbulenceDataset, path: str, codec: str = "npz") -> None:
+    """Write a dataset as one shard per snapshot plus a manifest.
+
+    ``codec`` picks the shard layout from the
+    :mod:`~repro.data.codecs` registry (``npz`` keeps the historical
+    compressed-npz files byte-for-byte; ``raw`` and ``chunked`` trade
+    compression for zero-copy / per-chunk reads).  The chosen codec is
+    stamped into the manifest, so readers auto-detect it.  The manifest is
+    written *last* and atomically (tmp + rename): it is the directory's
+    commit record — a writer killed mid-save leaves no ``manifest.json``,
+    so :class:`~repro.data.sources.ShardDirSource` refuses the half-built
+    directory instead of silently serving a truncated dataset.
+    """
+    codec_obj = get_codec(codec)
     os.makedirs(path, exist_ok=True)
     for i, snap in enumerate(dataset.snapshots):
-        save_field(os.path.join(path, f"snapshot_{i:05d}.npz"), snap)
+        codec_obj.encode(path, i, snap)
     manifest = {
         "label": dataset.label,
         "description": dataset.description,
@@ -50,18 +62,15 @@ def save_dataset(dataset: TurbulenceDataset, path: str) -> None:
         "gravity": dataset.gravity,
         "n_snapshots": dataset.n_snapshots,
         "target": dataset.target.tolist() if dataset.target is not None else None,
+        "codec": codec_obj.name,
     }
-    with open(os.path.join(path, _MANIFEST), "w", encoding="utf-8") as fh:
-        json.dump(manifest, fh, indent=2)
+    write_manifest(path, manifest)
 
 
 def _load_saved(path: str) -> TurbulenceDataset:
-    with open(os.path.join(path, _MANIFEST), encoding="utf-8") as fh:
-        manifest = json.load(fh)
-    snaps = [
-        load_field(os.path.join(path, f"snapshot_{i:05d}.npz"))
-        for i in range(manifest["n_snapshots"])
-    ]
+    manifest = read_manifest(path)
+    codec = get_codec(manifest.get("codec", "npz"))
+    snaps = [codec.decode(path, i) for i in range(manifest["n_snapshots"])]
     target = manifest.get("target")
     return TurbulenceDataset(
         label=manifest["label"],

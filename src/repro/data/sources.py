@@ -12,10 +12,17 @@ implementations cover the ingestion spectrum:
 * :class:`InMemorySource` — wraps a fully resident
   :class:`~repro.data.dataset.TurbulenceDataset` (today's batch path;
   produces byte-identical pipeline results).
-* :class:`ShardedNpzSource` — lazily loads per-snapshot npz shards written
-  by :func:`repro.data.loaders.save_dataset`, keeping at most ``max_cached``
-  decoded shards in a thread-safe LRU (out-of-core: the working set is
-  bounded no matter how many shards the dataset has).
+* :class:`ShardDirSource` — lazily loads per-snapshot shards written by
+  :func:`repro.data.loaders.save_dataset` in any registered
+  :mod:`~repro.data.codecs` layout (auto-detected from the manifest),
+  keeping at most ``max_cached`` decoded shards in a thread-safe LRU
+  (out-of-core: the working set is bounded no matter how many shards the
+  dataset has).  :class:`ShardedNpzSource` is the back-compat name.
+* :class:`RemoteTieredSource` — a :class:`ShardDirSource` whose shard
+  directory lives behind a simulated object store: shards are staged to a
+  bounded local-disk tier through a latency/bandwidth cost model before
+  decoding, so RAM → local disk → remote tiering is exercised with the
+  same LRU/prefetch/ownership machinery.
 * :class:`SimulationSource` — generates snapshots on demand from a
   replayable simulation factory (true in-situ: nothing is ever written to
   disk or held beyond a small rolling window; revisiting an earlier
@@ -27,39 +34,54 @@ subsample (``repro.parallel.partition.stream_partitions`` decides the
 spans; per-rank samples are then recombined by weighted reservoir merge).
 
 Sources may also support *asynchronous prefetch*: :meth:`SnapshotSource.prefetch`
-is an advisory look-ahead hint (no-op by default);  ``ShardedNpzSource``
+is an advisory look-ahead hint (no-op by default);  ``ShardDirSource``
 honours it with a background decode thread so each consumer overlaps shard
-decode with sampling, and decodes npz members per variable on first access
-(members are individually compressed, so touching one variable never pays
-for the rest).
+decode with sampling, and (with ``lazy=True``) decodes shard members per
+variable on first access — what "member decode" costs is the codec's
+business (npz decompresses one zip entry, raw memory-maps one file,
+chunked reads one variable's chunk files).
 
-:func:`as_source` coerces a ``TurbulenceDataset`` (→ ``InMemorySource``), a
-shard-directory path (→ ``ShardedNpzSource``), or a source (identity), so
-``subsample()`` / ``Experiment`` accept all three kinds interchangeably.
+:func:`open_source` is the one factory every entry point routes through:
+it resolves a source object (identity), a ``TurbulenceDataset``
+(→ ``InMemorySource``), a shard-directory path (→ ``ShardDirSource``,
+codec auto-detected), or a spec string like ``raw+dir:///data/shards`` /
+``remote:///data/shards?latency_s=0.01`` to a :class:`SnapshotSource`.
+:func:`as_source` remains as the historical coercion name.
 """
 
 from __future__ import annotations
 
 import abc
-import json
+import dataclasses
 import os
 import queue
+import shutil
+import tempfile
 import threading
+import urllib.parse
+import warnings
 from collections import OrderedDict
 from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.data.codecs import get_codec
 from repro.data.dataset import TurbulenceDataset
-from repro.data.store import MANIFEST, load_field, load_field_lazy
+from repro.data.store import LazyMembers, read_manifest, write_manifest
 from repro.sim.fields import FlowField
 
 __all__ = [
     "SnapshotSource",
     "InMemorySource",
+    "ShardDirSource",
     "ShardedNpzSource",
+    "RemoteTieredSource",
     "SimulationSource",
     "PartitionedSource",
+    "CacheCounters",
+    "CacheInfo",
+    "open_source",
     "as_source",
     "aggregate_cache_info",
 ]
@@ -235,26 +257,106 @@ class InMemorySource(SnapshotSource):
         return (lo, hi)
 
 
-class ShardedNpzSource(SnapshotSource):
-    """Out-of-core source over per-snapshot npz shards on disk.
+@dataclass
+class CacheCounters:
+    """The documented additive event counters every tiered source reports.
+
+    One shared schema across sources and tiers: plain :class:`ShardDirSource`
+    instances leave the remote/staging counters at zero, a
+    :class:`RemoteTieredSource` increments them, and
+    :func:`aggregate_cache_info` sums *exactly these fields* across ranks —
+    no per-source key special-casing.
+
+    * ``hits`` / ``misses`` — LRU lookups served from / not in RAM;
+    * ``evictions`` — shards dropped from the RAM LRU;
+    * ``prefetched`` — shards decoded by the background prefetch thread;
+    * ``prefetch_hits`` — hits served from a prefetched entry;
+    * ``remote_fetches`` / ``remote_bytes`` — shard fetches (and their
+      on-disk bytes) staged from the remote tier;
+    * ``remote_wait_s`` — simulated seconds the latency/bandwidth model
+      charges for those fetches (accounted, not slept);
+    * ``staged_hits`` — decodes served from the already-staged local tier;
+    * ``staged_evictions`` — shards dropped from the bounded staging tier.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    prefetched: int = 0
+    prefetch_hits: int = 0
+    remote_fetches: int = 0
+    remote_bytes: int = 0
+    remote_wait_s: float = 0.0
+    staged_hits: int = 0
+    staged_evictions: int = 0
+
+
+class CacheInfo(dict):
+    """The schema ``cache_info()`` returns (a dict, schema version 2)::
+
+        {
+          "schema": 2,
+          "codec": "npz" | "raw" | "chunked",
+          "tier": "local" | "remote",
+          "counters": {...CacheCounters fields...},   # additive across ranks
+          "gauges": {"resident", "max_resident", "max_cached",
+                     "prefetch_depth", ...per-tier gauges...},
+        }
+
+    Counters are events (summable across disjoint caches); gauges are
+    levels and configuration, which :func:`aggregate_cache_info`
+    deliberately never sums.  The pre-schema flat keys (``info["hits"]``,
+    ``info["max_resident"]``, ...) keep working through a deprecation
+    shim: bracket access and :meth:`get` fall back to the matching
+    counter/gauge with a :class:`DeprecationWarning`.
+    """
+
+    def __missing__(self, key):
+        for section in ("counters", "gauges"):
+            values = dict.get(self, section)
+            if isinstance(values, dict) and key in values:
+                warnings.warn(
+                    f"flat cache_info()[{key!r}] is deprecated; read "
+                    f"cache_info()[{section!r}][{key!r}] (schema 2)",
+                    DeprecationWarning, stacklevel=2,
+                )
+                return values[key]
+        raise KeyError(key)
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+
+class ShardDirSource(SnapshotSource):
+    """Out-of-core source over per-snapshot shards on disk, any codec.
 
     Reads a directory written by :func:`repro.data.loaders.save_dataset`
-    (``manifest.json`` + ``snapshot_XXXXX.npz``).  Decoded shards live in a
-    thread-safe LRU holding at most ``max_cached`` snapshots, so subsampling
-    an N-shard dataset never resides more than ``max_cached`` shards in
-    memory regardless of N.  :meth:`cache_info` exposes the counters the
-    boundedness tests assert on.
+    (``manifest.json`` + one shard per snapshot).  The shard layout is
+    resolved from the manifest's ``"codec"`` stamp against the
+    :mod:`~repro.data.codecs` registry (directories from before the
+    registry read as ``npz``), so every policy here — bounded LRU,
+    prefetch, ownership splits — is codec-agnostic.  Decoded shards live
+    in a thread-safe LRU holding at most ``max_cached`` snapshots, so
+    subsampling an N-shard dataset never resides more than ``max_cached``
+    shards in memory regardless of N.  :meth:`cache_info` exposes the
+    counters the boundedness tests assert on (see :class:`CacheInfo`).
 
     ``prefetch=N`` starts one background thread that eagerly decodes up to
     ``N`` shards ahead of every access (and whatever :meth:`prefetch` names
     explicitly) into the same bounded LRU, so a streaming consumer overlaps
     shard decode with its own sampling compute; ``cache_info()`` counts the
     hits served from prefetched entries.  ``lazy=True`` (the default)
-    decodes npz members per variable on first access — members are
-    individually compressed, so a consumer that reads two of six variables
-    decompresses exactly those two (the prefetcher still materializes whole
-    shards: it exists to move decode off the consumer's thread).
+    decodes shard members per variable on first access — a consumer that
+    reads two of six variables pays for exactly those two (the prefetcher
+    still materializes whole shards: it exists to move decode off the
+    consumer's thread).
     """
+
+    #: which storage tier serves decodes (overridden by remote wrappers)
+    tier = "local"
 
     def __init__(
         self, path: str, max_cached: int = 2, prefetch: int = 0, lazy: bool = True
@@ -263,14 +365,9 @@ class ShardedNpzSource(SnapshotSource):
             raise ValueError("max_cached must be >= 1")
         if prefetch < 0:
             raise ValueError("prefetch must be >= 0")
-        manifest_path = os.path.join(path, MANIFEST)
-        if not os.path.isfile(manifest_path):
-            raise FileNotFoundError(
-                f"no {MANIFEST} under {path!r} — not a save_dataset() directory"
-            )
-        with open(manifest_path, encoding="utf-8") as fh:
-            manifest = json.load(fh)
+        manifest = read_manifest(path)
         self.path = path
+        self.codec = get_codec(manifest.get("codec", "npz"))
         self.max_cached = int(max_cached)
         self.prefetch_depth = int(prefetch)
         self.lazy = bool(lazy)
@@ -288,19 +385,37 @@ class ShardedNpzSource(SnapshotSource):
         self._grid_shape: tuple[int, ...] | None = None
         self._shard_nbytes: int | None = None
         self._times: np.ndarray | None = None
-        self._stats = {
-            "hits": 0, "misses": 0, "evictions": 0, "max_resident": 0,
-            "prefetched": 0, "prefetch_hits": 0,
-        }
+        self._stats = CacheCounters()
+        self._max_resident = 0
         self._inflight: set[int] = set()
         self._from_prefetch: set[int] = set()
         self._queue: queue.Queue[int | None] | None = None
         self._worker: threading.Thread | None = None
 
+    @property
+    def layout_path(self) -> str:
+        """The directory :class:`~repro.data.store.OwnedShardLayout` should
+        split for per-rank ownership (tiered wrappers point this at their
+        backing store, not their staging area)."""
+        return self.path
+
+    def reopen(self, path: str | None = None) -> ShardDirSource:
+        """A fresh private source with this source's knobs over `path`
+        (default: the same directory) — how owned-shard layouts and the
+        process backend's forked workers get per-rank sources without
+        sharing LRU/prefetch state."""
+        return ShardDirSource(
+            self.layout_path if path is None else path,
+            max_cached=self.max_cached, prefetch=self.prefetch_depth,
+            lazy=self.lazy,
+        )
+
     def shard_path(self, i: int) -> str:
+        """On-disk path of shard `i` (file or directory, per the codec);
+        validates the index."""
         if not 0 <= i < self._n:
             raise IndexError(f"snapshot {i} out of range [0, {self._n})")
-        return os.path.join(self.path, f"snapshot_{i:05d}.npz")
+        return self.codec.shard_path(self.path, i)
 
     @property
     def n_snapshots(self) -> int:
@@ -316,11 +431,12 @@ class ShardedNpzSource(SnapshotSource):
     # ---- decode / cache internals -----------------------------------------
 
     def _decode(self, i: int, materialize: bool = False) -> FlowField:
-        """Decode shard `i` (outside the lock, so decodes overlap)."""
-        path = self.shard_path(i)
+        """Decode shard `i` through the codec (outside the lock, so
+        decodes overlap)."""
+        self.shard_path(i)  # validate the index
         if not self.lazy:
-            return load_field(path)
-        field = load_field_lazy(path)
+            return self.codec.decode(self.path, i)
+        field = self.codec.decode_lazy(self.path, i)
         if materialize:
             field.materialize()
         return field
@@ -331,9 +447,9 @@ class ShardedNpzSource(SnapshotSource):
         while len(self._cache) >= self.max_cached:
             old, _ = self._cache.popitem(last=False)
             self._from_prefetch.discard(old)
-            self._stats["evictions"] += 1
+            self._stats.evictions += 1
         self._cache[i] = field
-        self._stats["max_resident"] = max(self._stats["max_resident"], len(self._cache))
+        self._max_resident = max(self._max_resident, len(self._cache))
         if self._grid_shape is None:
             self._grid_shape = field.grid_shape
             self._shard_nbytes = field.nbytes()
@@ -344,13 +460,13 @@ class ShardedNpzSource(SnapshotSource):
             field = self._cache.get(i)
             if field is not None:
                 self._cache.move_to_end(i)
-                self._stats["hits"] += 1
+                self._stats.hits += 1
                 if i in self._from_prefetch:
                     self._from_prefetch.discard(i)
-                    self._stats["prefetch_hits"] += 1
+                    self._stats.prefetch_hits += 1
                 self._schedule_lookahead(i)
                 return field
-            self._stats["misses"] += 1
+            self._stats.misses += 1
             self._schedule_lookahead(i)
         # Decode outside the lock: concurrent ranks and the prefetcher make
         # progress while this thread decompresses.
@@ -423,7 +539,7 @@ class ShardedNpzSource(SnapshotSource):
                 if j not in self._cache:
                     self._insert(j, field)
                     self._from_prefetch.add(j)
-                    self._stats["prefetched"] += 1
+                    self._stats.prefetched += 1
 
     def close(self) -> None:
         """Stop and join the prefetch worker (idempotent).
@@ -442,23 +558,27 @@ class ShardedNpzSource(SnapshotSource):
             q.put(None)
             worker.join(timeout=5.0)
 
-    def __enter__(self) -> ShardedNpzSource:
+    def __enter__(self) -> ShardDirSource:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    def _shard_time(self, i: int) -> float:
+        """Metadata-only time read for shard `i` (no array decode); tiered
+        wrappers read from their backing store so an unstaged shard never
+        forces a fetch."""
+        return self.codec.shard_time(self.path, i)
+
     @property
     def times(self) -> np.ndarray:
         with self._lock:
             if self._times is None:
-                # np.load decompresses entries on access, so reading just the
-                # scalar "time" entry never decodes the field arrays.
-                times = np.empty(self._n)
-                for i in range(self._n):
-                    with np.load(self.shard_path(i), allow_pickle=False) as data:
-                        times[i] = float(data["time"])
-                self._times = times
+                # Codecs read times from shard metadata (an npz scalar
+                # entry, a json sidecar), never the field arrays.
+                self._times = np.array(
+                    [self._shard_time(i) for i in range(self._n)]
+                )
             return self._times
 
     def nbytes(self) -> int:
@@ -471,14 +591,219 @@ class ShardedNpzSource(SnapshotSource):
                 self.snapshot(0)
             return self._shard_nbytes * self._n
 
-    def cache_info(self) -> dict:
+    def _tier_gauges(self) -> dict:
+        """Extra per-tier gauges for :meth:`cache_info` (lock held)."""
+        return {}
+
+    def cache_info(self) -> CacheInfo:
+        """Cache/tier counters in the documented :class:`CacheInfo` schema."""
         with self._lock:
-            return {
-                **self._stats,
-                "resident": len(self._cache),
-                "max_cached": self.max_cached,
-                "prefetch_depth": self.prefetch_depth,
-            }
+            return CacheInfo(
+                schema=2,
+                codec=self.codec.name,
+                tier=self.tier,
+                counters=dataclasses.asdict(self._stats),
+                gauges={
+                    "resident": len(self._cache),
+                    "max_resident": self._max_resident,
+                    "max_cached": self.max_cached,
+                    "prefetch_depth": self.prefetch_depth,
+                    **self._tier_gauges(),
+                },
+            )
+
+
+class ShardedNpzSource(ShardDirSource):
+    """Back-compat name for :class:`ShardDirSource` (which now auto-detects
+    any registered codec, npz included)."""
+
+
+class RemoteTieredSource(ShardDirSource):
+    """A shard directory behind a simulated object store, read through a
+    local-disk staging tier: RAM (LRU) → local disk (staged) → remote.
+
+    ``remote_path`` is an ordinary ``save_dataset`` directory standing in
+    for the object store.  Before a shard is decoded it is *staged* —
+    its files materialize in a local staging directory — and every fetch
+    is charged to a configurable cost model, ``latency_s + bytes /
+    bandwidth`` (accounted in ``counters["remote_wait_s"]``, not slept:
+    benches stay fast and deterministic).  The staging tier is itself a
+    bounded LRU of ``max_staged`` shards, so the three-tier residency
+    story is: at most ``max_cached`` decoded shards in RAM, at most
+    ``max_staged`` shard copies on local disk, everything in the remote.
+
+    Everything above the staging step — bounded LRU, background
+    prefetcher (which now overlaps *remote fetches* with sampling),
+    ``cache_info()``, :class:`~repro.data.store.OwnedShardLayout` splits
+    (built over ``remote_path``; per-rank sources stage privately) — is
+    inherited from :class:`ShardDirSource` unchanged, for any codec.
+
+    Staged files obey the same residency contract as LRU entries: a shard
+    evicted from the staging tier may disappear from local disk, so
+    snapshots must not be held across further ``snapshot()`` calls (the
+    documented :class:`SnapshotSource` rule).  Shards resident in RAM or
+    queued for prefetch are never staging-evicted.
+    """
+
+    tier = "remote"
+
+    def __init__(
+        self,
+        remote_path: str,
+        *,
+        staging_dir: str | None = None,
+        max_staged: int = 4,
+        latency_s: float = 0.01,
+        bandwidth: float = 100e6,
+        max_cached: int = 2,
+        prefetch: int = 0,
+        lazy: bool = True,
+    ) -> None:
+        if max_staged < 1:
+            raise ValueError("max_staged must be >= 1")
+        if latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be > 0")
+        self.remote_path = os.fspath(remote_path)
+        manifest = read_manifest(self.remote_path)  # fail before making dirs
+        self._owns_staging = staging_dir is None
+        staging = (
+            tempfile.mkdtemp(prefix="staged_shards_")
+            if staging_dir is None else os.fspath(staging_dir)
+        )
+        try:
+            os.makedirs(staging, exist_ok=True)
+            # The staging dir is a valid (initially shardless) save_dataset
+            # dir: same manifest, so super().__init__ resolves the codec
+            # and geometry from it.
+            write_manifest(staging, manifest)
+            self.max_staged = int(max_staged)
+            self.latency_s = float(latency_s)
+            self.bandwidth = float(bandwidth)
+            self._staged: OrderedDict[int, int] = OrderedDict()  # index -> bytes
+            self._staging: dict[int, threading.Event] = {}  # in-flight fetches
+            self._decoding: dict[int, int] = {}  # index -> active decode count
+            super().__init__(
+                staging, max_cached=max_cached, prefetch=prefetch, lazy=lazy
+            )
+        except BaseException:
+            if self._owns_staging:
+                shutil.rmtree(staging, ignore_errors=True)
+            raise
+
+    @property
+    def layout_path(self) -> str:
+        return self.remote_path
+
+    def reopen(self, path: str | None = None) -> RemoteTieredSource:
+        return RemoteTieredSource(
+            self.remote_path if path is None else path,
+            max_staged=self.max_staged, latency_s=self.latency_s,
+            bandwidth=self.bandwidth, max_cached=self.max_cached,
+            prefetch=self.prefetch_depth, lazy=self.lazy,
+        )
+
+    # ---- staging tier ------------------------------------------------------
+
+    def _stage(self, i: int) -> None:
+        """Ensure shard `i`'s files exist in the staging tier, fetching
+        from the remote (and charging the cost model) when they don't.
+        Concurrent decoders of the same shard fetch it once."""
+        with self._lock:
+            if i in self._staged:
+                self._staged.move_to_end(i)
+                self._stats.staged_hits += 1
+                return
+            pending = self._staging.get(i)
+            if pending is None:
+                pending = threading.Event()
+                self._staging[i] = pending
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            pending.wait()
+            self._stage(i)  # staged now (hit) — or retry as the owner
+            return
+        try:
+            # Fetch outside the lock: remote copies overlap with decodes
+            # and with other shards' fetches.
+            self.codec.link_shard(self.remote_path, i, self.path, i)
+            nbytes = self.codec.shard_disk_bytes(self.path, i)
+            with self._lock:
+                self._staged[i] = nbytes
+                self._stats.remote_fetches += 1
+                self._stats.remote_bytes += nbytes
+                self._stats.remote_wait_s += self.latency_s + nbytes / self.bandwidth
+                self._evict_staged()
+        finally:
+            with self._lock:
+                self._staging.pop(i, None)
+            pending.set()
+
+    def _evict_staged(self) -> None:
+        """Drop least-recent staged shards down to ``max_staged`` (lock
+        held).  Shards resident in the RAM LRU, queued for prefetch, or
+        mid-decode are skipped — their files are still being read."""
+        while len(self._staged) > self.max_staged:
+            victim = next(
+                (k for k in self._staged
+                 if k not in self._cache and k not in self._inflight
+                 and k not in self._decoding),
+                None,
+            )
+            if victim is None:
+                return  # everything over-budget is pinned by residency
+            del self._staged[victim]
+            self._stats.staged_evictions += 1
+            self.codec.remove_shard(self.path, victim)
+
+    def _decode(self, i: int, materialize: bool = False) -> FlowField:
+        """Stage shard `i` from the remote tier, then decode the staged
+        copy (outside the lock, so fetches and decodes overlap).  The shard
+        is pinned against staging eviction while the decode reads it, and a
+        lazy field's deferred member reads re-stage on demand — so a staged
+        file vanishing under a bounded tier is never an error, only another
+        accounted fetch."""
+        self.shard_path(i)  # validate the index before any fetch
+        with self._lock:
+            self._decoding[i] = self._decoding.get(i, 0) + 1
+        try:
+            self._stage(i)
+            field = super()._decode(i, materialize)
+        finally:
+            with self._lock:
+                depth = self._decoding[i] - 1
+                if depth:
+                    self._decoding[i] = depth
+                else:
+                    del self._decoding[i]
+        members = getattr(field, "variables", None)
+        if isinstance(members, LazyMembers):
+            members.before_load(lambda: self._stage(i))
+        return field
+
+    def _shard_time(self, i: int) -> float:
+        """Metadata-only read served straight from the remote directory —
+        times never force a shard fetch into the staging tier."""
+        return self.codec.shard_time(self.remote_path, i)
+
+    def _tier_gauges(self) -> dict:
+        """Staging-tier gauges for :meth:`cache_info` (lock held)."""
+        return {
+            "staged": len(self._staged),
+            "max_staged": self.max_staged,
+            "latency_s": self.latency_s,
+            "bandwidth": self.bandwidth,
+        }
+
+    def close(self) -> None:
+        """Stop the prefetcher, then remove an owned staging directory
+        (a caller-supplied ``staging_dir`` is the caller's to clean)."""
+        super().close()
+        if self._owns_staging:
+            shutil.rmtree(self.path, ignore_errors=True)
 
 
 class SimulationSource(SnapshotSource):
@@ -607,7 +932,7 @@ class PartitionedSource(SnapshotSource):
     rank `r` sees its span as snapshots ``0 .. hi-lo`` of an ordinary
     source, while coordinates, times, and values pass through unchanged from
     the base.  Views share the base source (and therefore its cache /
-    prefetcher), so K ranks over one :class:`ShardedNpzSource` still respect
+    prefetcher), so K ranks over one :class:`ShardDirSource` still respect
     a single global residency bound.
     """
 
@@ -671,49 +996,136 @@ class PartitionedSource(SnapshotSource):
         return self.base.value_range_hint(var)
 
 
-#: the cache_info() entries that are true event counters — additive across
-#: disjoint caches.  Gauges and configuration (``resident``, ``max_cached``,
-#: ``max_resident``, ``prefetch_depth``) are deliberately NOT aggregated:
-#: their sums would masquerade as fleet totals while meaning nothing.
-_ADDITIVE_CACHE_COUNTERS = (
-    "hits", "misses", "evictions", "prefetched", "prefetch_hits"
-)
-
-
 def aggregate_cache_info(infos: Iterable[dict | None]) -> dict:
-    """Sum per-rank :meth:`ShardedNpzSource.cache_info` event counters.
+    """Sum per-rank :meth:`ShardDirSource.cache_info` event counters.
 
-    The owned-shard benchmarks account total I/O across ranks with this:
-    only the additive counters are summed, ``decodes`` is the derived total
-    shard-decode count (``misses + prefetched`` — each a real
-    decompression), and ``ranks`` counts the caches aggregated.  ``None``
-    entries (ranks without a sharded source) are skipped.
+    The owned-shard benchmarks account total I/O across ranks with this.
+    Every :class:`CacheCounters` field is a true event counter — additive
+    across disjoint caches — so all of them are summed, whatever the
+    source's codec or tier; gauges and configuration (``resident``,
+    ``max_cached``, ``prefetch_depth``, tier knobs) are deliberately NOT
+    aggregated: their sums would masquerade as fleet totals while meaning
+    nothing.  ``decodes`` is the derived total shard-decode count
+    (``misses + prefetched`` — each a real decode), ``ranks`` counts the
+    caches aggregated, and ``None`` entries (ranks without a shard-backed
+    source) are skipped.  Accepts schema-2 dicts and legacy flat dicts.
     """
-    total: dict = {"ranks": 0, **{k: 0 for k in _ADDITIVE_CACHE_COUNTERS}}
+    names = [f.name for f in dataclasses.fields(CacheCounters)]
+    total: dict = {"ranks": 0, **{k: 0 for k in names}}
     for info in infos:
         if info is None:
             continue
         total["ranks"] += 1
-        for key in _ADDITIVE_CACHE_COUNTERS:
-            total[key] += info.get(key, 0)
+        # dict.__contains__ / dict.get keep legacy flat dicts working
+        # without tripping the CacheInfo deprecation shim.
+        counters = info["counters"] if "counters" in info else info
+        for key in names:
+            total[key] += dict.get(counters, key, 0)
     total["decodes"] = total["misses"] + total["prefetched"]
     return total
+
+
+def _parse_source_spec(spec: str) -> tuple[str, str, dict]:
+    """Split an ``open_source`` spec string into (scheme, path, options).
+
+    Grammar (see :func:`open_source`): ``PATH``, ``dir://PATH``,
+    ``CODEC+dir://PATH``, or ``remote://PATH?knob=value&...``.
+    """
+    if "://" not in spec:
+        return "dir", spec, {}
+    scheme, rest = spec.split("://", 1)
+    path, _, query = rest.partition("?")
+    options = dict(urllib.parse.parse_qsl(query, keep_blank_values=True))
+    if scheme == "dir" or scheme.endswith("+dir"):
+        codec = scheme[: -len("+dir")] if scheme.endswith("+dir") else None
+        if options:
+            raise ValueError(
+                f"dir:// specs take no ?options (got {sorted(options)!r})"
+            )
+        return "dir", path, {"codec": codec} if codec else {}
+    if scheme == "remote":
+        return "remote", path, options
+    raise ValueError(
+        f"unknown source scheme {scheme!r} in {spec!r}; expected PATH, "
+        "dir://PATH, CODEC+dir://PATH, or remote://PATH"
+    )
+
+
+_REMOTE_KNOBS = {
+    "latency_s": float,
+    "bandwidth": float,
+    "max_staged": int,
+    "staging_dir": str,
+}
+
+
+def open_source(
+    spec,
+    *,
+    max_cached: int = 2,
+    prefetch: int = 0,
+    lazy: bool = True,
+) -> SnapshotSource:
+    """Resolve anything the pipeline ingests to a :class:`SnapshotSource`.
+
+    One factory behind :meth:`Experiment.with_source` and the CLI
+    ``--source`` flag.  ``spec`` may be:
+
+    - a :class:`SnapshotSource` — returned as-is (keyword knobs ignored;
+      the source keeps its own configuration);
+    - a :class:`TurbulenceDataset` — wrapped in :class:`InMemorySource`;
+    - a plain directory path (``str`` / ``os.PathLike``) — opened as a
+      :class:`ShardDirSource`, codec auto-detected from the manifest;
+    - ``dir://PATH`` — same, spelled explicitly;
+    - ``CODEC+dir://PATH`` (e.g. ``raw+dir:///tmp/ds``) — same, but
+      refuses to open a directory whose manifest names a different codec
+      (a guard for scripts that depend on a layout's I/O behaviour);
+    - ``remote://PATH?latency_s=0.01&bandwidth=1e8&max_staged=4`` —
+      :class:`RemoteTieredSource` over the shard directory at ``PATH``,
+      query knobs optional (``latency_s``, ``bandwidth``, ``max_staged``,
+      ``staging_dir``).
+
+    ``max_cached`` / ``prefetch`` / ``lazy`` configure whichever
+    shard-backed source the spec resolves to.
+    """
+    if isinstance(spec, SnapshotSource):
+        return spec
+    if isinstance(spec, TurbulenceDataset):
+        return InMemorySource(spec)
+    if not isinstance(spec, (str, os.PathLike)):
+        raise TypeError(
+            "expected a SnapshotSource, TurbulenceDataset, path, or source "
+            f"spec string, got {type(spec).__name__}"
+        )
+    scheme, path, options = _parse_source_spec(os.fspath(spec))
+    if scheme == "remote":
+        try:
+            knobs = {
+                key: _REMOTE_KNOBS[key](value) for key, value in options.items()
+            }
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown remote:// option {exc.args[0]!r}; "
+                f"expected one of {sorted(_REMOTE_KNOBS)}"
+            ) from None
+        return RemoteTieredSource(
+            path, max_cached=max_cached, prefetch=prefetch, lazy=lazy, **knobs
+        )
+    source = ShardDirSource(path, max_cached=max_cached, prefetch=prefetch, lazy=lazy)
+    want = options.get("codec")
+    if want is not None and source.codec.name != want:
+        source.close()
+        raise ValueError(
+            f"{path!r} holds {source.codec.name!r} shards, not {want!r} "
+            f"(spec {os.fspath(spec)!r}); drop the codec prefix to auto-detect"
+        )
+    return source
 
 
 def as_source(data) -> SnapshotSource:
     """Coerce the accepted ingestion kinds to a :class:`SnapshotSource`.
 
-    Accepts a source (identity), a :class:`TurbulenceDataset`
-    (→ :class:`InMemorySource`), or a path to a shard directory written by
-    ``save_dataset`` (→ :class:`ShardedNpzSource`).
+    Thin wrapper over :func:`open_source` kept for back-compat; new code
+    should call ``open_source``, which also understands spec strings.
     """
-    if isinstance(data, SnapshotSource):
-        return data
-    if isinstance(data, TurbulenceDataset):
-        return InMemorySource(data)
-    if isinstance(data, (str, os.PathLike)):
-        return ShardedNpzSource(os.fspath(data))
-    raise TypeError(
-        "expected a SnapshotSource, TurbulenceDataset, or shard-directory "
-        f"path, got {type(data).__name__}"
-    )
+    return open_source(data)

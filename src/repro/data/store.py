@@ -14,7 +14,7 @@ import os
 import shutil
 import threading
 import zipfile
-from collections.abc import Mapping
+from collections.abc import Callable, Iterable, Mapping
 
 import numpy as np
 from numpy.lib import format as _npformat
@@ -27,10 +27,14 @@ __all__ = [
     "save_field",
     "load_field",
     "load_field_lazy",
+    "LazyMembers",
+    "LazyField",
     "LazyNpzField",
     "OwnedShardLayout",
     "points_payload",
     "points_from_npz",
+    "read_manifest",
+    "write_manifest",
     "META_KEY",
     "MANIFEST",
 ]
@@ -41,8 +45,37 @@ META_KEY = "__meta_json__"
 _META_KEYS = META_KEY
 
 #: dataset-directory manifest name, shared by save_dataset/load_dataset and
-#: the out-of-core :class:`repro.data.sources.ShardedNpzSource`.
+#: the out-of-core :class:`repro.data.sources.ShardDirSource`.
 MANIFEST = "manifest.json"
+
+
+def write_manifest(path: str, manifest: dict) -> None:
+    """Atomically write a shard-directory manifest (tmp file + rename).
+
+    The manifest is the last thing a writer produces and the first thing
+    :class:`~repro.data.sources.ShardDirSource` validates, so it doubles as
+    the directory's commit record: a writer killed mid-``json.dump`` must
+    not leave a truncated ``manifest.json`` that readers would silently
+    open.  ``os.replace`` makes the final step atomic on POSIX and Windows.
+    """
+    final = os.path.join(path, MANIFEST)
+    tmp = final + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+
+
+def read_manifest(path: str) -> dict:
+    """Read a shard-directory manifest, failing clearly when absent."""
+    manifest_path = os.path.join(path, MANIFEST)
+    if not os.path.isfile(manifest_path):
+        raise FileNotFoundError(
+            f"no {MANIFEST} under {path!r} — not a save_dataset() directory"
+        )
+    with open(manifest_path, encoding="utf-8") as fh:
+        return json.load(fh)
 
 
 def points_payload(points: PointSet) -> dict[str, np.ndarray]:
@@ -99,24 +132,32 @@ def _npz_member_header(path: str, member: str) -> tuple[tuple[int, ...], np.dtyp
     return tuple(int(s) for s in shape), dtype
 
 
-class _LazyNpzMembers(Mapping):
-    """Mapping of variable name → array that decodes npz members on first
-    access.
+class LazyMembers(Mapping):
+    """Mapping of variable name → array that decodes members on first
+    access, whatever the codec underneath.
 
-    npz members are individually compressed, so decoding one variable never
-    touches the others — a consumer that only reads the cluster variable
-    pays for exactly that member.  Iteration/`in`/`len` reflect the full
-    member list without decoding; anything that needs the arrays
-    (``[key]``, ``get``, ``values()``, ``items()``, ``dict(...)``) decodes
-    what it touches.  A real :class:`collections.abc.Mapping` (not a dict
+    ``load_one(name)`` decodes a single member; the optional
+    ``load_all(names)`` decodes several in one I/O pass (e.g. one npz open
+    instead of V zip-directory rescans) and is what :meth:`decode_all`
+    batches through.  A consumer that only reads the cluster variable pays
+    for exactly that member.  Iteration/`in`/`len` reflect the full member
+    list without decoding; anything that needs the arrays (``[key]``,
+    ``get``, ``values()``, ``items()``, ``dict(...)``) decodes what it
+    touches.  A real :class:`collections.abc.Mapping` (not a dict
     subclass), so every generic mapping operation routes through
     ``__getitem__`` — there is no C fast path that could silently skip the
     decode.
     """
 
-    def __init__(self, path: str, members: list[str]) -> None:
-        self._path = path
+    def __init__(
+        self,
+        members: Iterable[str],
+        load_one: Callable[[str], np.ndarray],
+        load_all: Callable[[list[str]], dict[str, np.ndarray]] | None = None,
+    ) -> None:
         self._members = tuple(members)
+        self._load_one = load_one
+        self._load_all = load_all
         self._decoded: dict[str, np.ndarray] = {}
         self._decode_lock = threading.Lock()
 
@@ -131,8 +172,7 @@ class _LazyNpzMembers(Mapping):
         with self._decode_lock:
             if key in self._decoded:  # racing thread decoded it
                 return self._decoded[key]
-            with np.load(self._path, allow_pickle=False) as data:
-                arr = data[f"var_{key}"]
+            arr = self._load_one(key)
             self._decoded[key] = arr
             return arr
 
@@ -145,16 +185,36 @@ class _LazyNpzMembers(Mapping):
     def __len__(self) -> int:
         return len(self._members)
 
+    def before_load(self, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` before every deferred member read (already-decoded
+        members are unaffected).  Tiered sources use this to re-stage shard
+        files a bounded staging tier may have evicted since decode time."""
+        load_one, load_all = self._load_one, self._load_all
+
+        def hooked_one(key: str) -> np.ndarray:
+            hook()
+            return load_one(key)
+
+        self._load_one = hooked_one
+        if load_all is not None:
+            def hooked_all(missing: list[str]) -> dict[str, np.ndarray]:
+                hook()
+                return load_all(missing)
+
+            self._load_all = hooked_all
+
     def decode_all(self) -> None:
-        """Decode every member in one npz open (the prefetcher's path —
-        per-member opens would rescan the zip directory V times)."""
+        """Decode every member, batched through ``load_all`` when the codec
+        provides one (the prefetcher's path)."""
         with self._decode_lock:
             missing = [k for k in self._members if k not in self._decoded]
             if not missing:
                 return
-            with np.load(self._path, allow_pickle=False) as data:
+            if self._load_all is not None:
+                self._decoded.update(self._load_all(missing))
+            else:
                 for k in missing:
-                    self._decoded[k] = data[f"var_{k}"]
+                    self._decoded[k] = self._load_one(k)
 
     def decoded(self) -> list[str]:
         """Members decoded so far (test/diagnostic hook)."""
@@ -162,16 +222,16 @@ class _LazyNpzMembers(Mapping):
             return sorted(self._decoded)
 
 
-class LazyNpzField(FlowField):
-    """A :class:`FlowField` view over one npz shard with per-variable lazy
-    decode: geometry comes from the npy headers, and each stored variable
-    is decompressed only when first read (derived variables still compose
-    on top via :meth:`FlowField.get`)."""
+class LazyField(FlowField):
+    """A :class:`FlowField` view with per-variable lazy decode: geometry
+    comes from shard metadata, and each stored variable is read only when
+    first accessed (derived variables still compose on top via
+    :meth:`FlowField.get`).  Codecs build these through
+    :class:`LazyMembers` with their own member loaders."""
 
     def __init__(
         self,
-        path: str,
-        members: list[str],
+        members: LazyMembers,
         grid_shape: tuple[int, ...],
         itemsize: int,
         time: float,
@@ -179,7 +239,7 @@ class LazyNpzField(FlowField):
     ) -> None:
         # Deliberately skip FlowField.__init__: nothing is decoded yet, so
         # there are no arrays to validate against each other.
-        self.variables = _LazyNpzMembers(path, members)
+        self.variables = members
         self.time = float(time)
         self.meta = dict(meta or {})
         self._cache = {}
@@ -191,17 +251,45 @@ class LazyNpzField(FlowField):
         return self._lazy_shape
 
     def nbytes(self) -> int:
-        """Would-be decoded footprint, from headers alone (no decode)."""
+        """Would-be decoded footprint, from metadata alone (no decode)."""
         return int(np.prod(self._lazy_shape)) * self._itemsize * len(self.variables)
 
-    def materialize(self) -> LazyNpzField:
-        """Decode every stored member in a single npz open (the
-        prefetcher's eager path)."""
+    def materialize(self) -> LazyField:
+        """Decode every stored member in one I/O pass (the prefetcher's
+        eager path)."""
         self.variables.decode_all()
         return self
 
     def decoded_members(self) -> list[str]:
         return self.variables.decoded()
+
+
+class LazyNpzField(LazyField):
+    """:class:`LazyField` over one npz shard: members are individually
+    compressed zip entries, so decoding one variable never decompresses
+    the others, and :meth:`materialize` batches through a single open."""
+
+    def __init__(
+        self,
+        path: str,
+        members: list[str],
+        grid_shape: tuple[int, ...],
+        itemsize: int,
+        time: float,
+        meta: dict | None = None,
+    ) -> None:
+        def load_one(key: str) -> np.ndarray:
+            with np.load(path, allow_pickle=False) as data:
+                return data[f"var_{key}"]
+
+        def load_all(missing: list[str]) -> dict[str, np.ndarray]:
+            with np.load(path, allow_pickle=False) as data:
+                return {k: data[f"var_{k}"] for k in missing}
+
+        super().__init__(
+            LazyMembers(members, load_one, load_all),
+            grid_shape, itemsize, time, meta,
+        )
 
 
 def load_field_lazy(path: str) -> LazyNpzField:
@@ -224,7 +312,7 @@ class OwnedShardLayout:
     """Disjoint per-rank ownership of one ``save_dataset`` shard directory.
 
     Distributed shard *ownership*: instead of every SPMD rank reading
-    through one shared :class:`~repro.data.sources.ShardedNpzSource` cache,
+    through one shared :class:`~repro.data.sources.ShardDirSource` cache,
     each rank gets its own shard directory holding exactly its contiguous
     snapshot span — so each rank runs a private bounded LRU and a private
     prefetch thread over a disjoint file set, with zero cross-rank cache
@@ -234,11 +322,11 @@ class OwnedShardLayout:
     directory (or an explicit ``dest``) — never inside the base directory,
     which may be a read-only dataset mount: one subdirectory per rank,
     shards hardlinked (copied when the filesystem refuses links) and
-    renumbered ``snapshot_00000.npz ...`` within the rank's span, plus a
-    per-rank manifest — each rank directory is itself a valid
-    ``save_dataset`` directory, so an ordinary ``ShardedNpzSource`` opens
-    it directly, and :meth:`remove` cleans the whole layout up.  Spans
-    follow
+    renumbered ``snapshot_00000.* ...`` within the rank's span by the
+    directory's own shard codec, plus a per-rank manifest — each rank
+    directory is itself a valid ``save_dataset`` directory of the same
+    codec, so an ordinary ``ShardDirSource`` opens it directly, and
+    :meth:`remove` cleans the whole layout up.  Spans follow
     :func:`repro.parallel.partition.stream_partitions` (sizes differ by at
     most one; trailing ranks own empty directories when
     ``nranks > n_snapshots``).
@@ -279,17 +367,13 @@ class OwnedShardLayout:
         """
         import tempfile
 
+        from repro.data.codecs import get_codec
         from repro.parallel.partition import stream_partitions
 
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
-        manifest_path = os.path.join(path, MANIFEST)
-        if not os.path.isfile(manifest_path):
-            raise FileNotFoundError(
-                f"no {MANIFEST} under {path!r} — not a save_dataset() directory"
-            )
-        with open(manifest_path, encoding="utf-8") as fh:
-            manifest = json.load(fh)
+        manifest = read_manifest(path)
+        codec = get_codec(manifest.get("codec", "npz"))
         n = int(manifest["n_snapshots"])
         if dest is None:
             root = tempfile.mkdtemp(prefix=f"owned_r{nranks}_")
@@ -305,19 +389,13 @@ class OwnedShardLayout:
                 rank_dir = os.path.join(root, f"rank_{part.rank:03d}")
                 os.makedirs(rank_dir)
                 for j, i in enumerate(part.indices()):
-                    src = os.path.join(path, f"snapshot_{i:05d}.npz")
-                    dst = os.path.join(rank_dir, f"snapshot_{j:05d}.npz")
-                    try:
-                        os.link(src, dst)
-                    except OSError:
-                        shutil.copy2(src, dst)
+                    codec.link_shard(path, i, rank_dir, j)
                 rank_manifest = {
                     **manifest,
                     "n_snapshots": part.n,
                     "target": target[part.lo : part.hi] if target is not None else None,
                 }
-                with open(os.path.join(rank_dir, MANIFEST), "w", encoding="utf-8") as fh:
-                    json.dump(rank_manifest, fh, indent=2)
+                write_manifest(rank_dir, rank_manifest)
                 spans.append((part.lo, part.hi))
         except BaseException:
             # Don't leak a half-built layout (mkdtemp or explicit dest).
@@ -329,12 +407,13 @@ class OwnedShardLayout:
         self, rank: int, max_cached: int = 2, prefetch: int = 0, lazy: bool = True
     ):
         """Open rank `rank`'s owned directory as a private
-        :class:`~repro.data.sources.ShardedNpzSource` (its own LRU and, with
+        :class:`~repro.data.sources.ShardDirSource` (its own LRU and, with
         ``prefetch > 0``, its own background decode thread — close it when
-        the rank is done)."""
-        from repro.data.sources import ShardedNpzSource
+        the rank is done).  The shard codec is auto-detected from the
+        per-rank manifest."""
+        from repro.data.sources import ShardDirSource
 
-        return ShardedNpzSource(
+        return ShardDirSource(
             self.rank_dir(rank), max_cached=max_cached, prefetch=prefetch, lazy=lazy
         )
 

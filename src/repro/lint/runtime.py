@@ -55,12 +55,17 @@ __all__ = [
 ]
 
 #: (module, class, lock attribute, guarded attributes) wired up by install().
-#: ``_LazyNpzMembers`` is deliberately absent: its lock-free fast-path read
-#: is a documented benign race (atomic dict get of an immutable value).
+#: ``LazyMembers`` is deliberately absent: its lock-free fast-path read is a
+#: documented benign race (atomic dict get of an immutable value).  Guarding
+#: ``ShardDirSource`` covers its subclasses (``ShardedNpzSource``,
+#: ``RemoteTieredSource``) through inheritance; the remote staging-tier
+#: state gets its own entry on the subclass.
 GUARDED_CLASSES = (
-    ("repro.data.sources", "ShardedNpzSource", "_lock",
+    ("repro.data.sources", "ShardDirSource", "_lock",
      ("_cache", "_stats", "_inflight", "_from_prefetch", "_worker", "_queue",
-      "_grid_shape", "_shard_nbytes", "_times")),
+      "_grid_shape", "_shard_nbytes", "_times", "_max_resident")),
+    ("repro.data.sources", "RemoteTieredSource", "_lock",
+     ("_staged", "_staging", "_decoding")),
     ("repro.data.sources", "SimulationSource", "_lock",
      ("_cache", "_it", "_pos", "_seen_times", "_grid_shape", "_snapshot_nbytes")),
     ("repro.parallel.threadcomm", "CommWorld", "_queues_lock", ("_queues",)),

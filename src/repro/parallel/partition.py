@@ -117,7 +117,9 @@ class ProducerReport:
     stream_mass: float = 0.0
     failed: bool = False
     error: str | None = None
-    #: per-rank source cache counters (owned-shard runs), for aggregation
+    #: per-rank schema-2 ``cache_info()`` dict (owned-shard runs): codec,
+    #: tier, and ``{"counters", "gauges"}`` sections — the shape
+    #: :func:`repro.data.sources.aggregate_cache_info` sums across ranks
     cache_info: dict | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:

@@ -20,7 +20,9 @@ Since the stream-first redesign :func:`subsample` is the single entry point
 for all three ingestion modes: pass a resident
 :class:`~repro.data.dataset.TurbulenceDataset` (or
 :class:`~repro.data.sources.InMemorySource`) for batch, a
-:class:`~repro.data.sources.ShardedNpzSource` for out-of-core shards, or a
+:class:`~repro.data.sources.ShardDirSource` (any registered shard codec;
+optionally behind a :class:`~repro.data.sources.RemoteTieredSource`) for
+out-of-core shards, or a
 :class:`~repro.data.sources.SimulationSource` for in-situ generation — the
 stage pipeline fetches snapshots through the source on demand and never
 requires the dataset to be resident.  ``mode="stream"`` switches to the
@@ -96,7 +98,7 @@ def subsample(
     :func:`repro.sampling.streaming.run_stream_subsample`).
 
     The stream-only knobs: ``owned_shards`` gives each rank a private
-    :class:`~repro.data.sources.ShardedNpzSource` over a disjoint shard set
+    :class:`~repro.data.sources.ShardDirSource` over a disjoint shard set
     (per-rank LRU + prefetcher, no shared cache), ``on_rank_failure``
     chooses between reweighting the merge by delivered mass
     (``"reweight"``) and failing the draw (``"raise"``) when a producer

@@ -48,7 +48,7 @@ from repro.cluster.kmeans import MiniBatchKMeans
 from repro.data.points import PointSet
 from repro.data.sources import (
     PartitionedSource,
-    ShardedNpzSource,
+    ShardDirSource,
     SimulationSource,
     SnapshotSource,
     aggregate_cache_info,
@@ -660,9 +660,9 @@ def run_stream_subsample(
             "fault injection needs nranks >= 2 — a single producer has no "
             "peers to survive it"
         )
-    if owned_shards and not isinstance(source, ShardedNpzSource):
+    if owned_shards and not isinstance(source, ShardDirSource):
         raise ValueError(
-            "owned_shards requires a ShardedNpzSource (a save_dataset shard "
+            "owned_shards requires a ShardDirSource (a save_dataset shard "
             f"directory); got {type(source).__name__}"
         )
     if owned_shards and nranks < 2:
@@ -731,26 +731,23 @@ def run_stream_subsample(
         # concurrent runs and read-only base directories are safe); it is
         # removed again in the finally below, whatever the run does.
         layout = (
-            OwnedShardLayout.build(source.path, nranks) if owned_shards else None
+            OwnedShardLayout.build(source.layout_path, nranks)
+            if owned_shards else None
         )
 
-        def _rank_source(rank: int) -> tuple[SnapshotSource, ShardedNpzSource | None]:
+        def _rank_source(rank: int) -> tuple[SnapshotSource, ShardDirSource | None]:
             """Build this rank's source view; also returns the private sharded
             base the rank must close when it owns one."""
             if layout is not None:
-                src = layout.rank_source(
-                    rank, max_cached=source.max_cached,
-                    prefetch=source.prefetch_depth, lazy=source.lazy,
-                )
+                # reopen() keeps the source's own codec/tier configuration
+                # over the rank's owned shard directory.
+                src = source.reopen(layout.rank_dir(rank))
                 return src, src
-            if backend == "process" and isinstance(source, ShardedNpzSource):
+            if backend == "process" and isinstance(source, ShardDirSource):
                 # Forked workers must not share the parent's LRU/prefetch
                 # machinery (inherited locks and dead threads): reopen the
                 # shard directory privately inside the worker.
-                base = ShardedNpzSource(
-                    source.path, max_cached=source.max_cached,
-                    prefetch=source.prefetch_depth, lazy=source.lazy,
-                )
+                base = source.reopen()
                 return PartitionedSource(base, parts[rank].lo, parts[rank].hi), base
             return PartitionedSource(source, parts[rank].lo, parts[rank].hi), None
 

@@ -128,8 +128,8 @@ class TestOwnedShardLayout:
             a = layout.rank_source(0, max_cached=1)
             b = layout.rank_source(1, max_cached=1)
             a.snapshot(0)
-            assert a.cache_info()["misses"] == 1
-            assert b.cache_info()["misses"] == 0  # no shared cache
+            assert a.cache_info()["counters"]["misses"] == 1
+            assert b.cache_info()["counters"]["misses"] == 0  # no shared cache
             a.close()
             b.close()
         finally:

@@ -8,10 +8,13 @@ import pytest
 from repro.data import (
     InMemorySource,
     PartitionedSource,
+    RemoteTieredSource,
+    ShardDirSource,
     ShardedNpzSource,
     SimulationSource,
     as_source,
     build_dataset,
+    open_source,
     save_dataset,
 )
 from repro.data.sources import SnapshotSource
@@ -120,15 +123,15 @@ class TestShardedNpzSource:
         for i in [*order, *order[::-1], 3, 0, 5, 1]:
             src.snapshot(i)
         info = src.cache_info()
-        assert info["max_resident"] <= 2
-        assert info["resident"] <= 2
-        assert info["evictions"] > 0
+        assert info["gauges"]["max_resident"] <= 2
+        assert info["gauges"]["resident"] <= 2
+        assert info["counters"]["evictions"] > 0
 
     def test_cache_hits_on_repeat_access(self, shard_dir):
         src = ShardedNpzSource(shard_dir, max_cached=2)
         src.snapshot(0)
         src.snapshot(0)
-        info = src.cache_info()
+        info = src.cache_info()["counters"]
         assert info["hits"] == 1 and info["misses"] == 1
 
     def test_validation(self, tmp_path, shard_dir):
@@ -146,7 +149,7 @@ def _wait_for_prefetch(src, n=1, timeout_s=5.0):
     import time
 
     deadline = time.monotonic() + timeout_s
-    while src.cache_info()["prefetched"] < n:
+    while src.cache_info()["counters"]["prefetched"] < n:
         if time.monotonic() > deadline:
             raise AssertionError(
                 f"prefetcher never reached {n} decodes: {src.cache_info()}"
@@ -168,10 +171,10 @@ class TestShardedPrefetch:
         finally:
             src.close()
         info = src.cache_info()
-        assert info["prefetched"] >= 1
-        assert info["prefetch_hits"] >= 1
-        assert info["max_resident"] <= 3
-        assert info["prefetch_depth"] == 2
+        assert info["counters"]["prefetched"] >= 1
+        assert info["counters"]["prefetch_hits"] >= 1
+        assert info["gauges"]["max_resident"] <= 3
+        assert info["gauges"]["prefetch_depth"] == 2
 
     def test_explicit_prefetch_hint(self, shard_dir):
         src = ShardedNpzSource(shard_dir, max_cached=2, prefetch=1)
@@ -181,7 +184,7 @@ class TestShardedPrefetch:
             src.snapshot(0)
         finally:
             src.close()
-        info = src.cache_info()
+        info = src.cache_info()["counters"]
         assert info["prefetched"] >= 1
         assert info["prefetch_hits"] >= 1
 
@@ -189,7 +192,7 @@ class TestShardedPrefetch:
         src = ShardedNpzSource(shard_dir, max_cached=2, prefetch=0)
         src.prefetch([0, 1, 2])
         src.snapshot(0)
-        info = src.cache_info()
+        info = src.cache_info()["counters"]
         assert info["prefetched"] == 0 and info["prefetch_hits"] == 0
         src.close()  # idempotent even without a worker
 
@@ -287,7 +290,7 @@ class TestPartitionedSource:
             part.prefetch([0, 1])  # global shards 2, 3
             _wait_for_prefetch(src)
             part.snapshot(0)
-            assert src.cache_info()["prefetch_hits"] >= 1
+            assert src.cache_info()["counters"]["prefetch_hits"] >= 1
         finally:
             src.close()
 
@@ -450,7 +453,7 @@ class TestStreamDataset:
 class TestAsSource:
     def test_coercions(self, sst, shard_dir):
         assert isinstance(as_source(sst), InMemorySource)
-        assert isinstance(as_source(shard_dir), ShardedNpzSource)
+        assert isinstance(as_source(shard_dir), ShardDirSource)
         src = InMemorySource(sst)
         assert as_source(src) is src
         assert isinstance(as_source(src), SnapshotSource)
@@ -467,8 +470,8 @@ class TestOutOfCoreMemory:
         res = subsample(src, small_case(), nranks=1, seed=0)
         assert res.n_samples > 0
         info = src.cache_info()
-        assert info["max_resident"] <= 2
-        assert info["evictions"] > 0  # it really cycled through shards
+        assert info["gauges"]["max_resident"] <= 2
+        assert info["counters"]["evictions"] > 0  # it really cycled through shards
 
     def test_sharded_subsample_peak_below_full_footprint(self, shard_dir, sst):
         """Satellite: peak traced allocation of an out-of-core subsample
@@ -484,3 +487,205 @@ class TestOutOfCoreMemory:
         # 6 snapshots x ~6 stored vars each; holding one shard (+ derived
         # vars + pipeline bookkeeping) must undercut full residency.
         assert peak < full_bytes, f"peak {peak} >= full dataset {full_bytes}"
+
+
+class TestOpenSource:
+    def test_path_and_dir_specs_resolve_equivalently(self, shard_dir):
+        for spec in (shard_dir, f"dir://{shard_dir}", f"npz+dir://{shard_dir}"):
+            src = open_source(spec)
+            assert isinstance(src, ShardDirSource)
+            assert src.codec.name == "npz"
+            src.close()
+
+    def test_source_and_dataset_pass_through(self, sst):
+        src = InMemorySource(sst)
+        assert open_source(src) is src
+        assert isinstance(open_source(sst), InMemorySource)
+
+    def test_codec_prefix_mismatch_refused(self, shard_dir):
+        with pytest.raises(ValueError, match="holds 'npz' shards, not 'raw'"):
+            open_source(f"raw+dir://{shard_dir}")
+
+    def test_remote_spec_builds_tiered_source(self, shard_dir):
+        src = open_source(
+            f"remote://{shard_dir}?latency_s=0.5&bandwidth=1e6&max_staged=3"
+        )
+        try:
+            assert isinstance(src, RemoteTieredSource)
+            assert src.latency_s == 0.5
+            assert src.bandwidth == 1e6
+            assert src.max_staged == 3
+            assert src.layout_path == shard_dir
+        finally:
+            src.close()
+
+    def test_knobs_reach_the_source(self, shard_dir):
+        src = open_source(shard_dir, max_cached=5, prefetch=1, lazy=False)
+        try:
+            assert src.max_cached == 5
+            assert src.prefetch_depth == 1
+            assert src.lazy is False
+        finally:
+            src.close()
+
+    def test_bad_specs_rejected(self, shard_dir):
+        with pytest.raises(ValueError, match="unknown source scheme"):
+            open_source(f"s3://{shard_dir}")
+        with pytest.raises(ValueError, match="unknown remote:// option"):
+            open_source(f"remote://{shard_dir}?nope=1")
+        with pytest.raises(ValueError, match="no .options"):
+            open_source(f"dir://{shard_dir}?latency_s=1")
+        with pytest.raises(TypeError):
+            open_source(42)
+
+
+class TestCacheInfoSchema:
+    def test_schema2_layout(self, shard_dir):
+        src = ShardDirSource(shard_dir, max_cached=2)
+        src.snapshot(0)
+        info = src.cache_info()
+        assert info["schema"] == 2
+        assert info["codec"] == "npz"
+        assert info["tier"] == "local"
+        from dataclasses import fields
+
+        from repro.data import CacheCounters
+
+        assert set(info["counters"]) == {f.name for f in fields(CacheCounters)}
+        for key in ("resident", "max_resident", "max_cached", "prefetch_depth"):
+            assert key in info["gauges"]
+
+    def test_flat_keys_warn_but_work(self, shard_dir):
+        """Satellite: the deprecation shim serves the legacy flat keys."""
+        src = ShardDirSource(shard_dir, max_cached=2)
+        src.snapshot(0)
+        src.snapshot(0)
+        info = src.cache_info()
+        with pytest.deprecated_call():
+            assert info["hits"] == 1
+        with pytest.deprecated_call():
+            assert info["resident"] == info["gauges"]["resident"]
+        with pytest.deprecated_call():
+            assert info.get("misses") == 1
+        assert info.get("not-a-counter", "sentinel") == "sentinel"
+        with pytest.raises(KeyError):
+            info["definitely-not-a-key"]
+
+    def test_aggregate_accepts_schema2_and_legacy(self, shard_dir):
+        from repro.data import aggregate_cache_info
+
+        src = ShardDirSource(shard_dir, max_cached=2)
+        src.snapshot(0)
+        src.snapshot(0)
+        legacy = {"hits": 3, "misses": 2, "evictions": 1, "prefetched": 4,
+                  "prefetch_hits": 2}
+        agg = aggregate_cache_info([src.cache_info(), legacy, None])
+        assert agg["ranks"] == 2
+        assert agg["hits"] == 1 + 3
+        assert agg["misses"] == 1 + 2
+        assert agg["decodes"] == agg["misses"] + agg["prefetched"]
+
+
+class TestRemoteTieredSource:
+    def _remote(self, shard_dir, **kw):
+        kw.setdefault("latency_s", 0.01)
+        kw.setdefault("bandwidth", 1e6)
+        return RemoteTieredSource(shard_dir, **kw)
+
+    def test_round_trip_matches_local(self, shard_dir, sst):
+        src = self._remote(shard_dir, max_cached=2)
+        try:
+            for i in range(sst.n_snapshots):
+                got = src.snapshot(i)
+                want = sst.snapshots[i]
+                for name, arr in want.variables.items():
+                    assert np.array_equal(got.variables[name], arr), name
+            assert np.array_equal(src.times, sst.times)
+        finally:
+            src.close()
+
+    def test_fetch_accounting(self, shard_dir, sst):
+        src = self._remote(shard_dir, max_cached=1, max_staged=2)
+        try:
+            for i in range(sst.n_snapshots):
+                src.snapshot(i)
+            info = src.cache_info()
+            c = info["counters"]
+            assert info["tier"] == "remote"
+            assert c["remote_fetches"] == sst.n_snapshots
+            assert c["remote_bytes"] > 0
+            # cost model: each fetch pays latency plus bytes/bandwidth
+            assert c["remote_wait_s"] >= sst.n_snapshots * 0.01
+            assert c["remote_wait_s"] == pytest.approx(
+                sst.n_snapshots * 0.01 + c["remote_bytes"] / 1e6
+            )
+            assert info["gauges"]["staged"] <= 2
+            assert c["staged_evictions"] > 0
+        finally:
+            src.close()
+
+    def test_staged_reuse_skips_refetch(self, shard_dir):
+        src = self._remote(shard_dir, max_cached=1, max_staged=4)
+        try:
+            src.snapshot(0)
+            src.snapshot(1)  # evicts 0 from RAM (max_cached=1), not staging
+            src.snapshot(0)  # RAM miss, staging hit: no second fetch of 0
+            c = src.cache_info()["counters"]
+            assert c["remote_fetches"] == 2
+            assert c["staged_hits"] >= 1
+        finally:
+            src.close()
+
+    def test_owned_staging_dir_removed_on_close(self, shard_dir):
+        import os
+
+        src = self._remote(shard_dir)
+        staging = src.path
+        assert os.path.isdir(staging)
+        src.close()
+        assert not os.path.isdir(staging)
+        assert os.path.isdir(shard_dir)  # the remote is never touched
+
+    def test_caller_staging_dir_kept(self, shard_dir, tmp_path):
+        import os
+
+        staging = str(tmp_path / "stage")
+        src = self._remote(shard_dir, staging_dir=staging)
+        src.snapshot(0)
+        src.close()
+        assert os.path.isdir(staging)
+
+    def test_reopen_preserves_knobs(self, shard_dir):
+        src = self._remote(shard_dir, max_staged=3, latency_s=0.25)
+        dup = src.reopen()
+        try:
+            assert isinstance(dup, RemoteTieredSource)
+            assert dup.remote_path == src.remote_path
+            assert dup.max_staged == 3 and dup.latency_s == 0.25
+            assert dup.path != src.path  # private staging tier
+        finally:
+            src.close()
+            dup.close()
+
+    def test_validation(self, shard_dir, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            RemoteTieredSource(str(tmp_path / "nope"))
+        with pytest.raises(ValueError):
+            self._remote(shard_dir, max_staged=0)
+        with pytest.raises(ValueError):
+            self._remote(shard_dir, latency_s=-1)
+        with pytest.raises(ValueError):
+            self._remote(shard_dir, bandwidth=0)
+
+    def test_subsample_matches_local_source(self, shard_dir):
+        """The tier is transparent: same selections as a local source."""
+        local = subsample(ShardDirSource(shard_dir, max_cached=2),
+                          small_case(), nranks=1, seed=0)
+        src = self._remote(shard_dir, max_cached=2)
+        try:
+            remote = subsample(src, small_case(), nranks=1, seed=0)
+        finally:
+            src.close()
+        assert np.array_equal(local.points.coords, remote.points.coords)
+        for var, vals in local.points.values.items():
+            assert np.array_equal(vals, remote.points.values[var]), var

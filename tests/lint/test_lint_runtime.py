@@ -99,15 +99,24 @@ def test_quiescent_access_not_flagged(sanitizer):
 
 
 def test_registered_classes_are_instrumented(sanitizer):
-    from repro.data.sources import ShardedNpzSource, SimulationSource
+    from repro.data.sources import (
+        RemoteTieredSource,
+        ShardDirSource,
+        ShardedNpzSource,
+        SimulationSource,
+    )
     from repro.parallel.threadcomm import CommWorld
 
     for cls, attr in (
-        (ShardedNpzSource, "_cache"),
+        (ShardDirSource, "_cache"),
+        (RemoteTieredSource, "_staged"),
         (SimulationSource, "_cache"),
         (CommWorld, "_queues"),
     ):
         assert type(cls.__dict__[attr]).__name__ == "_GuardedAttr"
+    # the back-compat subclass inherits the instrumentation
+    assert isinstance(ShardedNpzSource._cache, object)
+    assert type(ShardedNpzSource.__mro__[1].__dict__["_cache"]).__name__ == "_GuardedAttr"
 
 
 def test_shm_leak_detection(sanitizer):

@@ -1113,8 +1113,9 @@ class TestOwnedShardStreaming:
         cache = res.meta["cache"]
         spans = [tuple(p["span"]) for p in res.meta["producers"]]
         for info, (lo, hi) in zip(cache["per_rank"], spans):
-            assert info["misses"] + info["prefetched"] == hi - lo
-            assert info["hits"] + info["misses"] >= hi - lo
+            c = info["counters"]
+            assert c["misses"] + c["prefetched"] == hi - lo
+            assert c["hits"] + c["misses"] >= hi - lo
         assert cache["total"]["decodes"] == sst.n_snapshots
         assert cache["total"]["ranks"] == 4
 

@@ -180,7 +180,7 @@ class TestSources:
 
     def test_with_source_coerces_dataset_and_path(self, tmp_path):
         from repro.data import save_dataset
-        from repro.data.sources import InMemorySource, ShardedNpzSource
+        from repro.data.sources import InMemorySource, ShardDirSource
 
         ds = self._dataset()
         exp = Experiment.from_case(make_case()).with_source(ds)
@@ -188,7 +188,7 @@ class TestSources:
         assert exp.dataset is ds  # with_dataset sugar keeps working
         save_dataset(ds, str(tmp_path))
         exp2 = Experiment.from_case(make_case()).with_source(str(tmp_path))
-        assert isinstance(exp2.source, ShardedNpzSource)
+        assert isinstance(exp2.source, ShardDirSource)
 
     def test_dataset_property_refuses_non_resident_sources(self, tmp_path):
         from repro.data import save_dataset
@@ -252,7 +252,7 @@ class TestSources:
         exp = (Experiment.from_case(make_case())
                .with_source(src).with_epochs(2).train())
         assert np.isfinite(exp.train_artifact.result.final_test_loss)
-        assert src.cache_info()["max_resident"] <= 2
+        assert src.cache_info()["gauges"]["max_resident"] <= 2
 
 
 class TestArtifacts:
