@@ -10,10 +10,11 @@ uses to prove the gate fails on a seeded-violation fixture).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.lint.config import LintConfig, find_config, load_config
-from repro.lint.core import lint_paths
+from repro.lint.core import Diagnostic, lint_paths
 from repro.lint.rules import ALL_CHECKERS
 
 
@@ -21,7 +22,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="AST-based determinism & concurrency invariant checks "
-        "for the repro codebase (rules RPL001-RPL006).",
+        "for the repro codebase (rules RPL001-RPL009).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(
@@ -37,9 +38,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to run (default: all)",
     )
     parser.add_argument(
+        "--format", dest="format", choices=("text", "json", "github"),
+        default="text",
+        help="diagnostic format: ruff-style text (default), one JSON object "
+        "per line, or GitHub ::error annotations",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the per-file rules (project rules always "
+        "run single-threaded in this process); output is identical to -j 1",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
     return parser
+
+
+def _emit(diag: Diagnostic, fmt: str) -> str:
+    if fmt == "json":
+        return json.dumps(
+            {
+                "path": diag.path, "line": diag.line, "col": diag.col,
+                "code": diag.code, "message": diag.message,
+            },
+            sort_keys=True,
+        )
+    if fmt == "github":
+        return (
+            f"::error file={diag.path},line={diag.line},col={diag.col + 1},"
+            f"title={diag.code}::{diag.message}"
+        )
+    return diag.render()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,14 +100,18 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         checkers = tuple(c for c in ALL_CHECKERS if c.code in wanted)
 
+    if args.jobs < 1:
+        print("repro-lint: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
     try:
-        diagnostics = lint_paths(args.paths, config, checkers)
+        diagnostics = lint_paths(args.paths, config, checkers, jobs=args.jobs)
     except FileNotFoundError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
 
     for diag in diagnostics:
-        print(diag.render())
+        print(_emit(diag, args.format))
     if diagnostics:
         print(f"repro-lint: {len(diagnostics)} finding(s)", file=sys.stderr)
         return 1

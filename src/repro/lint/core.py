@@ -158,15 +158,23 @@ def iter_python_files(paths: Iterable[str], config: LintConfig) -> Iterator[str]
                 yield full
 
 
+def _is_project_checker(checker) -> bool:
+    return bool(getattr(checker, "project", False))
+
+
 def lint_source(
     src: SourceFile, config: LintConfig, checkers: Iterable | None = None
 ) -> list[Diagnostic]:
-    """Run checkers over one parsed source, applying inline suppressions
-    and allowlist entries (but not ``exclude`` — callers decide walking)."""
+    """Run single-file checkers over one parsed source, applying inline
+    suppressions and allowlist entries (but not ``exclude`` — callers
+    decide walking).  Project checkers are skipped: they need the
+    whole-program graph that only :func:`lint_paths` builds."""
     from repro.lint.rules import ALL_CHECKERS
 
     out: list[Diagnostic] = []
     for checker in checkers if checkers is not None else ALL_CHECKERS:
+        if _is_project_checker(checker):
+            continue
         for diag in checker.check(src, config):
             if src.suppressed(diag.line, diag.code):
                 continue
@@ -177,27 +185,115 @@ def lint_source(
     return out
 
 
+def _parse_one(path: str, config: LintConfig) -> tuple[SourceFile | None, Diagnostic | None]:
+    """Parse one file; a syntax error becomes an RPL999 diagnostic rather
+    than an exception — a broken file must fail the lint gate, not crash it."""
+    relpath = config.relpath(path)
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        return SourceFile(relpath, text), None
+    except SyntaxError as exc:
+        return None, Diagnostic(
+            relpath, exc.lineno or 1, (exc.offset or 1) - 1, "RPL999",
+            f"syntax error: {exc.msg}",
+        )
+
+
+def _lint_file_worker(args: tuple[str, LintConfig, tuple[str, ...]]) -> list[Diagnostic]:
+    """``--jobs`` subprocess entry point: parse + single-file rules for one
+    file.  Module-level so it pickles; re-resolves checker instances from
+    the registry by code (instances need not be picklable)."""
+    path, config, codes = args
+    from repro.lint.rules import ALL_CHECKERS
+
+    checkers = tuple(
+        c for c in ALL_CHECKERS
+        if c.code in codes and not _is_project_checker(c)
+    )
+    src, err = _parse_one(path, config)
+    if src is None:
+        return [err] if err is not None else []
+    return lint_source(src, config, checkers)
+
+
+def _project_pass(
+    project_checkers: Iterable, sources: dict[str, SourceFile], config: LintConfig
+) -> list[Diagnostic]:
+    """Build the whole-program graph once and run every project checker
+    over it, applying the same suppression/allowlist filtering as the
+    per-file pass."""
+    project_checkers = tuple(project_checkers)
+    if not project_checkers or not sources:
+        return []
+    from repro.lint.project import ProjectGraph
+
+    graph = ProjectGraph(sources)
+    out: list[Diagnostic] = []
+    for checker in project_checkers:
+        for diag in checker.check_project(graph, config):
+            src = sources.get(diag.path)
+            if src is not None and src.suppressed(diag.line, diag.code):
+                continue
+            if config.allowed(diag.code, diag.path) is not None:
+                continue
+            out.append(diag)
+    return out
+
+
 def lint_paths(
-    paths: Iterable[str], config: LintConfig, checkers: Iterable | None = None
+    paths: Iterable[str],
+    config: LintConfig,
+    checkers: Iterable | None = None,
+    jobs: int = 1,
 ) -> list[Diagnostic]:
     """Lint files/directories; returns diagnostics sorted by location.
 
-    Unparseable files surface as an ``RPL999`` diagnostic rather than an
-    exception: a syntax error must fail the lint gate, not crash it.
+    Every module is parsed exactly once: the same :class:`SourceFile`
+    objects feed the per-file rules and the whole-program graph the
+    project rules (RPL007+) analyze.  With ``jobs > 1`` the per-file
+    rules fan out over a process pool (each worker parses its own files);
+    the project pass stays single-threaded in this process, so output is
+    byte-identical to a serial run.
     """
+    from repro.lint.rules import ALL_CHECKERS
+
+    all_checkers = tuple(checkers if checkers is not None else ALL_CHECKERS)
+    file_checkers = tuple(c for c in all_checkers if not _is_project_checker(c))
+    project_checkers = tuple(c for c in all_checkers if _is_project_checker(c))
+
     out: list[Diagnostic] = []
-    for path in iter_python_files(paths, config):
-        relpath = config.relpath(path)
-        with open(path, encoding="utf-8") as fh:
-            text = fh.read()
-        try:
-            src = SourceFile(relpath, text)
-        except SyntaxError as exc:
-            out.append(
-                Diagnostic(relpath, exc.lineno or 1, (exc.offset or 1) - 1, "RPL999",
-                           f"syntax error: {exc.msg}")
-            )
-            continue
-        out.extend(lint_source(src, config, checkers))
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        files = list(iter_python_files(paths, config))
+        codes = tuple(c.code for c in file_checkers)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for diags in pool.map(
+                _lint_file_worker,
+                [(path, config, codes) for path in files],
+                chunksize=max(1, len(files) // (jobs * 4) or 1),
+            ):
+                out.extend(diags)
+        if project_checkers:
+            # re-parse in this process for the graph; the workers already
+            # reported RPL999 for anything unparseable
+            sources: dict[str, SourceFile] = {}
+            for path in files:
+                src, _ = _parse_one(path, config)
+                if src is not None:
+                    sources[src.relpath] = src
+            out.extend(_project_pass(project_checkers, sources, config))
+    else:
+        sources = {}
+        for path in iter_python_files(paths, config):
+            src, err = _parse_one(path, config)
+            if err is not None:
+                out.append(err)
+            if src is not None:
+                sources[src.relpath] = src
+        for relpath in sources:
+            out.extend(lint_source(sources[relpath], config, file_checkers))
+        out.extend(_project_pass(project_checkers, sources, config))
     out.sort(key=lambda d: (d.path, d.line, d.col, d.code))
     return out

@@ -9,12 +9,22 @@ RPL003   lock-owning classes touch their guarded attributes under the lock
 RPL004   unordered set iteration must not feed accumulation / payloads
 RPL005   OS resources balance: shm close/unlink, daemon= threads, tmp dirs
 RPL006   no bare/blanket exception swallowing (RankFailure, worker death)
+RPL007   SPMD collectives stay in lock-step across rank-dependent branches
+RPL008   checkpointed classes round-trip every mutated attribute
+RPL009   factory-returned resources: callers release or transfer ownership
 =======  ====================================================================
+
+RPL007-RPL009 are *project* rules (``checker.project`` is true): they run
+once over the whole-program call graph built by ``repro.lint.project``
+instead of per file.
 """
 
+from repro.lint.rules.checkpoints import CheckpointCoverageChecker
+from repro.lint.rules.collectives import CollectiveLockstepChecker
 from repro.lint.rules.excepts import ExceptionSwallowChecker
 from repro.lint.rules.locks import LockDisciplineChecker
 from repro.lint.rules.ordering import OrderedIterationChecker
+from repro.lint.rules.resourceflow import ResourceFlowChecker
 from repro.lint.rules.resources import ResourceBalanceChecker
 from repro.lint.rules.rng import UnseededRngChecker
 from repro.lint.rules.wallclock import WallClockChecker
@@ -26,14 +36,20 @@ ALL_CHECKERS = (
     OrderedIterationChecker(),
     ResourceBalanceChecker(),
     ExceptionSwallowChecker(),
+    CollectiveLockstepChecker(),
+    CheckpointCoverageChecker(),
+    ResourceFlowChecker(),
 )
 
 __all__ = [
     "ALL_CHECKERS",
+    "CheckpointCoverageChecker",
+    "CollectiveLockstepChecker",
     "ExceptionSwallowChecker",
     "LockDisciplineChecker",
     "OrderedIterationChecker",
     "ResourceBalanceChecker",
+    "ResourceFlowChecker",
     "UnseededRngChecker",
     "WallClockChecker",
 ]

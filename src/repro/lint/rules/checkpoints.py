@@ -1,0 +1,211 @@
+"""RPL008 — checkpoint-state coverage (interprocedural).
+
+The bitwise resume guarantee (interrupted == uninterrupted, PR 5) holds
+only if every piece of mutable state that evolves during training is
+round-tripped through the checkpoint.  A feed that grows a new cursor, or
+a callback that accumulates a counter, silently breaks the guarantee the
+day someone forgets to add the field to ``state()`` — nothing crashes,
+the resumed run just drifts.
+
+For every class that *defines* one side of a checkpoint pair —
+``state``/``load_state``, ``rank_state``/``load_rank_state``, or
+``save_checkpoint``/``load_checkpoint`` — this rule collects the
+attributes mutated in its working methods (``self.x = ...``,
+``self.x += ...``, ``self.x[k] = ...``, ``self.x.append(...)``) and
+demands each one appear somewhere in the checkpoint closure: the pair
+methods plus every helper they reach through ``self.`` calls (so a
+``rank_state`` that delegates to ``self._clock_delta()`` covers the
+attributes the helper reads).  String literals in the class body count as
+coverage too, for ``getattr(self, name)``-style field tables.
+
+Not scanned for mutations: the checkpoint closure itself, dunders
+(``__init__`` sets initial values — that is not evolution), properties,
+lifecycle methods (``reset``/``bind``/``close``/``on_fit_start``/
+``on_fit_end`` — they (re)build state, the checkpoint restores *over*
+them), and restore orchestrators (any method that itself calls the
+load side, like ``fit`` replaying ``self.load_checkpoint``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.core import Diagnostic
+from repro.lint.project import ClassInfo, FunctionInfo, ProjectGraph
+
+CODE = "RPL008"
+
+#: (save side, load side) method-name pairs that define checkpoint payloads
+PAIRS = (
+    ("state", "load_state"),
+    ("rank_state", "load_rank_state"),
+    ("save_checkpoint", "load_checkpoint"),
+)
+_PAIR_NAMES = frozenset(n for pair in PAIRS for n in pair)
+_LOAD_NAMES = frozenset(pair[1] for pair in PAIRS)
+
+#: setup/teardown methods that (re)construct state rather than evolve it
+LIFECYCLE = frozenset({
+    "reset", "bind", "close", "shutdown", "setup", "teardown",
+    "on_fit_start", "on_fit_end",
+})
+
+#: container-mutating method names that count as attribute mutation
+MUTATORS = frozenset({
+    "append", "appendleft", "add", "update", "extend", "insert",
+    "setdefault", "pop", "popleft", "popitem", "clear", "remove", "discard",
+})
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class CheckpointCoverageChecker:
+    code = CODE
+    summary = "mutable attribute missing from checkpoint state round-trip"
+    project = True
+
+    def check(self, src, config: LintConfig) -> Iterator[Diagnostic]:
+        """Per-file interface: project rules run via :meth:`check_project`."""
+        return iter(())
+
+    def check_project(
+        self, graph: ProjectGraph, config: LintConfig
+    ) -> Iterator[Diagnostic]:
+        for qual in sorted(graph.classes):
+            cls = graph.classes[qual]
+            pair_names = _PAIR_NAMES & set(cls.methods)
+            if not pair_names:
+                continue  # participation requires defining a pair method
+            yield from self._check_class(graph, cls, pair_names)
+
+    # -- per-class analysis --------------------------------------------------
+
+    def _check_class(
+        self, graph: ProjectGraph, cls: ClassInfo, pair_names: set[str]
+    ) -> Iterator[Diagnostic]:
+        closure = self._checkpoint_closure(graph, cls)
+        covered = self._covered_attrs(cls, closure)
+        closure_names = {fn.name for fn in closure}
+        state_names = ", ".join(f"{n}()" for n in sorted(pair_names))
+
+        for name in sorted(cls.methods):
+            fn = cls.methods[name]
+            if (
+                name in closure_names
+                or name in LIFECYCLE
+                or name.startswith("__")
+                or fn.is_property
+                or self._calls_load_side(fn)
+            ):
+                continue
+            for attr, site in self._mutations(fn):
+                if attr in covered:
+                    continue
+                yield Diagnostic(
+                    cls.relpath, site.lineno, site.col_offset, CODE,
+                    f"{cls.name}.{name}() mutates 'self.{attr}' but the "
+                    f"attribute never appears in {state_names} or their "
+                    "helpers — resumed runs silently diverge from "
+                    "uninterrupted ones",
+                )
+
+    def _checkpoint_closure(
+        self, graph: ProjectGraph, cls: ClassInfo
+    ) -> list[FunctionInfo]:
+        """Pair methods plus every method they reach via ``self.`` calls."""
+        queue = [
+            m for m in (graph.resolve_method(cls, n) for n in _PAIR_NAMES)
+            if m is not None
+        ]
+        seen: set[str] = set()
+        out: list[FunctionInfo] = []
+        while queue:
+            fn = queue.pop()
+            if fn.qualname in seen:
+                continue
+            seen.add(fn.qualname)
+            out.append(fn)
+            for node in ProjectGraph._walk_own(fn.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in ("self", "cls")
+                ):
+                    target = graph.resolve_method(cls, node.func.attr)
+                    if target is not None:
+                        queue.append(target)
+        return out
+
+    @staticmethod
+    def _covered_attrs(cls: ClassInfo, closure: list[FunctionInfo]) -> set[str]:
+        covered: set[str] = set()
+        for fn in closure:
+            for node in ast.walk(fn.node):
+                attr = _self_attr(node)
+                if attr is not None:
+                    covered.add(attr)
+                if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                    covered.add(node.value)
+        # field tables in the class body (``_STATE_KEYS = ("a", "b")``)
+        for node in cls.node.body:
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                        covered.add(sub.value)
+        return covered
+
+    @staticmethod
+    def _calls_load_side(fn: FunctionInfo) -> bool:
+        for node in ProjectGraph._walk_own(fn.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _LOAD_NAMES
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _mutations(fn: FunctionInfo) -> Iterator[tuple[str, ast.AST]]:
+        """(attr name, AST site) for every self-attribute mutation in `fn`,
+        nested closures included (a worker closure mutating self is still
+        state evolution)."""
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        yield attr, node
+                    elif isinstance(target, ast.Subscript):
+                        attr = _self_attr(target.value)
+                        if attr is not None:
+                            yield attr, node
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                attr = _self_attr(node.target)
+                if attr is not None:
+                    yield attr, node
+                elif isinstance(node.target, ast.Subscript):
+                    attr = _self_attr(node.target.value)
+                    if attr is not None:
+                        yield attr, node
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATORS
+            ):
+                attr = _self_attr(node.func.value)
+                if attr is not None:
+                    yield attr, node

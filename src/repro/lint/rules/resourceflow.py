@@ -1,0 +1,253 @@
+"""RPL009 — interprocedural resource balance (ownership transfer).
+
+RPL005 checks that a function which *acquires* an OS resource also
+releases it — but a factory helper that hands the live resource to its
+caller passes that check trivially::
+
+    def attach_segment(name):
+        return shared_memory.SharedMemory(name=name)   # RPL005: fine
+
+    def use(name):
+        seg = attach_segment(name)                     # ...leak lives here
+        return bytes(seg.buf[:8])
+
+This rule closes the blind spot.  A fixpoint over the project call graph
+marks **factories**: functions that return a freshly acquired resource
+(directly, via a local, or by forwarding another factory's result).
+Every call site of a factory then owes the release obligation and must
+do one of:
+
+* release it (the kind's verbs: ``close``/``unlink`` for shm,
+  ``join``/``terminate`` for workers, ``rmtree``/``cleanup`` for temp
+  dirs, ``close`` for opened sources);
+* transfer it onward — ``return`` it (the caller becomes a factory),
+  store it on ``self``/an object (owner's lifecycle takes over), pass it
+  straight into another call, or manage it in a ``with`` block.
+
+A bare ``factory(...)`` expression statement, or a local that is neither
+released nor transferred, is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.lint.config import LintConfig
+from repro.lint.core import Diagnostic
+from repro.lint.project import FunctionInfo, ProjectGraph
+
+CODE = "RPL009"
+
+
+@dataclass(frozen=True)
+class _Kind:
+    label: str
+    #: resolved dotted-name suffixes whose calls acquire this resource
+    ctors: tuple[str, ...]
+    #: ``resource.<verb>()`` method calls that release it
+    release_methods: frozenset
+    #: ``<func>(resource)`` leaf names that release it
+    release_funcs: frozenset = frozenset()
+
+
+KINDS = {
+    "shm": _Kind(
+        "SharedMemory segment",
+        ("multiprocessing.shared_memory.SharedMemory", "shared_memory.SharedMemory"),
+        frozenset({"close", "unlink"}),
+    ),
+    "tmpdir": _Kind(
+        "temp directory",
+        ("tempfile.mkdtemp",),
+        frozenset({"cleanup"}),
+        frozenset({"rmtree", "rmdir"}),
+    ),
+    "thread": _Kind(
+        "worker thread",
+        ("threading.Thread",),
+        frozenset({"join"}),
+    ),
+    "process": _Kind(
+        "worker process",
+        ("multiprocessing.Process", "multiprocessing.context.Process"),
+        frozenset({"join", "terminate", "kill"}),
+    ),
+    "source": _Kind(
+        "opened source",
+        ("repro.data.open_source", "repro.data.sources.open_source"),
+        frozenset({"close"}),
+    ),
+}
+
+
+class ResourceFlowChecker:
+    code = CODE
+    summary = "factory-acquired resource never released or transferred"
+    project = True
+
+    def check(self, src, config: LintConfig) -> Iterator[Diagnostic]:
+        """Per-file interface: project rules run via :meth:`check_project`."""
+        return iter(())
+
+    def check_project(
+        self, graph: ProjectGraph, config: LintConfig
+    ) -> Iterator[Diagnostic]:
+        factories = self._find_factories(graph)
+        if not factories:
+            return
+        for qual in sorted(graph.functions):
+            fn = graph.functions[qual]
+            yield from self._check_call_sites(graph, fn, factories)
+
+    # -- factory fixpoint ----------------------------------------------------
+
+    def _ctor_kind(self, src, call: ast.Call) -> str | None:
+        name = src.resolve(call.func)
+        if name is None:
+            return None
+        for kind, spec in KINDS.items():
+            if any(name == c or name.endswith("." + c) for c in spec.ctors):
+                return kind
+        return None
+
+    def _find_factories(self, graph: ProjectGraph) -> dict[str, str]:
+        """qualname -> kind, for every function returning a fresh resource."""
+        factories: dict[str, str] = {}
+        changed = True
+        while changed:
+            changed = False
+            for qual, fn in graph.functions.items():
+                if qual in factories:
+                    continue
+                kind = self._returns_resource(graph, fn, factories)
+                if kind is not None:
+                    factories[qual] = kind
+                    changed = True
+        return factories
+
+    def _call_kind(
+        self, graph: ProjectGraph, fn: FunctionInfo, call: ast.Call,
+        factories: dict[str, str],
+    ) -> str | None:
+        kind = self._ctor_kind(fn.src, call)
+        if kind is not None:
+            return kind
+        callee = graph.resolve_call(fn, call)
+        if callee is not None:
+            return factories.get(callee.qualname)
+        return None
+
+    def _returns_resource(
+        self, graph: ProjectGraph, fn: FunctionInfo, factories: dict[str, str]
+    ) -> str | None:
+        acquired: dict[str, str] = {}  # local var -> kind
+        for node in ProjectGraph._walk_own(fn.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                kind = self._call_kind(graph, fn, node.value, factories)
+                if kind is not None:
+                    acquired[node.targets[0].id] = kind
+        for node in ProjectGraph._walk_own(fn.node):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            if isinstance(node.value, ast.Call):
+                kind = self._call_kind(graph, fn, node.value, factories)
+                if kind is not None:
+                    return kind
+            if isinstance(node.value, ast.Name) and node.value.id in acquired:
+                return acquired[node.value.id]
+        return None
+
+    # -- call-site obligations -----------------------------------------------
+
+    def _check_call_sites(
+        self, graph: ProjectGraph, fn: FunctionInfo,
+        factories: dict[str, str],
+    ) -> Iterator[Diagnostic]:
+        src = fn.src
+        for node in ProjectGraph._walk_own(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._ctor_kind(src, node) is not None:
+                continue  # direct acquisition is RPL005's jurisdiction
+            callee = graph.resolve_call(fn, node)
+            if callee is None or callee.qualname not in factories:
+                continue
+            kind = KINDS[factories[callee.qualname]]
+            leak = self._site_leaks(src, fn, node, kind)
+            if leak is None:
+                continue
+            verbs = "/".join(sorted(kind.release_methods | kind.release_funcs))
+            yield Diagnostic(
+                fn.relpath, node.lineno, node.col_offset, CODE,
+                f"{kind.label} from factory {callee.name}() is {leak} — "
+                f"release it ({verbs}) or transfer ownership (return it / "
+                "store it on an owner / pass it along)",
+            )
+
+    def _site_leaks(
+        self, src, fn: FunctionInfo, call: ast.Call, kind: _Kind
+    ) -> str | None:
+        """None if the obligation is met, else a short leak description."""
+        parent = src.parent(call)
+        if isinstance(parent, ast.Expr):
+            return "discarded without being released"
+        if isinstance(parent, ast.Assign) and (
+            len(parent.targets) == 1 and isinstance(parent.targets[0], ast.Name)
+        ):
+            var = parent.targets[0].id
+            if self._var_handled(fn, var, kind):
+                return None
+            return f"bound to {var!r} but never released"
+        # with-blocks, returns, attribute stores, argument positions,
+        # tuple unpacking: ownership moves somewhere we can see or cannot
+        # track — stay silent.
+        return None
+
+    @staticmethod
+    def _var_handled(fn: FunctionInfo, var: str, kind: _Kind) -> bool:
+        for node in ProjectGraph._walk_own(fn.node):
+            # seg.close() / t.join() / staging.cleanup()
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in kind.release_methods
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == var
+            ):
+                return True
+            # shutil.rmtree(root), or the resource handed to any callee /
+            # container (workers.append(t)) — ownership visibly moves on
+            if isinstance(node, ast.Call) and any(
+                isinstance(a, ast.Name) and a.id == var
+                for a in (*node.args, *(kw.value for kw in node.keywords))
+            ):
+                return True
+            # return var — caller inherits the obligation (factory fixpoint)
+            if (
+                isinstance(node, ast.Return)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == var
+            ):
+                return True
+            # self.seg = var / holder.seg = var — owner lifecycle takes over
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == var
+                for t in node.targets
+            ):
+                return True
+            # with var: / contextlib stacks
+            if isinstance(node, ast.withitem) and (
+                isinstance(node.context_expr, ast.Name)
+                and node.context_expr.id == var
+            ):
+                return True
+        return False

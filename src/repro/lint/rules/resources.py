@@ -69,6 +69,14 @@ class ResourceBalanceChecker:
                 and node.func.value.id == var
             ):
                 return
+            # ``return seg``: a factory transfers the release obligation to
+            # its callers — RPL009 tracks them through the call graph
+            if (
+                isinstance(node, ast.Return)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == var
+            ):
+                return
         yield Diagnostic(
             src.relpath, call.lineno, call.col_offset, CODE,
             f"SharedMemory assigned to {var!r} is never close()d/unlink()ed in "
@@ -92,6 +100,8 @@ class ResourceBalanceChecker:
 
     @staticmethod
     def _check_mkdtemp(src: SourceFile, call: ast.Call) -> Iterator[Diagnostic]:
+        if isinstance(src.parent(call), ast.Return):
+            return  # pure factory: RPL009 holds the callers to the cleanup
         scope = src.enclosing_function(call)
         if scope is not None:
             for node in ast.walk(scope):

@@ -299,7 +299,9 @@ class StreamFeed(BatchFeed):
         for gid, x, y in self._stream_samples():
             if gid in self._test_ids:
                 samples.append((x, y))
-        self._test_cache = self._to_batches(samples)
+        # not checkpoint state: a derived cache, rebuilt deterministically
+        # from (seed, stream) on the first eval after resume
+        self._test_cache = self._to_batches(samples)  # repro-lint: ignore[RPL008]
 
     def _to_batches(self, samples: list[tuple[np.ndarray, np.ndarray]]) -> list[Batch]:
         return [
@@ -343,7 +345,8 @@ class StreamFeed(BatchFeed):
             emitted += 1
             yield last_batch
         if test_acc is not None:
-            self._test_cache = self._to_batches(test_acc)
+            # derived cache (see _collect_test): deterministic rebuild, not state
+            self._test_cache = self._to_batches(test_acc)  # repro-lint: ignore[RPL008]
         # DDP lock-step: ranks short of the agreed step count replay their
         # last batch so every rank joins every gradient all-reduce.
         if self._steps is not None and last_batch is not None:

@@ -1,0 +1,34 @@
+"""Fixture: collectives in lock-step (RPL007)."""
+
+
+def balanced_allreduce(comm, xs):
+    total = comm.allreduce(sum(xs))  # every rank rendezvouses
+    if comm.rank == 0:
+        print("total", total)  # rank-dependent but collective-free
+    return total
+
+
+def size_guard_is_uniform(comm, xs):
+    if comm.size == 1:  # size tests agree on every rank
+        return sum(xs)
+    return comm.allreduce(sum(xs))
+
+
+def matched_branches(comm, payload):
+    if comm.rank == 0:
+        rows = comm.gather(payload)
+    else:
+        rows = comm.gather(None)  # same rendezvous on both sides
+    comm.barrier()
+    return rows
+
+
+def _sync(comm, value):
+    return comm.bcast(value)
+
+
+def helper_on_every_rank(comm, value):
+    value = _sync(comm, value)  # interprocedural, but unconditional
+    if comm.rank == 0 and value is None:
+        raise RuntimeError("abort")  # raising rank never rendezvouses
+    return comm.bcast(value)

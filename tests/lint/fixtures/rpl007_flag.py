@@ -1,0 +1,40 @@
+"""Fixture: rank-divergent collectives (RPL007)."""
+
+from repro.parallel.spmd import run_spmd
+
+
+def rank0_only_allreduce(comm, xs):
+    if comm.rank == 0:  # allreduce has no matching call on the other ranks
+        total = comm.allreduce(sum(xs))
+    else:
+        total = None
+    return total
+
+
+def early_return_skips_barrier(comm, payload):
+    if comm.rank != 0:  # returning ranks never reach gather/barrier below
+        return None
+    rows = comm.gather(payload)
+    comm.barrier()
+    return rows
+
+
+def per_rank_rounds(comm, grads):
+    acc = grads
+    for _ in range(comm.rank):  # per-rank iteration count desynchronizes
+        acc = comm.allreduce(acc)
+    return acc
+
+
+def _sync(comm, value):
+    return comm.bcast(value)
+
+
+def broadcast_from_root(comm, value):
+    if comm.rank == 0:  # the collective hides one call deep in _sync()
+        value = _sync(comm, value)
+    return value
+
+
+def launch(xs):
+    return run_spmd(rank0_only_allreduce, nranks=4, args=(xs,))

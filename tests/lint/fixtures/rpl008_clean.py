@@ -1,0 +1,44 @@
+"""Fixture: checkpoint state fully covered (RPL008)."""
+
+
+class WindowFeed:
+    def __init__(self):
+        self._epoch = 0
+        self._offset = 0
+
+    def advance(self):
+        self._epoch += 1
+        self._offset += 3
+
+    def state(self):
+        return {"epoch": self._epoch, "offset": self._offset}
+
+    def load_state(self, payload):
+        self._epoch = payload["epoch"]
+        self._offset = payload["offset"]
+
+
+class EnergyMeter:
+    """Coverage through a helper: rank_state() delegates to _snapshot()."""
+
+    def __init__(self):
+        self._joules = 0.0
+        self._samples = 0
+
+    def observe(self, watts, dt):
+        self._joules += watts * dt
+        self._samples += 1
+
+    def _snapshot(self):
+        return {"joules": self._joules, "samples": self._samples}
+
+    def rank_state(self):
+        return self._snapshot()
+
+    def load_rank_state(self, payload):
+        self._joules = payload["joules"]
+        self._samples = payload["samples"]
+
+    def reset(self):
+        self._joules = 0.0  # lifecycle rebuild, not training-time evolution
+        self._samples = 0

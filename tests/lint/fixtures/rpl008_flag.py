@@ -1,0 +1,60 @@
+"""Fixture: checkpoint state coverage gaps (RPL008)."""
+
+
+class WindowFeed:
+    """The epoch cursor is checkpointed but the window offset is not:
+    a resumed run replays the wrong batches, silently."""
+
+    def __init__(self):
+        self._epoch = 0
+        self._offset = 0
+
+    def advance(self):
+        self._epoch += 1
+        self._offset += 3  # never round-tripped through state()
+
+    def state(self):
+        return {"epoch": self._epoch}
+
+    def load_state(self, payload):
+        self._epoch = payload["epoch"]
+
+
+class CountingCallback:
+    state_key = "counter"
+
+    def __init__(self):
+        self._steps = 0
+        self._history = []
+
+    def on_step_end(self, loop):
+        self._steps += 1
+        self._history.append(self._steps)  # grows, but state() ignores it
+
+    def state(self):
+        return {"steps": self._steps}
+
+    def load_state(self, payload):
+        self._steps = payload["steps"]
+
+
+class MiniLoop:
+    def __init__(self, feed):
+        self._feed = feed
+        self._step = 0
+        self._best = None
+
+    def fit(self, steps):
+        self.load_checkpoint({})  # restore orchestrator: exempt from scan
+        for _ in range(steps):
+            self.train_step()
+
+    def train_step(self):
+        self._step += 1
+        self._best = self._step  # missing from the checkpoint payload
+
+    def save_checkpoint(self):
+        return {"step": self._step}
+
+    def load_checkpoint(self, payload):
+        self._step = payload.get("step", 0)

@@ -1,0 +1,53 @@
+"""Fixture: factory resources released or transferred (RPL009)."""
+
+import shutil
+import tempfile
+import threading
+from multiprocessing import shared_memory
+
+
+def attach_segment(name):
+    return shared_memory.SharedMemory(name=name)
+
+
+def make_scratch_dir():
+    return tempfile.mkdtemp(prefix="repro-")
+
+
+def spawn_worker(fn):
+    t = threading.Thread(target=fn, daemon=True)
+    t.start()
+    return t
+
+
+def read_header(name):
+    seg = attach_segment(name)
+    try:
+        return bytes(seg.buf[:8])
+    finally:
+        seg.close()  # released in-function
+
+
+def forward_segment(name):
+    return attach_segment(name)  # transferred: the caller owns it now
+
+
+class SegmentHolder:
+    def __init__(self, name):
+        self.seg = attach_segment(name)  # owner lifecycle takes over
+
+    def close(self):
+        self.seg.close()
+
+
+def scratch_build():
+    root = make_scratch_dir()
+    try:
+        return root + "/artifact"
+    finally:
+        shutil.rmtree(root)
+
+
+def run_worker(fn):
+    w = spawn_worker(fn)
+    w.join()

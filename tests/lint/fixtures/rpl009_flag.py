@@ -1,0 +1,34 @@
+"""Fixture: leaked factory resources (RPL009)."""
+
+import tempfile
+import threading
+from multiprocessing import shared_memory
+
+
+def attach_segment(name):
+    return shared_memory.SharedMemory(name=name)
+
+
+def make_scratch_dir():
+    return tempfile.mkdtemp(prefix="repro-")
+
+
+def spawn_worker(fn):
+    t = threading.Thread(target=fn, daemon=True)
+    t.start()
+    return t
+
+
+def read_header(name):
+    seg = attach_segment(name)  # never close()d/unlink()ed
+    return bytes(seg.buf[:8])
+
+
+def scratch_and_forget():
+    make_scratch_dir()  # discarded outright
+    return True
+
+
+def fire_and_forget(fn):
+    worker = spawn_worker(fn)  # never joined or handed to an owner
+    print("spawned", worker.name)

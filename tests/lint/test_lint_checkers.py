@@ -1,5 +1,6 @@
 """Per-rule fixture tests: each flag fixture must fire its rule, each
-clean fixture must stay silent, for every checker RPL001-RPL006."""
+clean fixture must stay silent, for every checker RPL001-RPL009 (the
+project rules RPL007-RPL009 run on a single-file call graph here)."""
 
 import os
 
@@ -17,6 +18,9 @@ RULES = {
     "RPL004": ({}, 2),
     "RPL005": ({}, 3),
     "RPL006": ({}, 3),
+    "RPL007": ({}, 4),
+    "RPL008": ({}, 3),
+    "RPL009": ({}, 3),
 }
 
 

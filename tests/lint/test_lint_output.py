@@ -1,0 +1,90 @@
+"""``--format`` structured output and ``--jobs`` parallel equivalence."""
+
+import json
+import os
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths
+from repro.lint.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+FLAG = os.path.join(FIXTURES, "rpl001_flag.py")
+
+
+# -- --format ----------------------------------------------------------------
+
+
+def test_format_json_one_object_per_line(capsys):
+    rc = main(["--no-config", "--format", "json", FLAG])
+    assert rc == 1
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines
+    for line in lines:
+        obj = json.loads(line)
+        assert set(obj) == {"path", "line", "col", "code", "message"}
+        assert obj["code"].startswith("RPL")
+        assert obj["line"] >= 1
+
+
+def test_format_github_error_annotations(capsys):
+    rc = main(["--no-config", "--format", "github", FLAG])
+    assert rc == 1
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines
+    for line in lines:
+        assert line.startswith("::error file=")
+        assert ",line=" in line and ",col=" in line and ",title=RPL" in line
+
+
+def test_format_text_matches_render(capsys):
+    main(["--no-config", FLAG])
+    text = capsys.readouterr().out
+    config = LintConfig()
+    expected = "\n".join(d.render() for d in lint_paths([FLAG], config)) + "\n"
+    assert text == expected
+
+
+def test_clean_run_is_silent_in_every_format(capsys):
+    clean = os.path.join(FIXTURES, "rpl001_clean.py")
+    for fmt in ("text", "json", "github"):
+        rc = main(["--no-config", "--format", fmt, "--select", "RPL001", clean])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+
+
+# -- --jobs ------------------------------------------------------------------
+
+
+def test_jobs_output_identical_to_serial():
+    config = LintConfig(root=FIXTURES)
+    serial = lint_paths([FIXTURES], config)
+    parallel = lint_paths([FIXTURES], config, jobs=2)
+    assert serial  # the flag fixtures guarantee a non-trivial comparison
+    assert parallel == serial
+
+
+def test_jobs_report_syntax_errors_once(tmp_path):
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    (tmp_path / "fine.py").write_text("x = 1\n")
+    config = LintConfig(root=str(tmp_path))
+    serial = lint_paths([str(tmp_path)], config)
+    parallel = lint_paths([str(tmp_path)], config, jobs=2)
+    assert [d.code for d in serial] == ["RPL999"]
+    assert parallel == serial
+
+
+@pytest.mark.parametrize("jobs", ["0", "-1"])
+def test_jobs_must_be_positive(jobs, capsys):
+    rc = main(["--no-config", "--jobs", jobs, FLAG])
+    assert rc == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_jobs_cli_exit_code_and_output_match_serial(capsys):
+    rc_serial = main(["--no-config", FLAG])
+    out_serial = capsys.readouterr().out
+    rc_parallel = main(["--no-config", "--jobs", "2", FLAG])
+    out_parallel = capsys.readouterr().out
+    assert rc_serial == rc_parallel == 1
+    assert out_parallel == out_serial

@@ -1,0 +1,174 @@
+"""Call-graph unit suite for ``repro.lint.project``: alias chains,
+method resolution across bases, super(), nested closures, local type
+inference, and cycle safety."""
+
+import textwrap
+
+from repro.lint.config import LintConfig
+from repro.lint.core import SourceFile
+from repro.lint.project import ProjectGraph, module_name
+from repro.lint.rules.collectives import CollectiveLockstepChecker
+
+
+def _graph(files: dict) -> ProjectGraph:
+    return ProjectGraph({
+        relpath: SourceFile(relpath, textwrap.dedent(text))
+        for relpath, text in files.items()
+    })
+
+
+def test_module_name_strips_src_and_init():
+    assert module_name("src/repro/train/loop.py") == "repro.train.loop"
+    assert module_name("src/repro/__init__.py") == "repro"
+    assert module_name("benchmarks/bench_x.py") == "benchmarks.bench_x"
+
+
+def test_alias_chain_resolves_cross_module():
+    g = _graph({
+        "src/pkg/a.py": """\
+            def f():
+                return 1
+        """,
+        "src/pkg/b.py": """\
+            from pkg.a import f as renamed
+
+            def caller():
+                return renamed()
+        """,
+    })
+    [(_, target)] = list(g.calls(g.functions["pkg.b.caller"]))
+    assert target is g.functions["pkg.a.f"]
+
+
+def test_method_resolution_walks_bases():
+    g = _graph({
+        "src/pkg/m.py": """\
+            class Base:
+                def run(self):
+                    return self.helper()
+
+                def helper(self):
+                    return 0
+
+            class Child(Base):
+                def helper(self):
+                    return 1
+
+            def use():
+                c = Child()
+                return c.run()
+        """,
+    })
+    child = g.classes["pkg.m.Child"]
+    assert g.resolve_method(child, "run") is g.functions["pkg.m.Base.run"]
+    assert g.resolve_method(child, "helper") is g.functions["pkg.m.Child.helper"]
+    # local inference: ``c = Child()`` makes ``c.run()`` resolvable
+    targets = {t.qualname for _, t in g.calls(g.functions["pkg.m.use"]) if t}
+    assert "pkg.m.Base.run" in targets
+    # self-dispatch inside Base.run
+    [(_, helper)] = list(g.calls(g.functions["pkg.m.Base.run"]))
+    assert helper is g.functions["pkg.m.Base.helper"]
+
+
+def test_super_call_resolves_to_base():
+    g = _graph({
+        "src/pkg/s.py": """\
+            class Top:
+                def setup(self):
+                    return 0
+
+            class Sub(Top):
+                def setup(self):
+                    return super().setup() + 1
+        """,
+    })
+    # calls() yields both ``super()`` itself (opaque) and the method call
+    targets = [t for _, t in g.calls(g.functions["pkg.s.Sub.setup"]) if t]
+    assert targets == [g.functions["pkg.s.Top.setup"]]
+
+
+def test_nested_closures_get_locals_qualnames():
+    g = _graph({
+        "src/pkg/n.py": """\
+            def outer():
+                def inner():
+                    return 2
+                return inner()
+        """,
+    })
+    assert "pkg.n.outer.<locals>.inner" in g.functions
+    [(_, target)] = list(g.calls(g.functions["pkg.n.outer"]))
+    assert target is g.functions["pkg.n.outer.<locals>.inner"]
+
+
+def test_annotation_inference_handles_optional_and_union():
+    g = _graph({
+        "src/pkg/t.py": """\
+            from typing import Optional
+
+            class Worker:
+                def go(self):
+                    return 1
+
+            def a(w: Worker):
+                return w.go()
+
+            def b(w: Optional[Worker]):
+                return w.go()
+
+            def c(w: "Worker | None"):
+                return w.go()
+        """,
+    })
+    for name in ("a", "b", "c"):
+        [(_, target)] = list(g.calls(g.functions[f"pkg.t.{name}"]))
+        assert target is g.functions["pkg.t.Worker.go"], name
+
+
+def test_inheritance_cycle_terminates():
+    g = _graph({
+        "src/pkg/cyc.py": """\
+            class A(B):
+                def only_a(self):
+                    return 1
+
+            class B(A):
+                def only_b(self):
+                    return 2
+        """,
+    })
+    a = g.classes["pkg.cyc.A"]
+    assert g.resolve_method(a, "only_b") is g.functions["pkg.cyc.B.only_b"]
+    assert g.resolve_method(a, "missing") is None
+
+
+def test_call_cycle_terminates_in_collective_analysis():
+    g = _graph({
+        "src/pkg/c.py": """\
+            def ping(comm, n):
+                comm.barrier()
+                if n:
+                    return pong(comm, n - 1)
+                return 0
+
+            def pong(comm, n):
+                return ping(comm, n)
+        """,
+    })
+    diags = list(CollectiveLockstepChecker().check_project(g, LintConfig()))
+    assert diags == []
+
+
+def test_unresolvable_calls_stay_opaque():
+    g = _graph({
+        "src/pkg/u.py": """\
+            import os
+
+            def f(x):
+                os.getpid()
+                x.anything()
+                return undefined_name()
+        """,
+    })
+    targets = [t for _, t in g.calls(g.functions["pkg.u.f"])]
+    assert targets == [None, None, None]
