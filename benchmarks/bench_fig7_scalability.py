@@ -28,7 +28,7 @@ from repro.sampling import subsample
 from repro.utils.config import CaseConfig, SharedConfig, SubsampleConfig, TrainConfig
 from repro.viz import ascii_line, format_table
 
-from conftest import emit
+from conftest import append_bench_record, emit
 
 RANKS = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
 
@@ -301,7 +301,6 @@ def test_fig7_wallclock_backends(benchmark, sst_p1f100_dataset, tmp_path,
     possible: on hosts with >= 4 usable cores.  Everywhere the two
     backends must agree byte-for-byte on the sample and the virtual time.
     """
-    import json
     import time as _time
     from datetime import date
 
@@ -348,20 +347,7 @@ def test_fig7_wallclock_backends(benchmark, sst_p1f100_dataset, tmp_path,
     # Append this run to the persisted trajectory (bounded history).
     record = {"date": date.today().isoformat(), "cores": cores,
               "dataset": "SST-P1F100", "entries": entries}
-    doc = {"bench": "fig7_wallclock_stream", "runs": []}
-    if os.path.exists(bench_json_path):
-        try:
-            with open(bench_json_path, encoding="utf-8") as fh:
-                prev = json.load(fh)
-            if isinstance(prev.get("runs"), list):
-                doc["runs"] = prev["runs"]
-        except (OSError, ValueError):
-            pass
-    doc["runs"] = [*doc["runs"], record][-50:]
-    with open(bench_json_path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2)
-        fh.write("\n")
-    print(f"[trajectory appended to {bench_json_path}]")
+    append_bench_record(bench_json_path, record)
 
     # Backends agree bit-for-bit at every rank count, and on the model.
     for p in WALL_RANKS:
@@ -396,7 +382,6 @@ def test_fig7_codec_tier_grid(benchmark, sst_p1f4_dataset, tmp_path,
     cell — with ``codec`` and ``tier`` fields — to the ``BENCH_fig7.json``
     trajectory.
     """
-    import json
     import time as _time
     from datetime import date
 
@@ -452,20 +437,7 @@ def test_fig7_codec_tier_grid(benchmark, sst_p1f4_dataset, tmp_path,
     record = {"date": date.today().isoformat(), "cores": cores,
               "dataset": "SST-P1F4", "grid": "codec_tier",
               "entries": entries}
-    doc = {"bench": "fig7_wallclock_stream", "runs": []}
-    if os.path.exists(bench_json_path):
-        try:
-            with open(bench_json_path, encoding="utf-8") as fh:
-                prev = json.load(fh)
-            if isinstance(prev.get("runs"), list):
-                doc["runs"] = prev["runs"]
-        except (OSError, ValueError):
-            pass
-    doc["runs"] = [*doc["runs"], record][-50:]
-    with open(bench_json_path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2)
-        fh.write("\n")
-    print(f"[trajectory appended to {bench_json_path}]")
+    append_bench_record(bench_json_path, record)
 
     # The sample is storage-invariant: every cell byte-identical to npz/local.
     golden = samples[("npz", "local")]

@@ -32,6 +32,37 @@ def bench_json_path(request) -> str:
     return request.config.getoption("--bench-json")
 
 
+def append_bench_record(path: str, record: dict, label: str | None = None) -> None:
+    """Append one run record to the ``BENCH_fig7.json`` trajectory.
+
+    Shared by every fig7 bench (bounded 50-record history, resilient to a
+    missing/corrupt file).  ``label`` — or the ``REPRO_BENCH_LABEL``
+    environment variable — tags the record's provenance so service-path
+    runs (jobs executed through ``repro-serve``) stay distinguishable
+    from direct-path runs in the trajectory; legacy records without the
+    field remain valid (readers must treat absence as direct-path).
+    """
+    import json
+
+    label = label or os.environ.get("REPRO_BENCH_LABEL")
+    if label:
+        record = {**record, "label": str(label)}
+    doc = {"bench": "fig7_wallclock_stream", "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                prev = json.load(fh)
+            if isinstance(prev.get("runs"), list):
+                doc["runs"] = prev["runs"]
+        except (OSError, ValueError):
+            pass
+    doc["runs"] = [*doc["runs"], record][-50:]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"[trajectory appended to {path}]")
+
+
 def emit(name: str, text: str) -> str:
     """Print a bench report and persist it under benchmarks/results/."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

@@ -1,0 +1,111 @@
+"""repro-serve walkthrough: submit -> poll -> fetch-artifact, twice.
+
+Demonstrates the service contract end to end, self-contained (the server
+runs in-process on an ephemeral port, so this needs no prior setup):
+
+  1. start a ``ReproServer`` over a content-keyed ``ArtifactStore``,
+  2. submit a subsample job spec over HTTP and poll it to completion,
+  3. download the artifact and load it with the ordinary facade classes,
+  4. submit the *identical* spec again — different dict ordering, other
+     SPMD backend — and observe ``cache_hit: true``: the bytes come from
+     the store, no new compute runs,
+  5. read ``/v1/stats``: counters, budget state, energy and shard-cache
+     aggregates across every job the service executed.
+
+Against a standalone daemon the client half is identical — point
+``ServeClient`` at the printed URL::
+
+    python -m repro.serve --port 8750 &
+    python -m repro.cli submit case.yaml --seed 7 --output sample.npz
+
+Run:  PYTHONPATH=src python examples/serve_client.py
+"""
+
+import os
+import shutil
+import tempfile
+
+from repro.api import SubsampleArtifact
+from repro.serve import ArtifactStore, ReproServer, Scheduler, ServeClient
+
+CASE = {
+    "shared": {
+        "dims": 3,
+        "dtype": "sst-binary",
+        "input_vars": ["u", "v", "w"],
+        "output_vars": "p",
+        "cluster_var": "pv",
+        "gravity": "z",
+        "fileprefix": "serve-example",
+    },
+    "subsample": {
+        "hypercubes": "maxent",
+        "num_hypercubes": 3,
+        "method": "maxent",
+        "num_samples": 64,
+        "num_clusters": 4,
+        "nxsl": 8,
+        "nysl": 8,
+        "nzsl": 8,
+    },
+    "train": {"epochs": 2, "batch": 4, "window": 1, "arch": "MLP_transformer"},
+}
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-serve-example-")
+    try:
+        _run(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _run(workdir: str) -> None:
+    store = ArtifactStore(os.path.join(workdir, "store"))
+    scheduler = Scheduler(store, spool=os.path.join(workdir, "spool"),
+                          workers=2)
+    with ReproServer("127.0.0.1", 0, scheduler) as server:
+        print(f"server up at {server.url}")
+        client = ServeClient(server.url)
+
+        # -- 2: submit and poll -------------------------------------------
+        spec = {"kind": "subsample", "case": CASE, "seed": 7, "ranks": 2,
+                "scale": 0.5}
+        job = client.submit(spec)
+        print(f"submitted {job['id']}: {job['status']}")
+        job = client.wait(job["id"])
+        result = job["result"]
+        print(f"finished {job['id']}: {job['status']} "
+              f"({result['n_samples']} samples, "
+              f"virtual_time={result['virtual_time']:.3f}s)")
+
+        # -- 3: fetch and load the artifact -------------------------------
+        path = client.fetch_artifact(job["id"], os.path.join(workdir,
+                                                             "sample"))
+        artifact = SubsampleArtifact.load(path)
+        print(f"artifact -> {path}")
+        print(artifact.summary())
+
+        # -- 4: identical resubmission is a cache hit ----------------------
+        shuffled = {
+            "backend": "process",  # identity excludes the SPMD backend
+            "scale": 0.5, "ranks": 2, "seed": 7,
+            "case": {k: CASE[k] for k in reversed(list(CASE))},
+            "kind": "subsample",
+        }
+        again = client.submit(shuffled)
+        assert again["cache_hit"], again
+        print(f"resubmitted as {again['id']}: cache_hit={again['cache_hit']} "
+              "(no new compute, bytes identical to a direct run)")
+
+        # -- 5: service-wide stats ----------------------------------------
+        stats = client.stats()
+        print(f"stats: {stats['counters']['completed']} computed, "
+              f"{stats['counters']['cache_hits']} cache hit(s), "
+              f"{stats['store']['entries']} store entr(y/ies), "
+              f"energy_total={stats['energy_total']:.3f} J")
+    print("server drained and closed cleanly")
+
+
+if __name__ == "__main__":
+    main()

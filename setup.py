@@ -23,6 +23,8 @@ setup(
             "repro-subsample = repro.cli:subsample_main",
             "repro-train = repro.cli:train_main",
             "repro-lint = repro.lint.cli:main",
+            "repro-serve = repro.serve.cli:serve_main",
+            "repro-submit = repro.serve.cli:submit_main",
         ],
     },
 )

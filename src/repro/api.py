@@ -138,6 +138,22 @@ class Artifact:
     def summary(self) -> str:
         return f"[{self.kind}] {self.meta}"
 
+    def fingerprint(self) -> str:
+        """Stable sha256 identity of this artifact.
+
+        Hashes the kind plus a canonicalized rendering of ``meta`` (the
+        embedded case snapshot is re-normalized through
+        :class:`~repro.utils.config.CaseConfig`, so dict ordering and
+        defaulted fields do not perturb it; execution-only fields such as
+        the SPMD backend are dropped — artifacts that are byte-identical
+        by the backend-conformance contract fingerprint identically).
+        This is the same identity scheme ``repro-serve`` dedupes jobs by;
+        see :mod:`repro.serve.keys`.
+        """
+        from repro.serve.keys import artifact_fingerprint
+
+        return artifact_fingerprint(self.kind, self.meta)
+
 
 @dataclass
 class SubsampleArtifact(Artifact):
@@ -585,6 +601,7 @@ class Experiment:
         resume: str | None = None,
         checkpoint: str | None = None,
         checkpoint_every: int = 1,
+        callbacks: list | None = None,
     ) -> Experiment:
         """Train the case's architecture on the subsample; records an artifact.
 
@@ -599,7 +616,11 @@ class Experiment:
 
         ``checkpoint`` writes a resumable checkpoint every
         ``checkpoint_every`` epochs; ``resume`` continues a fit from one,
-        bit-identical to an uninterrupted run.
+        bit-identical to an uninterrupted run.  ``callbacks`` appends
+        extra :class:`~repro.train.callbacks.Callback` instances after the
+        checkpoint callback (e.g. ``StopOnSignal`` for drain-to-checkpoint
+        in service mode); with multiple train ranks each rank's loop gets
+        the same instances, so they must be fork/thread-safe.
         """
         if mode not in ("batch", "stream"):
             raise ValueError(f"mode must be 'batch' or 'stream', got {mode!r}")
@@ -617,10 +638,10 @@ class Experiment:
         epochs = self.epochs if self.epochs is not None else min(case.train.epochs, 100)
         if mode == "stream":
             fit = self._train_stream(result, epochs, resume, checkpoint,
-                                     checkpoint_every)
+                                     checkpoint_every, callbacks)
         else:
             fit = self._train_batch(result, epochs, resume, checkpoint,
-                                    checkpoint_every)
+                                    checkpoint_every, callbacks)
         self.artifacts["train"] = TrainArtifact(
             meta={"seed": self.seed, "case": case.to_dict(),
                   "ranks": self.train_ranks, "epochs": epochs, "mode": mode,
@@ -631,11 +652,13 @@ class Experiment:
         return self
 
     def _loop_for(self, model, comm=None, checkpoint=None,
-                  checkpoint_every=1) -> TrainLoop:
+                  checkpoint_every=1, extra_callbacks=None) -> TrainLoop:
         case = self.case
         callbacks = []
         if checkpoint is not None:
             callbacks.append(Checkpoint(checkpoint, every=checkpoint_every))
+        if extra_callbacks:
+            callbacks.extend(extra_callbacks)
         return TrainLoop(
             model, lr=case.train.lr, patience=case.train.patience,
             precision=case.train.precision, comm=comm, seed=self.seed,
@@ -655,7 +678,7 @@ class Experiment:
         return data.x, data.y, data, None
 
     def _train_batch(self, result, epochs, resume, checkpoint,
-                     checkpoint_every) -> TrainResult:
+                     checkpoint_every, callbacks=None) -> TrainResult:
         case = self.case
         x, y, spec, input_dim = self._assemble_batch_data(result)
 
@@ -666,7 +689,8 @@ class Experiment:
             model = build_model_for_case(case, spec, input_dim=input_dim,
                                          rng=self.seed)
             loop = self._loop_for(model, comm=comm, checkpoint=checkpoint,
-                                  checkpoint_every=checkpoint_every)
+                                  checkpoint_every=checkpoint_every,
+                                  extra_callbacks=callbacks)
             feed = ArrayFeed(x, y, batch=case.train.batch,
                              test_frac=case.train.test_frac,
                              seed=self.seed, comm=loop.comm)
@@ -680,7 +704,7 @@ class Experiment:
         return run()
 
     def _train_stream(self, result, epochs, resume, checkpoint,
-                      checkpoint_every) -> TrainResult:
+                      checkpoint_every, callbacks=None) -> TrainResult:
         """Fit incrementally off the streaming source (no resident dataset)."""
         case = self.case
         source = self.source
@@ -719,7 +743,8 @@ class Experiment:
                 model = build_model_for_case(case, spec, input_dim=spec.input_dim,
                                              rng=self.seed)
                 loop = self._loop_for(model, comm=comm, checkpoint=checkpoint,
-                                      checkpoint_every=checkpoint_every)
+                                      checkpoint_every=checkpoint_every,
+                                      extra_callbacks=callbacks)
                 return loop.fit(feed, epochs=epochs, resume=resume)
             finally:
                 # Close before the outer finally removes the owned-shard

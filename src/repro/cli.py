@@ -368,11 +368,17 @@ def train_main(argv: list[str] | None = None) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or argv[0] not in ("subsample", "train"):
-        print("usage: python -m repro.cli {subsample|train} case.yaml [options]",
-              file=sys.stderr)
+    if not argv or argv[0] not in ("subsample", "train", "serve", "submit"):
+        print("usage: python -m repro.cli {subsample|train|serve|submit} "
+              "[options]", file=sys.stderr)
         return 2
     cmd, rest = argv[0], argv[1:]
+    if cmd in ("serve", "submit"):
+        # Lazy: the serve package pulls in the HTTP/scheduler stack, which
+        # plain subsample/train runs never need.
+        from repro.serve.cli import serve_main, submit_main
+
+        return serve_main(rest) if cmd == "serve" else submit_main(rest)
     return subsample_main(rest) if cmd == "subsample" else train_main(rest)
 
 

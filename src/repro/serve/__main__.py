@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` runs the daemon (same as ``repro-serve``)."""
+
+from repro.serve.cli import serve_main
+
+if __name__ == "__main__":
+    raise SystemExit(serve_main())

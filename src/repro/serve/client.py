@@ -1,0 +1,120 @@
+"""Stdlib polling client for a running repro-serve daemon.
+
+The protocol is plain JSON-over-HTTP, so this is a thin convenience
+wrapper over :mod:`urllib.request` — submit a spec, poll the job until a
+terminal state, fetch the artifact bytes::
+
+    client = ServeClient("http://127.0.0.1:8750")
+    job = client.submit({"kind": "subsample", "case": {...}, "seed": 7})
+    job = client.wait(job["id"])
+    path = client.fetch_artifact(job["id"], "out/sample.npz")
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServeClient", "ServeError"]
+
+#: job states the poll loop stops on
+TERMINAL_STATES = ("done", "failed", "cancelled", "checkpointed")
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level error from the server, with its status code."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ---- transport --------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(self.url + path, data=data,
+                                     headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, dict(resp.headers), resp.read()
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            try:
+                message = json.loads(payload).get("error") or str(exc)
+            except ValueError:
+                message = str(exc)
+            raise ServeError(message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(f"cannot reach {self.url}: {exc.reason}") from None
+
+    def _json(self, method: str, path: str, body: dict | None = None) -> dict:
+        _, _, payload = self._request(method, path, body)
+        return json.loads(payload)
+
+    # ---- API --------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/v1/health")
+
+    def submit(self, spec: dict) -> dict:
+        """Submit a job spec document; returns the job snapshot (the
+        ``cache_hit`` / ``attached`` flags say whether compute was admitted)."""
+        if hasattr(spec, "to_dict"):
+            spec = spec.to_dict()
+        return self._json("POST", "/v1/jobs", spec)
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def stats(self) -> dict:
+        return self._json("GET", "/v1/stats")
+
+    def resume(self, job_id: str) -> dict:
+        return self._json("POST", f"/v1/jobs/{job_id}/resume")
+
+    def shutdown(self) -> dict:
+        return self._json("POST", "/v1/shutdown")
+
+    def wait(self, job_id: str, timeout: float | None = 300.0,
+             poll: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal state; returns the snapshot."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            snap = self.job(job_id)
+            if snap["status"] in TERMINAL_STATES:
+                return snap
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {snap['status']!r} after {timeout}s")
+            time.sleep(poll)
+
+    def fetch_artifact(self, job_id: str, path: str) -> str:
+        """Download the job's artifact bytes to ``path`` (kind-appropriate
+        extension appended if missing); returns the final path."""
+        status, headers, payload = self._request(
+            "GET", f"/v1/jobs/{job_id}/artifact")
+        assert status == 200, status  # errors raise ServeError above
+        kind = headers.get("X-Repro-Kind", "subsample")
+        ext = ".npz" if kind == "subsample" else ".json"
+        if not path.endswith(ext):
+            path = path + ext
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "wb") as fh:
+            fh.write(payload)
+        return path

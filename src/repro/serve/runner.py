@@ -1,0 +1,221 @@
+"""Execute one validated job spec — the worker pool's unit of work.
+
+``execute_job`` is a thin shell over :class:`repro.api.Experiment`
+(exactly like the CLI), which is what makes the cache honest: a job's
+artifact carries the same bytes a direct facade run would produce, so
+the store can answer repeated requests with a file instead of a
+recompute.
+
+Train jobs always run with a :class:`~repro.train.callbacks.Checkpoint`
+into the job's spool directory plus a
+:class:`~repro.train.callbacks.StopOnSignal` watching the scheduler's
+per-job STOP file: a drain request turns an in-flight fit into a
+resumable checkpoint at the next epoch boundary instead of a kill.
+Subsample and tune jobs are single bounded passes and run to completion
+even under drain (their wall time is already bounded by the spec).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+
+from repro.api import Experiment
+from repro.serve.jobs import JobSpec
+from repro.train.callbacks import Callback, StopOnSignal
+
+__all__ = ["JobOutcome", "execute_job", "write_progress"]
+
+#: scheduler touches this file in a job's spool dir to request drain
+STOP_FILE = "STOP"
+#: rank 0 of a running train job keeps this file's epoch counters fresh
+PROGRESS_FILE = "progress.json"
+CHECKPOINT_FILE = "checkpoint.npz"
+
+
+@dataclass
+class JobOutcome:
+    """What one job execution produced."""
+
+    status: str                      # "done" | "checkpointed"
+    artifact: object | None = None   # an api.Artifact (None when checkpointed)
+    meta: dict = field(default_factory=dict)
+    checkpoint_path: str | None = None
+
+
+def write_progress(path: str, doc: dict) -> None:
+    """Atomically replace the progress file (readers never see a torn doc)."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    os.replace(tmp, path)
+
+
+class _ProgressCallback(Callback):
+    """Stream per-epoch counters to the job's progress file (rank 0 only).
+
+    Works across both SPMD backends: with forked workers rank 0's child
+    writes through the shared filesystem path, so the serving process can
+    poll it without any extra transport.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def on_epoch_end(self, loop, epoch: int, logs: dict) -> None:
+        if loop.comm.rank != 0:
+            return
+        write_progress(self.path, {
+            "phase": "train",
+            "epoch": int(epoch) + 1,
+            "epochs_target": int(loop.epochs_target),
+            "train_loss": float(logs["train_loss"]),
+            "test_loss": float(logs["test_loss"]),
+        })
+
+
+def _open_job_source(spec: JobSpec, case):
+    """Mirror of the CLI's ``_resolve_source`` for job specs."""
+    if spec.source is None:
+        return None
+    max_cached = 2 if spec.max_cached_shards is None else spec.max_cached_shards
+    if spec.source == "sim":
+        from repro.data import stream_dataset
+
+        return stream_dataset(case.shared.dtype, scale=spec.scale,
+                              seed=spec.seed, max_cached=max_cached)
+    from repro.data import open_source
+
+    return open_source(spec.source, max_cached=max_cached,
+                       prefetch=spec.prefetch)
+
+
+def _fault_hook_for(spec: JobSpec):
+    if spec.inject_rank_failure is None:
+        return None
+    victim = int(spec.inject_rank_failure)
+
+    def _kill_after_first_chunk(rank, snapshots_done=0, rows_fed=0):
+        return rank == victim and rows_fed > 0
+
+    return _kill_after_first_chunk
+
+
+def execute_job(spec: JobSpec, workdir: str,
+                resume_checkpoint: str | None = None) -> JobOutcome:
+    """Run ``spec`` inside ``workdir``; returns the outcome.
+
+    ``resume_checkpoint`` continues a previously-drained train job from
+    its checkpoint (bit-identical to an uninterrupted fit).  Raises
+    whatever the pipeline raises — the scheduler owns retry policy.
+    """
+    case = spec.validate()
+    os.makedirs(workdir, exist_ok=True)
+    stop_path = os.path.join(workdir, STOP_FILE)
+    progress_path = os.path.join(workdir, PROGRESS_FILE)
+
+    exp = (
+        Experiment.from_case(case)
+        .with_seed(spec.seed)
+        .with_scale(spec.scale)
+        .with_backend(spec.backend)
+        .with_stream_shuffle(spec.stream_shuffle)
+        .with_epochs(spec.epochs)
+    )
+    source = _open_job_source(spec, case)
+    if source is not None:
+        exp.with_source(source)
+    try:
+        if spec.kind == "subsample":
+            return _run_subsample(spec, exp, progress_path)
+        if spec.kind == "train":
+            return _run_train(spec, exp, workdir, stop_path, progress_path,
+                              resume_checkpoint)
+        return _run_tune(spec, exp, progress_path)
+    finally:
+        if source is not None and hasattr(source, "close"):
+            source.close()
+
+
+def _run_subsample(spec: JobSpec, exp: Experiment,
+                   progress_path: str) -> JobOutcome:
+    write_progress(progress_path, {"phase": "subsample"})
+    exp.with_ranks(spec.ranks).subsample(
+        mode=spec.mode,
+        owned_shards=spec.owned_shards,
+        on_rank_failure=spec.on_rank_failure or "raise",
+        fault_hook=_fault_hook_for(spec),
+    )
+    artifact = exp.subsample_artifact
+    res = artifact.result
+    meta = {
+        "n_samples": int(res.n_samples),
+        "n_points_scanned": int(res.n_points_scanned),
+        "virtual_time": float(res.virtual_time),
+        "total_energy": (res.energy.total_energy
+                         if res.energy is not None else None),
+        "cache": res.meta.get("cache"),
+        "failed_ranks": res.meta.get("failed_ranks") or [],
+    }
+    return JobOutcome(status="done", artifact=artifact, meta=meta)
+
+
+def _run_train(spec: JobSpec, exp: Experiment, workdir: str, stop_path: str,
+               progress_path: str,
+               resume_checkpoint: str | None) -> JobOutcome:
+    exp.with_train_ranks(spec.ranks)
+    if spec.mode == "stream":
+        # Same convention as the CLI: stream-mode training's implicit
+        # subsample uses the same ranks (one stream producer per rank).
+        exp.with_ranks(spec.ranks)
+    stopper = StopOnSignal(lambda: os.path.exists(stop_path))
+    checkpoint_path = os.path.join(workdir, CHECKPOINT_FILE)
+    exp.train(
+        mode=spec.mode,
+        resume=resume_checkpoint,
+        checkpoint=checkpoint_path,
+        checkpoint_every=spec.checkpoint_every,
+        callbacks=[stopper, _ProgressCallback(progress_path)],
+    )
+    res = exp.train_artifact.result
+    target = (spec.epochs if spec.epochs is not None
+              else min(exp.case.train.epochs, 100))
+    meta = {
+        "epochs_run": int(res.epochs_run),
+        "epochs_target": int(target),
+        "best_test_loss": float(res.best_test_loss),
+        "final_test_loss": float(res.final_test_loss),
+        "total_energy": (res.energy.total_energy
+                         if res.energy is not None else None),
+        "feed": res.meta.get("feed"),
+    }
+    # StopOnSignal fired before the epoch budget was spent: the fit is a
+    # resumable partial, not the spec's artifact — do not cache it.
+    # (With forked train workers the parent's `stopper` instance never
+    # sees the child's trigger, so detect the early stop from the result.)
+    if os.path.exists(stop_path) and res.epochs_run < target:
+        meta["checkpoint"] = checkpoint_path
+        return JobOutcome(status="checkpointed", meta=meta,
+                          checkpoint_path=checkpoint_path)
+    return JobOutcome(status="done", artifact=exp.train_artifact, meta=meta,
+                      checkpoint_path=checkpoint_path)
+
+
+def _run_tune(spec: JobSpec, exp: Experiment,
+              progress_path: str) -> JobOutcome:
+    write_progress(progress_path, {"phase": "tune",
+                                   "trials": int(spec.tune_trials)})
+    exp.tune(n_trials=spec.tune_trials, strategy=spec.tune_strategy)
+    artifact = exp.tune_artifact
+    best_score = None
+    if artifact.best is not None and math.isfinite(artifact.best.score):
+        # diverged searches carry score=inf, which has no RFC JSON spelling
+        best_score = float(artifact.best.score)
+    meta = {
+        "trials": len(artifact.trials),
+        "best_config": artifact.best.config if artifact.best else None,
+        "best_score": best_score,
+    }
+    return JobOutcome(status="done", artifact=artifact, meta=meta)

@@ -1,0 +1,160 @@
+"""Content-keyed on-disk artifact cache.
+
+Layout::
+
+    <root>/objects/<key[:2]>/<key>/artifact.npz|json   the Artifact, saved
+                                                        via its own save()
+                                                        — bytes UNMODIFIED
+    <root>/objects/<key[:2]>/<key>/meta.json            the commit record
+
+An entry exists iff its ``meta.json`` does: the artifact file is written
+first (into a dot-prefixed temp name, then ``os.replace``d), the meta
+record last with the same tmp+fsync+replace discipline as
+:func:`repro.data.store.write_manifest` — so a crash mid-``put`` leaves
+either a complete entry or garbage a future put overwrites, never a
+half-entry a reader could trust.
+
+The artifact file holds exactly the bytes ``Artifact.save`` produces for
+a direct :class:`~repro.api.Experiment` run — job ids, content keys, and
+service bookkeeping live only in ``meta.json`` — which is what makes the
+"cached response is byte-identical to computing it yourself" contract
+testable with a file compare.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+
+__all__ = ["ArtifactStore", "StoreEntry"]
+
+_EXT_BY_KIND = {"subsample": ".npz", "train": ".json", "tune": ".json"}
+
+
+@dataclass
+class StoreEntry:
+    """One committed cache entry."""
+
+    key: str
+    kind: str
+    artifact_path: str
+    meta: dict
+
+
+class ArtifactStore:
+    """Content-keyed artifact cache rooted at ``root`` (see module doc)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self._objects = os.path.join(self.root, "objects")
+        os.makedirs(self._objects, exist_ok=True)
+        self._lock = threading.Lock()
+        self._tmp_seq = 0
+
+    # ---- paths ------------------------------------------------------------
+
+    def _entry_dir(self, key: str) -> str:
+        return os.path.join(self._objects, key[:2], key)
+
+    def _meta_path(self, key: str) -> str:
+        return os.path.join(self._entry_dir(key), "meta.json")
+
+    # ---- queries ----------------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        return os.path.isfile(self._meta_path(key))
+
+    def entry(self, key: str) -> StoreEntry | None:
+        """The committed entry for ``key``, or None."""
+        try:
+            with open(self._meta_path(key), encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except FileNotFoundError:
+            return None
+        kind = meta.get("kind", "subsample")
+        ext = _EXT_BY_KIND.get(kind, ".json")
+        return StoreEntry(
+            key=key, kind=kind,
+            artifact_path=os.path.join(self._entry_dir(key), "artifact" + ext),
+            meta=meta,
+        )
+
+    def keys(self) -> list[str]:
+        """Every committed key, sorted (stable for tests and /v1/stats)."""
+        found = []
+        for prefix in sorted(os.listdir(self._objects)):
+            pdir = os.path.join(self._objects, prefix)
+            if not os.path.isdir(pdir):
+                continue
+            for key in sorted(os.listdir(pdir)):
+                if os.path.isfile(os.path.join(pdir, key, "meta.json")):
+                    found.append(key)
+        return found
+
+    def stats(self) -> dict:
+        entries = self.keys()
+        nbytes = 0
+        for key in entries:
+            ent = self.entry(key)
+            if ent is not None and os.path.isfile(ent.artifact_path):
+                nbytes += os.path.getsize(ent.artifact_path)
+        return {"entries": len(entries), "bytes": nbytes}
+
+    # ---- writes -----------------------------------------------------------
+
+    def put(self, key: str, artifact, meta: dict | None = None) -> StoreEntry:
+        """Commit ``artifact`` under ``key``; idempotent.
+
+        A concurrent or repeated put of the same key keeps the first
+        committed entry (content-keyed entries are interchangeable by
+        construction, and keeping the first preserves byte-stability for
+        anyone already reading it).
+        """
+        kind = artifact.kind
+        if kind not in _EXT_BY_KIND:
+            raise ValueError(f"unknown artifact kind {kind!r}")
+        existing = self.entry(key)
+        if existing is not None:
+            return existing
+        entry_dir = self._entry_dir(key)
+        os.makedirs(entry_dir, exist_ok=True)
+        with self._lock:
+            self._tmp_seq += 1
+            tmp_tag = f".tmp-{os.getpid()}-{self._tmp_seq}"
+        ext = _EXT_BY_KIND[kind]
+        # Artifact.save appends its extension itself; write under a temp
+        # stem, then atomically rename into place.
+        tmp_path = artifact.save(os.path.join(entry_dir, tmp_tag))
+        final_path = os.path.join(entry_dir, "artifact" + ext)
+        record = {
+            "kind": kind,
+            "key": key,
+            **(meta or {}),
+        }
+        with self._lock:
+            existing = self.entry(key)
+            if existing is not None:
+                os.remove(tmp_path)
+                return existing
+            os.replace(tmp_path, final_path)
+            tmp_meta = os.path.join(entry_dir, tmp_tag + ".meta")
+            with open(tmp_meta, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, indent=2, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_meta, self._meta_path(key))
+        return StoreEntry(key=key, kind=kind, artifact_path=final_path,
+                          meta=record)
+
+    def load(self, key: str):
+        """Rehydrate the stored Artifact (by its recorded kind)."""
+        from repro.api import SubsampleArtifact, TrainArtifact, TuneArtifact
+
+        ent = self.entry(key)
+        if ent is None:
+            raise KeyError(f"no artifact stored under {key!r}")
+        cls = {"subsample": SubsampleArtifact, "train": TrainArtifact,
+               "tune": TuneArtifact}[ent.kind]
+        return cls.load(ent.artifact_path)

@@ -40,6 +40,7 @@ __all__ = [
     "ReduceLROnPlateauCallback",
     "EarlyStopping",
     "LoggingCallback",
+    "StopOnSignal",
     "Checkpoint",
     "peek_checkpoint",
 ]
@@ -297,6 +298,36 @@ class EarlyStopping(Callback):
     def load_state(self, state: dict) -> None:
         self.best = float(state["best"])
         self.bad_epochs = int(state["bad_epochs"])
+
+
+class StopOnSignal(Callback):
+    """Stop the fit cleanly when an external condition becomes true.
+
+    ``should_stop`` is polled on rank 0 at every epoch end and the
+    decision broadcast to every rank, so all ranks leave the epoch loop
+    together — the predicate may be rank-dependent (a file only the
+    driver touches) without desynchronizing a DDP fit.  Pairs with
+    :class:`Checkpoint`, whose ``on_stop`` hook persists the final state:
+    the combination turns a drain request (e.g. ``repro-serve`` shutdown)
+    into a resumable checkpoint instead of a killed job.
+
+    Carries no checkpoint state on purpose: whether a *previous* fit
+    segment was interrupted is not part of the training state.
+    """
+
+    def __init__(self, should_stop) -> None:
+        if not callable(should_stop):
+            raise TypeError("should_stop must be callable")
+        self._should_stop = should_stop
+        self.triggered = False
+
+    def on_epoch_end(self, loop, epoch: int, logs: dict) -> None:
+        decision = bool(self._should_stop()) if loop.comm.rank == 0 else False
+        if loop.comm.size > 1:
+            decision = bool(loop.comm.bcast(decision, root=0))
+        if decision:
+            self.triggered = True
+            loop.stop_training = True
 
 
 class LoggingCallback(Callback):

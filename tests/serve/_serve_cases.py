@@ -1,0 +1,59 @@
+"""Shared tiny case document for the serve test suite (imported by the
+conftest and the test modules; kept out of conftest.py so the tests can
+import it without relying on conftest's module name)."""
+
+#: a tiny but complete case document (8^3 cubes, 64 samples); mirrors
+#: tests/test_cli.py's SST case.
+TINY_CASE = {
+    "shared": {
+        "dims": 3,
+        "dtype": "sst-binary",
+        "input_vars": ["u", "v", "w"],
+        "output_vars": "p",
+        "cluster_var": "pv",
+        "gravity": "z",
+        "fileprefix": "serve-test",
+    },
+    "subsample": {
+        "hypercubes": "maxent",
+        "num_hypercubes": 3,
+        "method": "maxent",
+        "num_samples": 64,
+        "num_clusters": 4,
+        "nxsl": 8,
+        "nysl": 8,
+        "nzsl": 8,
+    },
+    "train": {
+        "epochs": 2,
+        "batch": 4,
+        "window": 1,
+        "arch": "MLP_transformer",
+    },
+}
+
+#: the same case as repro-submit-compatible YAML (for CLI-level tests)
+TINY_CASE_YAML = """
+shared:
+  dims: 3
+  dtype: sst-binary
+  input_vars: [u, v, w]
+  output_vars: p
+  cluster_var: pv
+  gravity: z
+  fileprefix: "serve-test"
+subsample:
+  hypercubes: maxent
+  num_hypercubes: 3
+  method: maxent
+  num_samples: 64
+  num_clusters: 4
+  nxsl: 8
+  nysl: 8
+  nzsl: 8
+train:
+  epochs: 2
+  batch: 4
+  window: 1
+  arch: MLP_transformer
+"""

@@ -1,0 +1,35 @@
+"""Shared fixtures for the serve suite, plus the opt-in runtime sanitizer.
+
+``REPRO_SANITIZE=1 pytest tests/serve`` instruments the scheduler's
+lock-owning class and the shared-memory transport for the session (see
+:mod:`repro.lint.runtime`) and asserts a clean check at teardown — same
+pattern as ``tests/parallel/conftest.py``.  Without the environment
+variable it is inert.
+"""
+
+import copy
+
+import pytest
+
+from repro.lint import runtime
+
+from _serve_cases import TINY_CASE
+
+
+@pytest.fixture()
+def tiny_case() -> dict:
+    # a fresh copy per test: specs must be free to mutate their case
+    return copy.deepcopy(TINY_CASE)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def runtime_sanitizer():
+    if not runtime.enabled():
+        yield
+        return
+    runtime.install()
+    try:
+        yield
+        runtime.check(strict=True)
+    finally:
+        runtime.uninstall()

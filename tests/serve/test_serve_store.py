@@ -1,0 +1,87 @@
+"""ArtifactStore: content-keyed commit semantics and byte stability."""
+
+import copy
+import os
+
+import pytest
+
+from repro.api import Experiment, SubsampleArtifact
+from repro.serve.store import ArtifactStore
+
+from _serve_cases import TINY_CASE
+
+
+@pytest.fixture(scope="module")
+def sample_artifact():
+    """One real subsample artifact shared by the module (cheap but not free)."""
+    exp = (Experiment.from_case(copy.deepcopy(TINY_CASE))
+           .with_seed(3).with_scale(0.5))
+    exp.subsample()
+    return exp.subsample_artifact
+
+
+class TestStoreCommit:
+    def test_put_then_entry_and_load(self, tmp_path, sample_artifact):
+        store = ArtifactStore(str(tmp_path / "store"))
+        assert not store.has("ab" * 32)
+        entry = store.put("ab" * 32, sample_artifact, meta={"job_kind": "x"})
+        assert store.has("ab" * 32)
+        assert entry.kind == "subsample"
+        assert entry.artifact_path.endswith("artifact.npz")
+        assert os.path.isfile(entry.artifact_path)
+        assert entry.meta["job_kind"] == "x"
+        loaded = store.load("ab" * 32)
+        assert isinstance(loaded, SubsampleArtifact)
+        assert loaded.result.n_samples == sample_artifact.result.n_samples
+
+    def test_put_is_idempotent_first_wins(self, tmp_path, sample_artifact):
+        store = ArtifactStore(str(tmp_path / "store"))
+        key = "cd" * 32
+        first = store.put(key, sample_artifact, meta={"attempt": 1})
+        with open(first.artifact_path, "rb") as fh:
+            original = fh.read()
+        second = store.put(key, sample_artifact, meta={"attempt": 2})
+        assert second.artifact_path == first.artifact_path
+        assert second.meta["attempt"] == 1  # first commit's record survives
+        with open(first.artifact_path, "rb") as fh:
+            assert fh.read() == original
+        assert store.keys() == [key]
+
+    def test_artifact_bytes_match_direct_save(self, tmp_path, sample_artifact):
+        """The cache must store exactly what Artifact.save produces —
+        service bookkeeping lives only in meta.json."""
+        store = ArtifactStore(str(tmp_path / "store"))
+        entry = store.put("ef" * 32, sample_artifact)
+        direct = sample_artifact.save(str(tmp_path / "direct"))
+        with open(entry.artifact_path, "rb") as lhs, open(direct, "rb") as rhs:
+            assert lhs.read() == rhs.read()
+
+    def test_no_partial_entries(self, tmp_path, sample_artifact):
+        """An entry exists only once meta.json is committed: an artifact
+        file without its record is invisible to readers."""
+        store = ArtifactStore(str(tmp_path / "store"))
+        key = "12" * 32
+        entry = store.put(key, sample_artifact)
+        os.remove(os.path.join(os.path.dirname(entry.artifact_path),
+                               "meta.json"))
+        assert not store.has(key)
+        assert store.entry(key) is None
+        assert store.keys() == []
+
+    def test_stats_and_missing_load(self, tmp_path, sample_artifact):
+        store = ArtifactStore(str(tmp_path / "store"))
+        assert store.stats() == {"entries": 0, "bytes": 0}
+        store.put("34" * 32, sample_artifact)
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        with pytest.raises(KeyError):
+            store.load("56" * 32)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        class Oddball:
+            kind = "mystery"
+
+        store = ArtifactStore(str(tmp_path / "store"))
+        with pytest.raises(ValueError, match="unknown artifact kind"):
+            store.put("78" * 32, Oddball())
